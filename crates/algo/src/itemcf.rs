@@ -1,0 +1,216 @@
+//! Item–item collaborative filtering (the paper's ItemCosCF / ItemPearCF).
+//!
+//! Prediction follows Eq. 2 exactly:
+//!
+//! ```text
+//! RecScore(u, i) = Σ_{l ∈ L} sim(i, l) · r_{u,l}  /  Σ_{l ∈ L} |sim(i, l)|
+//! ```
+//!
+//! where `L` is item `i`'s similarity list *reduced to the items rated by
+//! user `u`* ("Before this computation, we reduce each similarity list L to
+//! contain only items rated by user u").
+//!
+//! Algorithm 1's operator-facing semantics are exposed via
+//! [`ItemCfModel::score`]: already-rated items return the user's own rating;
+//! an empty `L` (no overlap) yields 0.
+
+use crate::neighborhood::{build_item_neighborhood, NeighborhoodParams, NeighborhoodTable};
+use crate::ratings::RatingsMatrix;
+
+/// An item–item CF model: the ratings snapshot it was trained on plus the
+/// item neighborhood table.
+#[derive(Debug, Clone)]
+pub struct ItemCfModel {
+    matrix: RatingsMatrix,
+    neighborhood: NeighborhoodTable,
+    params: NeighborhoodParams,
+}
+
+impl ItemCfModel {
+    /// Train the model ("Step I: Recommendation Model Building").
+    pub fn train(matrix: RatingsMatrix, params: NeighborhoodParams) -> Self {
+        let neighborhood = build_item_neighborhood(&matrix, &params);
+        ItemCfModel {
+            matrix,
+            neighborhood,
+            params,
+        }
+    }
+
+    /// The training ratings snapshot.
+    pub fn matrix(&self) -> &RatingsMatrix {
+        &self.matrix
+    }
+
+    /// The item neighborhood table.
+    pub fn neighborhood(&self) -> &NeighborhoodTable {
+        &self.neighborhood
+    }
+
+    /// The parameters the model was trained with.
+    pub fn params(&self) -> &NeighborhoodParams {
+        &self.params
+    }
+
+    /// Number of ratings the model was built from (drives the N%
+    /// maintenance rule in `recdb-core`).
+    pub fn trained_on(&self) -> usize {
+        self.matrix.n_ratings()
+    }
+
+    /// Eq. 2 for dense indexes: predicted rating of unseen item `i` for
+    /// user `u`, or `None` when `L ∩ rated(u)` is empty.
+    pub fn predict_dense(&self, u: usize, i: usize) -> Option<f64> {
+        let user_items = self.matrix.user_row(u);
+        let neighbors = self.neighborhood.neighbors(i);
+        // Merge-intersect: both lists are sorted by item index.
+        let (mut a, mut b) = (0, 0);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        while a < user_items.len() && b < neighbors.len() {
+            match user_items[a].0.cmp(&neighbors[b].0) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    let (r_ul, sim) = (user_items[a].1, neighbors[b].1);
+                    num += sim * r_ul;
+                    den += sim.abs();
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        if den == 0.0 {
+            None
+        } else {
+            Some(num / den)
+        }
+    }
+
+    /// The Algorithm 1 per-pair score for external ids:
+    ///
+    /// * item already rated by the user → the user's own rating,
+    /// * no overlap between the item's neighbors and the user's items → 0,
+    /// * otherwise → the Eq. 2 prediction.
+    ///
+    /// Unknown users or items score 0 (nothing is known about them).
+    pub fn score(&self, user: i64, item: i64) -> f64 {
+        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item))
+        else {
+            return 0.0;
+        };
+        if let Some(r) = self.matrix.rating_at(u, i) {
+            return r;
+        }
+        self.predict_dense(u, i).unwrap_or(0.0)
+    }
+
+    /// Predicted rating for an *unseen* pair only: `None` if the user/item
+    /// is unknown, the pair is already rated, or there is no overlap.
+    pub fn predict(&self, user: i64, item: i64) -> Option<f64> {
+        let (u, i) = (self.matrix.user_idx(user)?, self.matrix.item_idx(item)?);
+        if self.matrix.rating_at(u, i).is_some() {
+            return None;
+        }
+        self.predict_dense(u, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratings::Rating;
+
+    fn figure1() -> ItemCfModel {
+        ItemCfModel::train(
+            RatingsMatrix::from_ratings(vec![
+                Rating::new(1, 1, 1.5),
+                Rating::new(2, 2, 3.5),
+                Rating::new(2, 1, 4.5),
+                Rating::new(2, 3, 2.0),
+                Rating::new(3, 2, 1.0),
+                Rating::new(3, 1, 2.0),
+                Rating::new(4, 2, 1.0),
+            ]),
+            NeighborhoodParams::cosine(),
+        )
+    }
+
+    #[test]
+    fn rated_pair_scores_own_rating() {
+        let m = figure1();
+        assert_eq!(m.score(2, 1), 4.5);
+        assert_eq!(m.score(1, 1), 1.5);
+    }
+
+    #[test]
+    fn unseen_pair_prediction_matches_eq2_by_hand() {
+        let m = figure1();
+        // User 1 rated only item 1 (1.5). Predicting item 2:
+        // L = neighbors(2) ∩ rated(1) = {1}.
+        // RecScore = sim(2,1)·1.5 / |sim(2,1)| = 1.5 (sim > 0 cancels).
+        let p = m.predict(1, 2).unwrap();
+        assert!((p - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_weights_multiple_neighbors() {
+        let m = figure1();
+        // User 4 rated only item 2 (1.0); predict item 1 via neighbor 2.
+        let p = m.predict(4, 1).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+        // User 2 rated everything, so nothing is predictable (all seen).
+        assert_eq!(m.predict(2, 1), None);
+    }
+
+    #[test]
+    fn unknown_user_or_item_scores_zero() {
+        let m = figure1();
+        assert_eq!(m.score(99, 1), 0.0);
+        assert_eq!(m.score(1, 99), 0.0);
+        assert_eq!(m.predict(99, 1), None);
+    }
+
+    #[test]
+    fn no_overlap_scores_zero() {
+        // Two disconnected bipartite components.
+        let m = ItemCfModel::train(
+            RatingsMatrix::from_ratings(vec![
+                Rating::new(1, 10, 5.0),
+                Rating::new(2, 20, 4.0),
+            ]),
+            NeighborhoodParams::cosine(),
+        );
+        assert_eq!(m.score(1, 20), 0.0, "Algorithm 1 line 14");
+        assert_eq!(m.predict(1, 20), None);
+    }
+
+    #[test]
+    fn predictions_bounded_by_user_rating_range() {
+        // Eq. 2 is a convex combination when all sims are positive, so the
+        // prediction lies within the user's min..max rating.
+        let m = figure1();
+        for &u in m.matrix().user_ids() {
+            let uidx = m.matrix().user_idx(u).unwrap();
+            let row = m.matrix().user_row(uidx);
+            if row.is_empty() {
+                continue;
+            }
+            let lo = row.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+            let hi = row.iter().map(|&(_, r)| r).fold(f64::NEG_INFINITY, f64::max);
+            for &i in m.matrix().item_ids() {
+                if let Some(p) = m.predict(u, i) {
+                    assert!(
+                        p >= lo - 1e-9 && p <= hi + 1e-9,
+                        "prediction {p} outside [{lo}, {hi}] for user {u} item {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trained_on_counts_ratings() {
+        assert_eq!(figure1().trained_on(), 7);
+    }
+}

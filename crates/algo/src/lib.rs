@@ -1,0 +1,37 @@
+//! # recdb-algo
+//!
+//! The recommendation algorithms of the RecDB paper (ICDE 2017 §II–§IV):
+//!
+//! * [`ratings::RatingsMatrix`] — sparse user/item ratings with row and
+//!   column views (the "UserVector" / "ItemVector" tables of Algorithm 1),
+//! * [`similarity`] — cosine and Pearson correlation over co-rated
+//!   dimensions (Eq. 1),
+//! * [`neighborhood`] — item–item and user–user similarity-list models,
+//! * [`itemcf`] / [`usercf`] — neighborhood predictors (Eq. 2),
+//! * [`svd`] — regularized gradient-descent matrix factorization (Eq. 3),
+//! * [`popularity`] — the non-personalized class of the §II taxonomy
+//!   (damped-mean item ranking; also the cold-start fallback),
+//! * [`model`] — the [`model::RecModel`] wrapper + [`model::Algorithm`]
+//!   names used in SQL (`USING ItemCosCF`, …),
+//! * [`eval`] — RMSE / MAE hold-out evaluation (an extension; the paper
+//!   reports performance only, but a credible release needs accuracy
+//!   checks to show the predictors are implemented correctly).
+
+pub mod eval;
+pub mod itemcf;
+pub mod model;
+pub mod neighborhood;
+pub mod popularity;
+pub mod ratings;
+pub mod similarity;
+pub mod svd;
+pub mod usercf;
+
+pub use itemcf::ItemCfModel;
+pub use model::{Algorithm, RecModel};
+pub use neighborhood::NeighborhoodParams;
+pub use popularity::PopularityModel;
+pub use ratings::{Rating, RatingsMatrix};
+pub use similarity::Similarity;
+pub use svd::{SvdModel, SvdParams};
+pub use usercf::UserCfModel;

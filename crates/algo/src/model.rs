@@ -1,0 +1,265 @@
+//! The unified recommendation model (`RecModel`) and algorithm names.
+//!
+//! `CREATE RECOMMENDER ... USING <algorithm>` and `RECOMMEND ... USING
+//! <algorithm>` name one of the paper's five §III-A algorithms (or the
+//! extension [`crate::popularity`] ranking); [`Algorithm`] parses those
+//! names and [`RecModel`] wraps the corresponding trained model behind one
+//! scoring interface.
+
+use crate::itemcf::ItemCfModel;
+use crate::neighborhood::NeighborhoodParams;
+use crate::popularity::PopularityModel;
+use crate::ratings::RatingsMatrix;
+use crate::similarity::Similarity;
+use crate::svd::{SvdModel, SvdParams};
+use crate::usercf::UserCfModel;
+use std::fmt;
+use std::str::FromStr;
+
+/// The recommendation algorithms RecDB supports (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Item–item CF, cosine similarity — the paper's default.
+    ItemCosCF,
+    /// Item–item CF, Pearson correlation.
+    ItemPearCF,
+    /// User–user CF, cosine similarity.
+    UserCosCF,
+    /// User–user CF, Pearson correlation.
+    UserPearCF,
+    /// Regularized gradient-descent matrix factorization.
+    Svd,
+    /// Non-personalized damped-mean popularity ranking (§II class 1;
+    /// an extension beyond the paper's five CF algorithms).
+    Popularity,
+}
+
+impl Algorithm {
+    /// All algorithms, for exhaustive sweeps in benches/tests.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::ItemCosCF,
+        Algorithm::ItemPearCF,
+        Algorithm::UserCosCF,
+        Algorithm::UserPearCF,
+        Algorithm::Svd,
+        Algorithm::Popularity,
+    ];
+
+    /// The canonical name used in SQL.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::ItemCosCF => "ItemCosCF",
+            Algorithm::ItemPearCF => "ItemPearCF",
+            Algorithm::UserCosCF => "UserCosCF",
+            Algorithm::UserPearCF => "UserPearCF",
+            Algorithm::Svd => "SVD",
+            Algorithm::Popularity => "Popularity",
+        }
+    }
+
+    /// Whether this is a neighborhood (vs matrix-factorization) algorithm.
+    pub fn is_neighborhood(&self) -> bool {
+        !matches!(self, Algorithm::Svd | Algorithm::Popularity)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "itemcoscf" => Ok(Algorithm::ItemCosCF),
+            "itempearcf" => Ok(Algorithm::ItemPearCF),
+            "usercoscf" => Ok(Algorithm::UserCosCF),
+            "userpearcf" => Ok(Algorithm::UserPearCF),
+            "svd" => Ok(Algorithm::Svd),
+            "popularity" | "mostpopular" => Ok(Algorithm::Popularity),
+            other => Err(format!(
+                "unknown recommendation algorithm `{other}` (expected ItemCosCF, \
+                 ItemPearCF, UserCosCF, UserPearCF, SVD, or Popularity)"
+            )),
+        }
+    }
+}
+
+/// Training-time configuration shared by every algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainConfig {
+    /// Neighborhood knobs for the CF algorithms.
+    pub neighborhood: NeighborhoodKnobs,
+    /// SVD hyper-parameters.
+    pub svd: SvdParams,
+}
+
+/// Neighborhood knobs exposed without committing to a measure (the measure
+/// comes from the [`Algorithm`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeighborhoodKnobs {
+    /// Optional neighbor-list truncation.
+    pub max_neighbors: Option<usize>,
+    /// Minimum |sim| to keep an edge.
+    pub min_abs_sim: f64,
+}
+
+impl NeighborhoodKnobs {
+    fn params(&self, measure: Similarity) -> NeighborhoodParams {
+        NeighborhoodParams {
+            measure,
+            max_neighbors: self.max_neighbors,
+            min_abs_sim: self.min_abs_sim,
+        }
+    }
+}
+
+/// A trained recommendation model of any supported algorithm.
+#[derive(Debug, Clone)]
+pub enum RecModel {
+    /// Item neighborhood model (ItemCosCF / ItemPearCF).
+    Item(ItemCfModel),
+    /// User neighborhood model (UserCosCF / UserPearCF).
+    User(UserCfModel),
+    /// Factor model (SVD).
+    Factors(SvdModel),
+    /// Non-personalized popularity model.
+    Popular(PopularityModel),
+}
+
+impl RecModel {
+    /// Train the model for `algorithm` on a ratings snapshot
+    /// ("Recommender Initialization", §III-A).
+    pub fn train(algorithm: Algorithm, matrix: RatingsMatrix, config: &TrainConfig) -> Self {
+        match algorithm {
+            Algorithm::ItemCosCF => RecModel::Item(ItemCfModel::train(
+                matrix,
+                config.neighborhood.params(Similarity::Cosine),
+            )),
+            Algorithm::ItemPearCF => RecModel::Item(ItemCfModel::train(
+                matrix,
+                config.neighborhood.params(Similarity::Pearson),
+            )),
+            Algorithm::UserCosCF => RecModel::User(UserCfModel::train(
+                matrix,
+                config.neighborhood.params(Similarity::Cosine),
+            )),
+            Algorithm::UserPearCF => RecModel::User(UserCfModel::train(
+                matrix,
+                config.neighborhood.params(Similarity::Pearson),
+            )),
+            Algorithm::Svd => RecModel::Factors(SvdModel::train(matrix, config.svd)),
+            Algorithm::Popularity => RecModel::Popular(PopularityModel::train(matrix)),
+        }
+    }
+
+    /// The ratings snapshot the model was trained on.
+    pub fn matrix(&self) -> &RatingsMatrix {
+        match self {
+            RecModel::Item(m) => m.matrix(),
+            RecModel::User(m) => m.matrix(),
+            RecModel::Factors(m) => m.matrix(),
+            RecModel::Popular(m) => m.matrix(),
+        }
+    }
+
+    /// Number of ratings the model was built from (for the N% rule).
+    pub fn trained_on(&self) -> usize {
+        match self {
+            RecModel::Item(m) => m.trained_on(),
+            RecModel::User(m) => m.trained_on(),
+            RecModel::Factors(m) => m.trained_on(),
+            RecModel::Popular(m) => m.trained_on(),
+        }
+    }
+
+    /// Operator-facing `RecScore(u, i)`: rated pairs return the stored
+    /// rating, unknown ids and no-signal pairs return 0 (Algorithm 1/2).
+    pub fn score(&self, user: i64, item: i64) -> f64 {
+        match self {
+            RecModel::Item(m) => m.score(user, item),
+            RecModel::User(m) => m.score(user, item),
+            RecModel::Factors(m) => m.score(user, item),
+            RecModel::Popular(m) => m.score(user, item),
+        }
+    }
+
+    /// Predicted rating for an unseen pair only.
+    pub fn predict(&self, user: i64, item: i64) -> Option<f64> {
+        match self {
+            RecModel::Item(m) => m.predict(user, item),
+            RecModel::User(m) => m.predict(user, item),
+            RecModel::Factors(m) => m.predict(user, item),
+            RecModel::Popular(m) => m.predict(user, item),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratings::Rating;
+
+    fn matrix() -> RatingsMatrix {
+        RatingsMatrix::from_ratings(vec![
+            Rating::new(1, 1, 1.5),
+            Rating::new(2, 2, 3.5),
+            Rating::new(2, 1, 4.5),
+            Rating::new(2, 3, 2.0),
+            Rating::new(3, 2, 1.0),
+            Rating::new(3, 1, 2.0),
+            Rating::new(4, 2, 1.0),
+        ])
+    }
+
+    #[test]
+    fn parse_all_algorithm_names() {
+        for algo in Algorithm::ALL {
+            let parsed: Algorithm = algo.name().parse().unwrap();
+            assert_eq!(parsed, algo);
+            // Case-insensitive, like SQL keywords.
+            let parsed: Algorithm = algo.name().to_uppercase().parse().unwrap();
+            assert_eq!(parsed, algo);
+        }
+        assert!("TensorFact".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn every_algorithm_trains_and_scores() {
+        let config = TrainConfig {
+            svd: SvdParams {
+                epochs: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for algo in Algorithm::ALL {
+            let model = RecModel::train(algo, matrix(), &config);
+            assert_eq!(model.trained_on(), 7, "{algo}");
+            // Rated pair passes through for every algorithm.
+            assert_eq!(model.score(2, 1), 4.5, "{algo}");
+            // Scores are finite for all pairs.
+            for u in 1..=4 {
+                for i in 1..=3 {
+                    assert!(model.score(u, i).is_finite(), "{algo} ({u},{i})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_flag() {
+        assert!(Algorithm::ItemCosCF.is_neighborhood());
+        assert!(Algorithm::UserPearCF.is_neighborhood());
+        assert!(!Algorithm::Svd.is_neighborhood());
+        assert!(!Algorithm::Popularity.is_neighborhood());
+    }
+
+    #[test]
+    fn display_matches_sql_name() {
+        assert_eq!(Algorithm::Svd.to_string(), "SVD");
+        assert_eq!(Algorithm::ItemCosCF.to_string(), "ItemCosCF");
+    }
+}

@@ -1,0 +1,287 @@
+//! The sparse user/item ratings matrix.
+//!
+//! [`RatingsMatrix`] is the in-memory form of the paper's `Ratings(uid, iid,
+//! ratingval)` table: external 64-bit user/item ids are mapped to dense
+//! indexes, and the matrix is stored twice — by row (each user's rated
+//! items, the *UserVector table* of Algorithm 1) and by column (each item's
+//! raters, the *ItemVector table*). Both adjacency lists are kept sorted by
+//! dense index so similarity computations can merge-intersect in linear
+//! time.
+
+use std::collections::HashMap;
+
+/// One `(user, item, rating)` observation with external ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// External user id (the `uid` column).
+    pub user: i64,
+    /// External item id (the `iid` column).
+    pub item: i64,
+    /// The rating value (numeric scale, e.g. 1–5, or unary 1.0).
+    pub value: f64,
+}
+
+impl Rating {
+    /// Construct a rating.
+    pub fn new(user: i64, item: i64, value: f64) -> Self {
+        Rating { user, item, value }
+    }
+}
+
+/// Sparse ratings matrix with dense user/item index spaces.
+#[derive(Debug, Clone, Default)]
+pub struct RatingsMatrix {
+    user_ids: Vec<i64>,
+    item_ids: Vec<i64>,
+    user_index: HashMap<i64, usize>,
+    item_index: HashMap<i64, usize>,
+    /// `by_user[u]` = sorted `(item_idx, rating)` list.
+    by_user: Vec<Vec<(usize, f64)>>,
+    /// `by_item[i]` = sorted `(user_idx, rating)` list.
+    by_item: Vec<Vec<(usize, f64)>>,
+    n_ratings: usize,
+}
+
+impl RatingsMatrix {
+    /// Build from observations. If the same `(user, item)` pair appears more
+    /// than once, the **last** rating wins (a re-rate overwrites), matching
+    /// UPDATE semantics on a keyed ratings table.
+    pub fn from_ratings(ratings: impl IntoIterator<Item = Rating>) -> Self {
+        let mut m = RatingsMatrix::default();
+        // Deduplicate with last-wins before building adjacency.
+        let mut latest: HashMap<(i64, i64), f64> = HashMap::new();
+        let mut order: Vec<(i64, i64)> = Vec::new();
+        for r in ratings {
+            if latest.insert((r.user, r.item), r.value).is_none() {
+                order.push((r.user, r.item));
+            }
+        }
+        for (user, item) in order {
+            let value = latest[&(user, item)];
+            let u = m.intern_user(user);
+            let i = m.intern_item(item);
+            m.by_user[u].push((i, value));
+            m.by_item[i].push((u, value));
+            m.n_ratings += 1;
+        }
+        for row in &mut m.by_user {
+            row.sort_unstable_by_key(|&(i, _)| i);
+        }
+        for col in &mut m.by_item {
+            col.sort_unstable_by_key(|&(u, _)| u);
+        }
+        m
+    }
+
+    fn intern_user(&mut self, user: i64) -> usize {
+        *self.user_index.entry(user).or_insert_with(|| {
+            self.user_ids.push(user);
+            self.by_user.push(Vec::new());
+            self.user_ids.len() - 1
+        })
+    }
+
+    fn intern_item(&mut self, item: i64) -> usize {
+        *self.item_index.entry(item).or_insert_with(|| {
+            self.item_ids.push(item);
+            self.by_item.push(Vec::new());
+            self.item_ids.len() - 1
+        })
+    }
+
+    /// Number of distinct users.
+    pub fn n_users(&self) -> usize {
+        self.user_ids.len()
+    }
+
+    /// Number of distinct items.
+    pub fn n_items(&self) -> usize {
+        self.item_ids.len()
+    }
+
+    /// Number of stored ratings (after last-wins dedup).
+    pub fn n_ratings(&self) -> usize {
+        self.n_ratings
+    }
+
+    /// Dense index of an external user id.
+    pub fn user_idx(&self, user: i64) -> Option<usize> {
+        self.user_index.get(&user).copied()
+    }
+
+    /// Dense index of an external item id.
+    pub fn item_idx(&self, item: i64) -> Option<usize> {
+        self.item_index.get(&item).copied()
+    }
+
+    /// External id of a dense user index.
+    pub fn user_id(&self, idx: usize) -> i64 {
+        self.user_ids[idx]
+    }
+
+    /// External id of a dense item index.
+    pub fn item_id(&self, idx: usize) -> i64 {
+        self.item_ids[idx]
+    }
+
+    /// All external user ids, in first-seen order.
+    pub fn user_ids(&self) -> &[i64] {
+        &self.user_ids
+    }
+
+    /// All external item ids, in first-seen order.
+    pub fn item_ids(&self) -> &[i64] {
+        &self.item_ids
+    }
+
+    /// A user's rated items as sorted `(item_idx, rating)` pairs.
+    pub fn user_row(&self, user_idx: usize) -> &[(usize, f64)] {
+        &self.by_user[user_idx]
+    }
+
+    /// An item's raters as sorted `(user_idx, rating)` pairs.
+    pub fn item_col(&self, item_idx: usize) -> &[(usize, f64)] {
+        &self.by_item[item_idx]
+    }
+
+    /// The rating user `user_idx` gave item `item_idx`, if any.
+    pub fn rating_at(&self, user_idx: usize, item_idx: usize) -> Option<f64> {
+        let row = &self.by_user[user_idx];
+        row.binary_search_by_key(&item_idx, |&(i, _)| i)
+            .ok()
+            .map(|pos| row[pos].1)
+    }
+
+    /// The rating for external ids, if both exist and the pair is rated.
+    pub fn rating_of(&self, user: i64, item: i64) -> Option<f64> {
+        let u = self.user_idx(user)?;
+        let i = self.item_idx(item)?;
+        self.rating_at(u, i)
+    }
+
+    /// Mean of all stored ratings (0 if empty) — the SVD baseline offset.
+    pub fn global_mean(&self) -> f64 {
+        if self.n_ratings == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .by_user
+            .iter()
+            .flat_map(|row| row.iter().map(|&(_, r)| r))
+            .sum();
+        sum / self.n_ratings as f64
+    }
+
+    /// Iterate every `(user_idx, item_idx, rating)` triple.
+    pub fn iter_dense(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.by_user
+            .iter()
+            .enumerate()
+            .flat_map(|(u, row)| row.iter().map(move |&(i, r)| (u, i, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RatingsMatrix {
+        RatingsMatrix::from_ratings(vec![
+            Rating::new(1, 1, 1.5),
+            Rating::new(2, 2, 3.5),
+            Rating::new(2, 1, 4.5),
+            Rating::new(2, 3, 2.0),
+            Rating::new(3, 2, 1.0),
+            Rating::new(3, 1, 2.0),
+            Rating::new(4, 2, 1.0),
+        ])
+    }
+
+    #[test]
+    fn dimensions_match_paper_figure1() {
+        // The Figure 1 ratings table: 4 users, 3 items, 7 ratings.
+        let m = small();
+        assert_eq!(m.n_users(), 4);
+        assert_eq!(m.n_items(), 3);
+        assert_eq!(m.n_ratings(), 7);
+    }
+
+    #[test]
+    fn row_and_column_views_agree() {
+        let m = small();
+        let u2 = m.user_idx(2).unwrap();
+        let rated: Vec<i64> = m
+            .user_row(u2)
+            .iter()
+            .map(|&(i, _)| m.item_id(i))
+            .collect();
+        assert_eq!(rated, vec![1, 2, 3]); // sorted by dense idx = first-seen
+        let i1 = m.item_idx(1).unwrap();
+        let raters: Vec<i64> = m
+            .item_col(i1)
+            .iter()
+            .map(|&(u, _)| m.user_id(u))
+            .collect();
+        assert_eq!(raters, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rating_lookup() {
+        let m = small();
+        assert_eq!(m.rating_of(2, 1), Some(4.5));
+        assert_eq!(m.rating_of(1, 2), None, "unrated pair");
+        assert_eq!(m.rating_of(99, 1), None, "unknown user");
+        assert_eq!(m.rating_of(1, 99), None, "unknown item");
+    }
+
+    #[test]
+    fn duplicate_pair_last_wins() {
+        let m = RatingsMatrix::from_ratings(vec![
+            Rating::new(1, 1, 2.0),
+            Rating::new(1, 1, 5.0),
+        ]);
+        assert_eq!(m.n_ratings(), 1);
+        assert_eq!(m.rating_of(1, 1), Some(5.0));
+    }
+
+    #[test]
+    fn global_mean() {
+        let m = RatingsMatrix::from_ratings(vec![
+            Rating::new(1, 1, 1.0),
+            Rating::new(1, 2, 2.0),
+            Rating::new(2, 1, 3.0),
+        ]);
+        assert!((m.global_mean() - 2.0).abs() < 1e-12);
+        assert_eq!(RatingsMatrix::default().global_mean(), 0.0);
+    }
+
+    #[test]
+    fn iter_dense_covers_everything() {
+        let m = small();
+        let total: usize = m.iter_dense().count();
+        assert_eq!(total, 7);
+        let sum: f64 = m.iter_dense().map(|(_, _, r)| r).sum();
+        assert!((sum - 15.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_lists_sorted() {
+        let m = small();
+        for u in 0..m.n_users() {
+            assert!(m.user_row(u).windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        for i in 0..m.n_items() {
+            assert!(m.item_col(i).windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn negative_and_large_external_ids() {
+        let m = RatingsMatrix::from_ratings(vec![
+            Rating::new(-5, i64::MAX, 3.0),
+            Rating::new(i64::MIN, -5, 1.0),
+        ]);
+        assert_eq!(m.rating_of(-5, i64::MAX), Some(3.0));
+        assert_eq!(m.rating_of(i64::MIN, -5), Some(1.0));
+    }
+}

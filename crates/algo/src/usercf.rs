@@ -1,0 +1,194 @@
+//! User–user collaborative filtering (the paper's UserCosCF / UserPearCF).
+//!
+//! The paper's USERCF operator (§IV-A2) "is similar to ITEMCF except that
+//! it accesses ... the item vector table (ItemVector) and the user
+//! neighborhood table (UserNeighborhood)". Prediction is Eq. 2 transposed:
+//!
+//! ```text
+//! RecScore(u, i) = Σ_{v ∈ V} sim(u, v) · r_{v,i}  /  Σ_{v ∈ V} |sim(u, v)|
+//! ```
+//!
+//! where `V` is user `u`'s similarity list reduced to the users who rated
+//! item `i`.
+
+use crate::neighborhood::{build_user_neighborhood, NeighborhoodParams, NeighborhoodTable};
+use crate::ratings::RatingsMatrix;
+
+/// A user–user CF model: ratings snapshot plus user neighborhood table.
+#[derive(Debug, Clone)]
+pub struct UserCfModel {
+    matrix: RatingsMatrix,
+    neighborhood: NeighborhoodTable,
+    params: NeighborhoodParams,
+}
+
+impl UserCfModel {
+    /// Train the model.
+    pub fn train(matrix: RatingsMatrix, params: NeighborhoodParams) -> Self {
+        let neighborhood = build_user_neighborhood(&matrix, &params);
+        UserCfModel {
+            matrix,
+            neighborhood,
+            params,
+        }
+    }
+
+    /// The training ratings snapshot.
+    pub fn matrix(&self) -> &RatingsMatrix {
+        &self.matrix
+    }
+
+    /// The user neighborhood table.
+    pub fn neighborhood(&self) -> &NeighborhoodTable {
+        &self.neighborhood
+    }
+
+    /// The parameters the model was trained with.
+    pub fn params(&self) -> &NeighborhoodParams {
+        &self.params
+    }
+
+    /// Number of ratings the model was built from.
+    pub fn trained_on(&self) -> usize {
+        self.matrix.n_ratings()
+    }
+
+    /// Transposed Eq. 2 for dense indexes, `None` when no neighbor of `u`
+    /// rated `i`.
+    pub fn predict_dense(&self, u: usize, i: usize) -> Option<f64> {
+        let raters = self.matrix.item_col(i);
+        let neighbors = self.neighborhood.neighbors(u);
+        let (mut a, mut b) = (0, 0);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        while a < raters.len() && b < neighbors.len() {
+            match raters[a].0.cmp(&neighbors[b].0) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    let (r_vi, sim) = (raters[a].1, neighbors[b].1);
+                    num += sim * r_vi;
+                    den += sim.abs();
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        if den == 0.0 {
+            None
+        } else {
+            Some(num / den)
+        }
+    }
+
+    /// Operator-facing score (same conventions as
+    /// [`crate::itemcf::ItemCfModel::score`]).
+    pub fn score(&self, user: i64, item: i64) -> f64 {
+        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item))
+        else {
+            return 0.0;
+        };
+        if let Some(r) = self.matrix.rating_at(u, i) {
+            return r;
+        }
+        self.predict_dense(u, i).unwrap_or(0.0)
+    }
+
+    /// Predicted rating for an unseen pair only.
+    pub fn predict(&self, user: i64, item: i64) -> Option<f64> {
+        let (u, i) = (self.matrix.user_idx(user)?, self.matrix.item_idx(item)?);
+        if self.matrix.rating_at(u, i).is_some() {
+            return None;
+        }
+        self.predict_dense(u, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratings::Rating;
+
+    fn figure1() -> UserCfModel {
+        UserCfModel::train(
+            RatingsMatrix::from_ratings(vec![
+                Rating::new(1, 1, 1.5),
+                Rating::new(2, 2, 3.5),
+                Rating::new(2, 1, 4.5),
+                Rating::new(2, 3, 2.0),
+                Rating::new(3, 2, 1.0),
+                Rating::new(3, 1, 2.0),
+                Rating::new(4, 2, 1.0),
+            ]),
+            NeighborhoodParams::cosine(),
+        )
+    }
+
+    #[test]
+    fn rated_pair_scores_own_rating() {
+        let m = figure1();
+        assert_eq!(m.score(3, 2), 1.0);
+    }
+
+    #[test]
+    fn prediction_uses_similar_users_who_rated_item() {
+        let m = figure1();
+        // Item 3 was rated only by user 2 (2.0). Any user similar to user 2
+        // gets a prediction pulled toward 2.0; with one rater the weighted
+        // average is exactly 2.0 regardless of the weight's magnitude.
+        let p = m.predict(3, 3).unwrap();
+        assert!((p - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_without_similar_raters_gets_none() {
+        let m = UserCfModel::train(
+            RatingsMatrix::from_ratings(vec![
+                Rating::new(1, 10, 5.0),
+                Rating::new(2, 20, 4.0),
+            ]),
+            NeighborhoodParams::cosine(),
+        );
+        assert_eq!(m.predict(1, 20), None);
+        assert_eq!(m.score(1, 20), 0.0);
+    }
+
+    #[test]
+    fn itemcf_and_usercf_agree_on_symmetric_data() {
+        // On a fully symmetric ratings square, the two transposed models
+        // produce the same score matrix.
+        let ratings = vec![
+            Rating::new(1, 1, 2.0),
+            Rating::new(1, 2, 4.0),
+            Rating::new(2, 1, 2.0),
+            Rating::new(2, 2, 4.0),
+            Rating::new(3, 1, 2.0),
+        ];
+        let ucf = UserCfModel::train(
+            RatingsMatrix::from_ratings(ratings.clone()),
+            NeighborhoodParams::cosine(),
+        );
+        // User 3 hasn't rated item 2; users 1,2 (perfectly similar) rated
+        // it 4.0, so the prediction is 4.0.
+        assert!((ucf.predict(3, 2).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_ids_score_zero() {
+        let m = figure1();
+        assert_eq!(m.score(42, 1), 0.0);
+        assert_eq!(m.score(1, 42), 0.0);
+    }
+
+    #[test]
+    fn pearson_variant_trains() {
+        let m = UserCfModel::train(
+            figure1().matrix().clone(),
+            NeighborhoodParams::pearson(),
+        );
+        // Pearson needs ≥2 co-rated dims; users 2 and 3 share items 1,2.
+        let u2 = m.matrix().user_idx(2).unwrap();
+        let u3 = m.matrix().user_idx(3).unwrap();
+        assert!(m.neighborhood().sim(u2, u3).is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the recommendation algorithms: similarity
+//! bounds, matrix invariants, and predictor sanity on arbitrary rating
+//! data.
+
+use proptest::prelude::*;
+use recdb_algo::model::TrainConfig;
+use recdb_algo::neighborhood::{build_item_neighborhood, build_user_neighborhood};
+use recdb_algo::similarity::{co_rated_sums, similarity, Similarity};
+use recdb_algo::{
+    Algorithm, ItemCfModel, NeighborhoodParams, Rating, RatingsMatrix, SvdModel, SvdParams,
+};
+use std::collections::HashMap;
+
+fn ratings_strategy() -> impl Strategy<Value = Vec<Rating>> {
+    proptest::collection::vec((0i64..15, 0i64..15, 1u8..=10), 1..80).prop_map(|v| {
+        v.into_iter()
+            .map(|(u, i, r)| Rating::new(u, i, r as f64 / 2.0))
+            .collect()
+    })
+}
+
+fn sparse_vec_strategy() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::btree_map(0usize..30, -5.0f64..5.0, 0..15)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    /// Cosine and Pearson over co-rated dimensions always land in
+    /// [-1, 1] (Cauchy–Schwarz holds on the restricted vectors too).
+    #[test]
+    fn similarity_is_bounded(a in sparse_vec_strategy(), b in sparse_vec_strategy()) {
+        for measure in [Similarity::Cosine, Similarity::Pearson] {
+            if let Some(s) = similarity(&a, &b, measure) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "{measure:?} = {s}");
+                prop_assert!(s.is_finite());
+            }
+        }
+    }
+
+    /// Similarity is symmetric, and self-similarity of a non-degenerate
+    /// vector is 1 under cosine.
+    #[test]
+    fn similarity_symmetry_and_reflexivity(a in sparse_vec_strategy(), b in sparse_vec_strategy()) {
+        for measure in [Similarity::Cosine, Similarity::Pearson] {
+            prop_assert_eq!(similarity(&a, &b, measure), similarity(&b, &a, measure));
+        }
+        if a.iter().any(|&(_, v)| v != 0.0) {
+            let s = similarity(&a, &a, Similarity::Cosine).unwrap();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The co-rated accumulator counts exactly the common indices.
+    #[test]
+    fn co_rated_counts_intersection(a in sparse_vec_strategy(), b in sparse_vec_strategy()) {
+        let sums = co_rated_sums(&a, &b);
+        let set_a: std::collections::BTreeSet<usize> = a.iter().map(|&(i, _)| i).collect();
+        let set_b: std::collections::BTreeSet<usize> = b.iter().map(|&(i, _)| i).collect();
+        prop_assert_eq!(sums.n, set_a.intersection(&set_b).count());
+    }
+
+    /// RatingsMatrix agrees with a last-wins HashMap reference model.
+    #[test]
+    fn matrix_matches_hashmap_model(ratings in ratings_strategy()) {
+        let m = RatingsMatrix::from_ratings(ratings.clone());
+        let mut model: HashMap<(i64, i64), f64> = HashMap::new();
+        for r in &ratings {
+            model.insert((r.user, r.item), r.value);
+        }
+        prop_assert_eq!(m.n_ratings(), model.len());
+        for (&(u, i), &v) in &model {
+            prop_assert_eq!(m.rating_of(u, i), Some(v));
+        }
+        // Row and column views are consistent transposes.
+        for u_idx in 0..m.n_users() {
+            for &(i_idx, r) in m.user_row(u_idx) {
+                let col = m.item_col(i_idx);
+                let pos = col.binary_search_by_key(&u_idx, |&(u, _)| u).unwrap();
+                prop_assert_eq!(col[pos].1, r);
+            }
+        }
+    }
+
+    /// With strictly positive ratings, cosine item-item similarities are
+    /// non-negative, so the Eq. 2 prediction is a convex combination: it
+    /// must lie within the user's own rating range.
+    #[test]
+    fn itemcf_prediction_bounded_by_user_range(ratings in ratings_strategy()) {
+        let matrix = RatingsMatrix::from_ratings(ratings);
+        let model = ItemCfModel::train(matrix.clone(), NeighborhoodParams::cosine());
+        for &user in matrix.user_ids() {
+            let u = matrix.user_idx(user).unwrap();
+            let row = matrix.user_row(u);
+            let lo = row.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+            let hi = row.iter().map(|&(_, r)| r).fold(f64::NEG_INFINITY, f64::max);
+            for &item in matrix.item_ids() {
+                if let Some(p) = model.predict(user, item) {
+                    prop_assert!(
+                        p >= lo - 1e-9 && p <= hi + 1e-9,
+                        "user {user} item {item}: {p} outside [{lo}, {hi}]"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every algorithm trains without panicking on arbitrary data, scores
+    /// are finite, and rated pairs pass through verbatim.
+    #[test]
+    fn all_algorithms_total_on_arbitrary_data(ratings in ratings_strategy()) {
+        let config = TrainConfig {
+            svd: SvdParams { epochs: 2, factors: 4, ..SvdParams::default() },
+            ..TrainConfig::default()
+        };
+        for algo in Algorithm::ALL {
+            let matrix = RatingsMatrix::from_ratings(ratings.clone());
+            let model = recdb_algo::RecModel::train(algo, matrix.clone(), &config);
+            for &u in matrix.user_ids().iter().take(5) {
+                for &i in matrix.item_ids().iter().take(5) {
+                    let s = model.score(u, i);
+                    prop_assert!(s.is_finite(), "{algo} score({u},{i}) = {s}");
+                    if let Some(r) = matrix.rating_of(u, i) {
+                        prop_assert_eq!(s, r, "{} must echo stored rating", algo);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Neighborhood tables are symmetric with matching scores, and
+    /// truncation keeps a subset of the full table's edges.
+    #[test]
+    fn neighborhood_symmetry_and_truncation(ratings in ratings_strategy(), k in 1usize..6) {
+        let matrix = RatingsMatrix::from_ratings(ratings);
+        for table in [
+            build_item_neighborhood(&matrix, &NeighborhoodParams::cosine()),
+            build_user_neighborhood(&matrix, &NeighborhoodParams::cosine()),
+        ] {
+            for e in 0..table.len() {
+                for &(nb, s) in table.neighbors(e) {
+                    prop_assert_eq!(table.sim(nb, e), Some(s));
+                    prop_assert!(nb != e, "no self-edges");
+                }
+            }
+        }
+        let full = build_item_neighborhood(&matrix, &NeighborhoodParams::cosine());
+        let trunc = build_item_neighborhood(
+            &matrix,
+            &NeighborhoodParams { max_neighbors: Some(k), ..NeighborhoodParams::cosine() },
+        );
+        for e in 0..trunc.len() {
+            prop_assert!(trunc.neighbors(e).len() <= k);
+            for &(nb, s) in trunc.neighbors(e) {
+                prop_assert_eq!(full.sim(e, nb), Some(s), "truncated edge must exist in full");
+            }
+        }
+    }
+
+    /// SVD training is deterministic for a fixed seed.
+    #[test]
+    fn svd_deterministic(ratings in ratings_strategy(), seed in 1u64..1000) {
+        let params = SvdParams { epochs: 3, factors: 4, seed, ..SvdParams::default() };
+        let a = SvdModel::train(RatingsMatrix::from_ratings(ratings.clone()), params);
+        let b = SvdModel::train(RatingsMatrix::from_ratings(ratings.clone()), params);
+        let matrix = RatingsMatrix::from_ratings(ratings);
+        for &u in matrix.user_ids().iter().take(3) {
+            for &i in matrix.item_ids().iter().take(3) {
+                prop_assert_eq!(a.score(u, i), b.score(u, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **pushdown** — the naive Figure 3(a) plan (full Recommend + Filter on
+//!   top) vs the optimized FilterRecommend plan, on a selective query;
+//! * **join** — pushdown-only plan (Recommend + hash join) vs the full
+//!   optimizer's JoinRecommend plan, on the paper's Query 4;
+//! * **index** — top-k served online (FilterRecommend + Sort) vs from the
+//!   materialized RecScoreIndex (IndexRecommend, sort elided).
+//!
+//! A quarter-scale MovieLens world keeps the *naive* plans affordable; the
+//! relative shapes are scale-free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recdb_algo::Algorithm;
+use recdb_bench::*;
+use recdb_datasets::SyntheticSpec;
+use recdb_exec::optimizer::optimize_pushdown_only;
+use recdb_exec::{build_logical, execute_plan, optimize, ExecContext};
+use recdb_sql::{parse, Statement};
+use std::time::Duration;
+
+fn select_of(sql: &str) -> recdb_sql::SelectStatement {
+    match parse(sql).unwrap() {
+        Statement::Select(s) => s,
+        _ => panic!("not a select"),
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let algo = Algorithm::ItemCosCF;
+    let mut world = World::build(&SyntheticSpec::movielens().scaled(0.25), &[algo]);
+    let n_items = world.dataset.items.len();
+    let user = world.hot_users[0];
+
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
+
+    // ---- pushdown: naive plan vs FilterRecommend --------------------
+    let items = item_subset(n_items, 1.0, 7);
+    let sel = select_of(&recdb_selectivity_sql(algo, &items));
+    {
+        let naive = build_logical(&sel, world.db.catalog()).unwrap();
+        let ctx = ExecContext {
+            catalog: world.db.catalog(),
+            provider: &world.db,
+        };
+        group.bench_function("pushdown/naive_recommend_then_filter", |b| {
+            b.iter(|| execute_plan(&naive, &ctx).unwrap())
+        });
+        let optimized = optimize(build_logical(&sel, world.db.catalog()).unwrap());
+        group.bench_function("pushdown/filter_recommend", |b| {
+            b.iter(|| execute_plan(&optimized, &ctx).unwrap())
+        });
+    }
+
+    // ---- join: hash join vs JoinRecommend ---------------------------
+    let join_sel = select_of(&recdb_join1_sql(algo, user, "Action"));
+    {
+        let ctx = ExecContext {
+            catalog: world.db.catalog(),
+            provider: &world.db,
+        };
+        let pushdown_only =
+            optimize_pushdown_only(build_logical(&join_sel, world.db.catalog()).unwrap());
+        group.bench_function("join/recommend_then_hash_join", |b| {
+            b.iter(|| execute_plan(&pushdown_only, &ctx).unwrap())
+        });
+        let full = optimize(build_logical(&join_sel, world.db.catalog()).unwrap());
+        group.bench_function("join/join_recommend", |b| {
+            b.iter(|| execute_plan(&full, &ctx).unwrap())
+        });
+    }
+
+    // ---- index: online top-k vs IndexRecommend ----------------------
+    // A user outside the materialized set forces the online path.
+    let cold_user = world
+        .dataset
+        .users
+        .iter()
+        .map(|u| u.uid)
+        .find(|u| !world.hot_users.contains(u))
+        .expect("cold user");
+    let cold_sql = recdb_topk_sql(algo, cold_user, 10);
+    group.bench_function("index/online_topk", |b| {
+        b.iter(|| world.run_recdb(&cold_sql))
+    });
+    let hot_sql = recdb_topk_sql(algo, user, 10);
+    group.bench_function("index/index_recommend_topk", |b| {
+        b.iter(|| world.run_recdb(&hot_sql))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

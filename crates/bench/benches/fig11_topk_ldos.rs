@@ -1,0 +1,49 @@
+//! fig11_topk_ldos — top-K recommendation query time (K = 10, 100), RecDB
+//! (IndexRecommend over the pre-computed RecScoreIndex) vs OnTopDB,
+//! three algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_algo::Algorithm;
+use recdb_bench::*;
+use std::time::Duration;
+
+fn bench_topk(c: &mut Criterion) {
+    let algos = [Algorithm::ItemCosCF, Algorithm::ItemPearCF, Algorithm::Svd];
+    let mut world = World::ldos(&algos);
+    let users = world.hot_users.clone();
+    let mut group = c.benchmark_group("fig11_topk_ldos");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
+    for algo in algos {
+        for k in [10usize, 100] {
+            let sqls: Vec<String> = users
+                .iter()
+                .map(|&u| recdb_topk_sql(algo, u, k))
+                .collect();
+            group.bench_function(BenchmarkId::new(format!("RecDB/{algo}"), k), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let sql = &sqls[i % sqls.len()];
+                    i += 1;
+                    world.run_recdb(sql)
+                })
+            });
+            let osqls: Vec<String> =
+                users.iter().map(|&u| ontop_topk_sql(u, k)).collect();
+            group.bench_function(BenchmarkId::new(format!("OnTopDB/{algo}"), k), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let sql = &osqls[i % osqls.len()];
+                    i += 1;
+                    world.run_ontop(algo, sql)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! fig6_selectivity_movielens — query time vs selectivity factor (0.1 %, 1 %, 10 %),
+//! RecDB (FilterRecommend) vs OnTopDB, ItemCosCF and SVD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_algo::Algorithm;
+use recdb_bench::*;
+use std::time::Duration;
+
+fn bench_selectivity(c: &mut Criterion) {
+    let algos = [Algorithm::ItemCosCF, Algorithm::Svd];
+    let mut world = World::movielens(&algos);
+    let n_items = world.dataset.items.len();
+    let mut group = c.benchmark_group("fig6_selectivity_movielens");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
+    for algo in algos {
+        for pct in [0.1, 1.0, 10.0] {
+            let items = item_subset(n_items, pct, 7);
+            let sql = recdb_selectivity_sql(algo, &items);
+            group.bench_function(BenchmarkId::new(format!("RecDB/{algo}"), pct), |b| {
+                b.iter(|| world.run_recdb(&sql))
+            });
+            let osql = ontop_selectivity_sql(&items);
+            group.bench_function(BenchmarkId::new(format!("OnTopDB/{algo}"), pct), |b| {
+                b.iter(|| world.run_ontop(algo, &osql))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectivity);
+criterion_main!(benches);

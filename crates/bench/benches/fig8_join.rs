@@ -1,0 +1,40 @@
+//! fig8_join_movielens — join + recommendation query time (one-way and two-way
+//! joins), RecDB (JoinRecommend) vs OnTopDB, three algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_algo::Algorithm;
+use recdb_bench::*;
+use std::time::Duration;
+
+fn bench_join(c: &mut Criterion) {
+    let algos = [Algorithm::ItemCosCF, Algorithm::ItemPearCF, Algorithm::Svd];
+    let mut world = World::movielens(&algos);
+    let user = world.hot_users[0];
+    let mut group = c.benchmark_group("fig8_join_movielens");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
+    for algo in algos {
+        let sql1 = recdb_join1_sql(algo, user, "Action");
+        group.bench_function(BenchmarkId::new("RecDB/one-way", algo), |b| {
+            b.iter(|| world.run_recdb(&sql1))
+        });
+        let osql1 = ontop_join1_sql(user, "Action");
+        group.bench_function(BenchmarkId::new("OnTopDB/one-way", algo), |b| {
+            b.iter(|| world.run_ontop(algo, &osql1))
+        });
+        let sql2 = recdb_join2_sql(algo, user, "Action");
+        group.bench_function(BenchmarkId::new("RecDB/two-way", algo), |b| {
+            b.iter(|| world.run_recdb(&sql2))
+        });
+        let osql2 = ontop_join2_sql(user, "Action");
+        group.bench_function(BenchmarkId::new("OnTopDB/two-way", algo), |b| {
+            b.iter(|| world.run_ontop(algo, &osql2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

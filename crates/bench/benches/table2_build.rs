@@ -1,0 +1,46 @@
+//! Table II — recommender model building time: ItemCosCF / ItemPearCF /
+//! SVD on MovieLens, LDOS-CoMoDa, and Yelp.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_algo::model::{RecModel, TrainConfig};
+use recdb_algo::{Algorithm, RatingsMatrix};
+use recdb_bench::bench_config;
+use recdb_datasets::SyntheticSpec;
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let specs = [
+        SyntheticSpec::movielens(),
+        SyntheticSpec::ldos_comoda(),
+        SyntheticSpec::yelp(),
+    ];
+    let config: TrainConfig = bench_config().train;
+    let mut group = c.benchmark_group("table2_build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
+    for spec in &specs {
+        let dataset = recdb_datasets::generate(spec);
+        let ratings = dataset.algo_ratings();
+        for algo in [Algorithm::ItemCosCF, Algorithm::ItemPearCF, Algorithm::Svd] {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name.clone(), algo),
+                &algo,
+                |b, &algo| {
+                    b.iter(|| {
+                        RecModel::train(
+                            algo,
+                            RatingsMatrix::from_ratings(ratings.iter().copied()),
+                            &config,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

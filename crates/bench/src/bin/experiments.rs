@@ -1,0 +1,343 @@
+//! The one-shot experiment harness: regenerates every table and figure of
+//! the paper's evaluation (§VI) and prints the same rows/series the paper
+//! reports.
+//!
+//! ```text
+//! experiments [table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|all]
+//! ```
+//!
+//! Absolute numbers will differ from the paper (the substrate is this
+//! repository's storage engine, not PostgreSQL 9.2 on the authors'
+//! testbed); the *shapes* — who wins, by roughly what factor, where the
+//! gap narrows — are the reproduction target. EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+use recdb_algo::model::{RecModel, TrainConfig};
+use recdb_algo::{Algorithm, RatingsMatrix};
+use recdb_bench::*;
+use recdb_datasets::SyntheticSpec;
+use std::time::Duration;
+
+const REPS: usize = 3;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let run_all = arg == "all";
+    let mut ran = false;
+    if run_all || arg == "table2" {
+        table2();
+        ran = true;
+    }
+    if run_all || arg == "fig6" {
+        selectivity_figure("Fig 6", &SyntheticSpec::movielens());
+        ran = true;
+    }
+    if run_all || arg == "fig7" {
+        selectivity_figure("Fig 7", &SyntheticSpec::yelp());
+        ran = true;
+    }
+    if run_all || arg == "fig8" {
+        join_figure("Fig 8", &SyntheticSpec::movielens());
+        ran = true;
+    }
+    if run_all || arg == "fig9" {
+        join_figure("Fig 9", &SyntheticSpec::ldos_comoda());
+        ran = true;
+    }
+    if run_all || arg == "fig10" {
+        topk_figure("Fig 10", &SyntheticSpec::movielens());
+        ran = true;
+    }
+    if run_all || arg == "fig11" {
+        topk_figure("Fig 11", &SyntheticSpec::ldos_comoda());
+        ran = true;
+    }
+    if run_all || arg == "fig12" {
+        topk_figure("Fig 12", &SyntheticSpec::yelp());
+        ran = true;
+    }
+    if run_all || arg == "ablations" {
+        ablation_neighbors();
+        ablation_hotness();
+        ran = true;
+    }
+    if !ran {
+        eprintln!(
+            "unknown experiment `{arg}`; expected table2, fig6..fig12, ablations, or all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn header(title: &str, note: &str) {
+    println!("\n=== {title} ===");
+    println!("--- {note}");
+}
+
+/// Table II: model build time per algorithm per dataset.
+fn table2() {
+    header(
+        "Table II: recommender model building time",
+        "paper (PostgreSQL 9.2): ML 2.24/2.12/15.62s, LDOS 0.17/0.07/0.4s, \
+         Yelp 6.26/8.03/32.01s — expect SVD slowest, LDOS fastest",
+    );
+    let config: TrainConfig = bench_config().train;
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "dataset", "ItemCosCF", "ItemPearCF", "SVD"
+    );
+    for spec in [
+        SyntheticSpec::movielens(),
+        SyntheticSpec::ldos_comoda(),
+        SyntheticSpec::yelp(),
+    ] {
+        let dataset = recdb_datasets::generate(&spec);
+        let ratings = dataset.algo_ratings();
+        let mut cells = Vec::new();
+        for algo in [Algorithm::ItemCosCF, Algorithm::ItemPearCF, Algorithm::Svd] {
+            let t = time_median(REPS, || {
+                RecModel::train(
+                    algo,
+                    RatingsMatrix::from_ratings(ratings.iter().copied()),
+                    &config,
+                )
+            });
+            cells.push(secs(t));
+        }
+        println!(
+            "{:<14} {:>12} {:>12} {:>12}",
+            spec.name, cells[0], cells[1], cells[2]
+        );
+    }
+}
+
+/// Figs. 6–7: query time vs selectivity factor.
+fn selectivity_figure(figure: &str, spec: &SyntheticSpec) {
+    header(
+        &format!(
+            "{figure}: query time vs selectivity ({}, RecDB vs OnTopDB)",
+            spec.name
+        ),
+        "paper shape: RecDB wins by ~2 orders of magnitude at 0.1%, \
+         gap narrows toward 10% (RecDB time ∝ selectivity, OnTopDB flat)",
+    );
+    let algos = [Algorithm::ItemCosCF, Algorithm::Svd];
+    let mut world = World::build(spec, &algos);
+    let n_items = world.dataset.items.len();
+    println!(
+        "{:<11} {:>12} {:>12} {:>12} {:>9}",
+        "algo", "selectivity", "RecDB", "OnTopDB", "speedup"
+    );
+    for algo in algos {
+        for pct in [0.1, 1.0, 10.0] {
+            let items = item_subset(n_items, pct, 7);
+            let sql = recdb_selectivity_sql(algo, &items);
+            let t_rec = time_median(REPS, || world.run_recdb(&sql));
+            let osql = ontop_selectivity_sql(&items);
+            let t_on = time_median(REPS, || world.run_ontop(algo, &osql));
+            println!(
+                "{:<11} {:>11}% {:>12} {:>12} {:>8.1}x",
+                algo.to_string(),
+                pct,
+                secs(t_rec),
+                secs(t_on),
+                ratio(t_on, t_rec)
+            );
+        }
+    }
+}
+
+/// Figs. 8–9: join + recommendation query time.
+fn join_figure(figure: &str, spec: &SyntheticSpec) {
+    header(
+        &format!("{figure}: join query time ({}, RecDB vs OnTopDB)", spec.name),
+        "paper shape: RecDB up to 2 orders of magnitude faster; the gain \
+         persists for two-way joins (JoinRecommend scores only joined tuples)",
+    );
+    let algos = [Algorithm::ItemCosCF, Algorithm::ItemPearCF, Algorithm::Svd];
+    let mut world = World::build(spec, &algos);
+    let user = world.hot_users[0];
+    println!(
+        "{:<11} {:<9} {:>12} {:>12} {:>9}",
+        "algo", "join", "RecDB", "OnTopDB", "speedup"
+    );
+    for algo in algos {
+        let sql1 = recdb_join1_sql(algo, user, "Action");
+        let t_rec1 = time_median(REPS, || world.run_recdb(&sql1));
+        let osql1 = ontop_join1_sql(user, "Action");
+        let t_on1 = time_median(REPS, || world.run_ontop(algo, &osql1));
+        println!(
+            "{:<11} {:<9} {:>12} {:>12} {:>8.1}x",
+            algo.to_string(),
+            "one-way",
+            secs(t_rec1),
+            secs(t_on1),
+            ratio(t_on1, t_rec1)
+        );
+        let sql2 = recdb_join2_sql(algo, user, "Action");
+        let t_rec2 = time_median(REPS, || world.run_recdb(&sql2));
+        let osql2 = ontop_join2_sql(user, "Action");
+        let t_on2 = time_median(REPS, || world.run_ontop(algo, &osql2));
+        println!(
+            "{:<11} {:<9} {:>12} {:>12} {:>8.1}x",
+            algo.to_string(),
+            "two-way",
+            secs(t_rec2),
+            secs(t_on2),
+            ratio(t_on2, t_rec2)
+        );
+    }
+}
+
+/// Figs. 10–12: top-K recommendation query time.
+fn topk_figure(figure: &str, spec: &SyntheticSpec) {
+    header(
+        &format!("{figure}: top-K query time ({}, RecDB vs OnTopDB)", spec.name),
+        "paper shape: RecDB ~2 orders of magnitude faster via the \
+         pre-computed RecScoreIndex; roughly flat in K",
+    );
+    let algos = [Algorithm::ItemCosCF, Algorithm::ItemPearCF, Algorithm::Svd];
+    let mut world = World::build(spec, &algos);
+    let users = world.hot_users.clone();
+    println!(
+        "{:<11} {:>5} {:>12} {:>12} {:>9}",
+        "algo", "K", "RecDB", "OnTopDB", "speedup"
+    );
+    for algo in algos {
+        for k in [10usize, 100] {
+            let mut i = 0;
+            let t_rec = time_median(REPS * users.len(), || {
+                let u = users[i % users.len()];
+                i += 1;
+                world.run_recdb(&recdb_topk_sql(algo, u, k))
+            });
+            let mut j = 0;
+            let t_on = time_median(REPS, || {
+                let u = users[j % users.len()];
+                j += 1;
+                world.run_ontop(algo, &ontop_topk_sql(u, k))
+            });
+            println!(
+                "{:<11} {:>5} {:>12} {:>12} {:>8.1}x",
+                algo.to_string(),
+                k,
+                secs(t_rec),
+                secs(t_on),
+                ratio(t_on, t_rec)
+            );
+        }
+    }
+}
+
+/// Ablation: neighborhood truncation size vs build time and query time.
+fn ablation_neighbors() {
+    header(
+        "Ablation: neighbor-list truncation (quarter-scale MovieLens)",
+        "larger lists cost more to store and predict over; accuracy knob",
+    );
+    let spec = SyntheticSpec::movielens().scaled(0.25);
+    let dataset = recdb_datasets::generate(&spec);
+    let ratings = dataset.algo_ratings();
+    println!(
+        "{:<14} {:>12} {:>14} {:>16}",
+        "max_neighbors", "build", "model pairs", "predict 1 user"
+    );
+    for max in [Some(8usize), Some(32), Some(128), None] {
+        let mut config = TrainConfig::default();
+        config.neighborhood.max_neighbors = max;
+        let build = time_median(REPS, || {
+            RecModel::train(
+                Algorithm::ItemCosCF,
+                RatingsMatrix::from_ratings(ratings.iter().copied()),
+                &config,
+            )
+        });
+        let model = RecModel::train(
+            Algorithm::ItemCosCF,
+            RatingsMatrix::from_ratings(ratings.iter().copied()),
+            &config,
+        );
+        let pairs = match &model {
+            RecModel::Item(m) => m.neighborhood().total_pairs(),
+            _ => 0,
+        };
+        let items: Vec<i64> = model.matrix().item_ids().to_vec();
+        let predict = time_median(REPS, || {
+            items
+                .iter()
+                .map(|&i| model.score(1, i))
+                .sum::<f64>()
+        });
+        println!(
+            "{:<14} {:>12} {:>14} {:>16}",
+            max.map(|m| m.to_string()).unwrap_or_else(|| "unbounded".into()),
+            secs(build),
+            pairs,
+            secs(predict)
+        );
+    }
+}
+
+/// Ablation: HOTNESS-THRESHOLD vs materialized entries (Algorithm 4).
+fn ablation_hotness() {
+    header(
+        "Ablation: HOTNESS-THRESHOLD sweep (Algorithm 4, quarter-scale MovieLens)",
+        "threshold 0 materializes every touched pair, 1 almost nothing \
+         (query-latency vs storage/maintenance trade-off, §IV-D)",
+    );
+    let spec = SyntheticSpec::movielens().scaled(0.25);
+    println!(
+        "{:<11} {:>20} {:>14}",
+        "threshold", "materialized pairs", "evicted pairs"
+    );
+    for threshold in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut db = recdb_core::RecDb::with_config(recdb_core::RecDbConfig {
+            hotness_threshold: threshold,
+            auto_maintenance: false,
+            ..recdb_core::RecDbConfig::default()
+        });
+        let dataset = recdb_datasets::generate(&spec);
+        dataset.load_into(&mut db).unwrap();
+        db.execute(
+            "CREATE RECOMMENDER hot ON ratings USERS FROM uid ITEMS FROM iid \
+             RATINGS FROM ratingval USING ItemCosCF",
+        )
+        .unwrap();
+        // Graded workload: user u issues (21 − u) queries, tail item j
+        // receives (10 − j) new ratings — so hotness ratios spread over
+        // (0, 1] and the threshold actually discriminates.
+        let n_items = dataset.items.len() as i64;
+        for user in 1..=20i64 {
+            for _ in 0..(21 - user) {
+                db.query(&format!(
+                    "SELECT R.iid FROM ratings AS R \
+                     RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                     WHERE R.uid = {user} LIMIT 1"
+                ))
+                .unwrap();
+            }
+        }
+        for j in 0..10i64 {
+            let item = n_items - 10 + j;
+            for k in 0..(10 - j) {
+                db.execute(&format!(
+                    "INSERT INTO ratings VALUES ({}, {item}, 3.0)",
+                    100_000 + j * 100 + k
+                ))
+                .unwrap();
+            }
+        }
+        let decision = db.run_cache_manager("hot").unwrap();
+        let entries = db.recommender("hot").unwrap().materialized_entries();
+        println!(
+            "{:<11} {:>20} {:>14}",
+            threshold,
+            entries,
+            decision.evicted.len()
+        );
+    }
+}
+
+fn ratio(a: Duration, b: Duration) -> f64 {
+    a.as_secs_f64() / b.as_secs_f64().max(1e-12)
+}

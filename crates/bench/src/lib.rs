@@ -1,0 +1,10 @@
+//! # recdb-bench
+//!
+//! Shared scaffolding for the benchmark harness that regenerates every
+//! table and figure of the paper's evaluation (§VI). See `src/bin/
+//! experiments.rs` for the one-shot harness and `benches/` for the
+//! Criterion benches.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,341 @@
+//! The adaptive caching / materialization manager (§IV-D, Algorithm 4).
+//!
+//! The engine keeps, per recommender, a *Users Histogram* (query counts
+//! `QC_u`, last-query timestamps `TS_u`) and an *Items Histogram* (update
+//! counts `UC_i`, last-update timestamps `TS_i`). The cache manager runs
+//! periodically; each run:
+//!
+//! 1. selects the users/items touched since the previous run,
+//! 2. refreshes demand rates `D_u = QC_u / (TS_now − TS_init)` and
+//!    consumption rates `P_i = UC_i / (TS_now − TS_init)` along with their
+//!    maxima,
+//! 3. scores every touched unseen pair with
+//!    `Hot(u,i) = (D_u / D_MAX) · (P_i / P_MAX)` and routes it to the
+//!    admission list (materialize in the RecScoreIndex) when
+//!    `Hot ≥ HOTNESS-THRESHOLD`, else the eviction list.
+//!
+//! Timestamps are logical ticks supplied by the engine (one per executed
+//! statement) so behaviour is deterministic and testable; the unit of time
+//! cancels out of the hotness ratio.
+
+use std::collections::HashMap;
+
+/// Per-user entry of the Users Histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UserStat {
+    /// `QC_u` — recommendation queries issued by the user since creation.
+    pub query_count: u64,
+    /// `TS_u` — tick of the user's last recommendation query.
+    pub last_query: u64,
+    /// `D_u` — demand rate, refreshed by the cache manager.
+    pub demand_rate: f64,
+}
+
+/// Per-item entry of the Items Histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ItemStat {
+    /// `UC_i` — rating insertions touching the item since creation.
+    pub update_count: u64,
+    /// `TS_i` — tick of the item's last update.
+    pub last_update: u64,
+    /// `P_i` — consumption rate, refreshed by the cache manager.
+    pub consumption_rate: f64,
+}
+
+/// The statistics block of one recommender.
+#[derive(Debug, Clone)]
+pub struct UsageStats {
+    users: HashMap<i64, UserStat>,
+    items: HashMap<i64, ItemStat>,
+    /// `TS_init` — tick at which the recommender was created.
+    ts_init: u64,
+    /// `D_MAX` across all users seen so far.
+    d_max: f64,
+    /// `P_MAX` across all items seen so far.
+    p_max: f64,
+}
+
+impl UsageStats {
+    /// Fresh statistics for a recommender created at `ts_init`.
+    pub fn new(ts_init: u64) -> Self {
+        UsageStats {
+            users: HashMap::new(),
+            items: HashMap::new(),
+            ts_init,
+            d_max: 0.0,
+            p_max: 0.0,
+        }
+    }
+
+    /// Record a recommendation query by `user` at tick `now`.
+    pub fn record_query(&mut self, user: i64, now: u64) {
+        let s = self.users.entry(user).or_default();
+        s.query_count += 1;
+        s.last_query = now;
+    }
+
+    /// Record a rating insertion touching `item` at tick `now`.
+    pub fn record_update(&mut self, item: i64, now: u64) {
+        let s = self.items.entry(item).or_default();
+        s.update_count += 1;
+        s.last_update = now;
+    }
+
+    /// The user histogram entry, if the user has been seen.
+    pub fn user(&self, user: i64) -> Option<&UserStat> {
+        self.users.get(&user)
+    }
+
+    /// The item histogram entry, if the item has been seen.
+    pub fn item(&self, item: i64) -> Option<&ItemStat> {
+        self.items.get(&item)
+    }
+
+    /// `D_MAX`.
+    pub fn d_max(&self) -> f64 {
+        self.d_max
+    }
+
+    /// `P_MAX`.
+    pub fn p_max(&self) -> f64 {
+        self.p_max
+    }
+}
+
+/// What one cache-manager run decided (§IV-D Step 2).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheDecision {
+    /// User/item pairs to materialize.
+    pub admitted: Vec<(i64, i64)>,
+    /// User/item pairs to dematerialize.
+    pub evicted: Vec<(i64, i64)>,
+}
+
+/// The cache manager: runs Algorithm 4 against a statistics block.
+#[derive(Debug, Clone)]
+pub struct CacheManager {
+    /// `HOTNESS-THRESHOLD` ∈ [0, 1]: 0 materializes everything, 1 nothing.
+    pub hotness_threshold: f64,
+    /// Tick of the previous run (`TS_mat`).
+    last_run: u64,
+}
+
+impl CacheManager {
+    /// A manager that has never run.
+    pub fn new(hotness_threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&hotness_threshold),
+            "HOTNESS-THRESHOLD must be in [0, 1]"
+        );
+        CacheManager {
+            hotness_threshold,
+            last_run: 0,
+        }
+    }
+
+    /// Tick of the previous run.
+    pub fn last_run(&self) -> u64 {
+        self.last_run
+    }
+
+    /// Run Algorithm 4 at tick `now`. `is_unseen(u, i)` reports whether the
+    /// pair is unseen by the user (only unseen pairs are materialization
+    /// candidates — line 10). Mutates the rates/maxima in `stats` (Step 1)
+    /// and returns the admission/eviction lists (Step 2).
+    pub fn run(
+        &mut self,
+        stats: &mut UsageStats,
+        now: u64,
+        mut is_unseen: impl FnMut(i64, i64) -> bool,
+    ) -> CacheDecision {
+        let elapsed = now.saturating_sub(stats.ts_init).max(1) as f64;
+
+        // Users/items touched since the last run (U′ and I′).
+        let touched_users: Vec<i64> = stats
+            .users
+            .iter()
+            .filter(|(_, s)| s.last_query > self.last_run)
+            .map(|(&u, _)| u)
+            .collect();
+        let touched_items: Vec<i64> = stats
+            .items
+            .iter()
+            .filter(|(_, s)| s.last_update > self.last_run)
+            .map(|(&i, _)| i)
+            .collect();
+
+        // STEP 1: refresh rates and maxima.
+        for &i in &touched_items {
+            let s = stats.items.get_mut(&i).expect("touched item exists");
+            s.consumption_rate = s.update_count as f64 / elapsed;
+            if s.consumption_rate > stats.p_max {
+                stats.p_max = s.consumption_rate;
+            }
+        }
+        for &u in &touched_users {
+            let s = stats.users.get_mut(&u).expect("touched user exists");
+            s.demand_rate = s.query_count as f64 / elapsed;
+            if s.demand_rate > stats.d_max {
+                stats.d_max = s.demand_rate;
+            }
+        }
+
+        // STEP 2: hotness decision per touched unseen pair.
+        let mut decision = CacheDecision::default();
+        if stats.d_max > 0.0 && stats.p_max > 0.0 {
+            for &u in &touched_users {
+                let du = stats.users[&u].demand_rate / stats.d_max;
+                for &i in &touched_items {
+                    if !is_unseen(u, i) {
+                        continue;
+                    }
+                    let pi = stats.items[&i].consumption_rate / stats.p_max;
+                    let hotness = du * pi;
+                    if hotness >= self.hotness_threshold {
+                        decision.admitted.push((u, i));
+                    } else {
+                        decision.evicted.push((u, i));
+                    }
+                }
+            }
+        }
+        self.last_run = now;
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table I worked example, numbers reproduced exactly:
+    /// TS_init = 10, cache manager invoked at TS = 15.
+    #[test]
+    fn paper_table1_example() {
+        let mut stats = UsageStats::new(10);
+        // Users Histogram: Alice QC=100 TS=10... the paper's TS_u values
+        // (10, 12) only gate membership in U′; replay the counts.
+        for _ in 0..100 {
+            stats.record_query(1, 12); // Alice
+        }
+        for _ in 0..10 {
+            stats.record_query(2, 12); // Bob
+        }
+        // Items Histogram: Spartacus UC=1000, Inception UC=10, Matrix UC=100.
+        for _ in 0..1000 {
+            stats.record_update(101, 12); // Spartacus
+        }
+        for _ in 0..10 {
+            stats.record_update(102, 12); // Inception
+        }
+        for _ in 0..100 {
+            stats.record_update(103, 12); // The Matrix
+        }
+
+        let mut mgr = CacheManager::new(0.5);
+        let decision = mgr.run(&mut stats, 15, |_, _| true);
+
+        // Rates match Table I: D_Alice = 100/5 = 20, D_Bob = 10/5 = 2,
+        // P_Spartacus = 1000/5 = 200, P_Inception = 2, P_Matrix = 20.
+        assert_eq!(stats.user(1).unwrap().demand_rate, 20.0);
+        assert_eq!(stats.user(2).unwrap().demand_rate, 2.0);
+        assert_eq!(stats.item(101).unwrap().consumption_rate, 200.0);
+        assert_eq!(stats.item(102).unwrap().consumption_rate, 2.0);
+        assert_eq!(stats.item(103).unwrap().consumption_rate, 20.0);
+        assert_eq!(stats.d_max(), 20.0);
+        assert_eq!(stats.p_max(), 200.0);
+
+        // Hotness ratios (Table I(c)): only 〈Alice, Spartacus〉 = 1.0 is
+        // ≥ 0.5; every other pair is evicted.
+        assert_eq!(decision.admitted, vec![(1, 101)]);
+        assert_eq!(decision.evicted.len(), 5);
+        assert!(decision.evicted.contains(&(2, 102)), "Bob/Inception ≈ 0.001");
+    }
+
+    #[test]
+    fn threshold_zero_materializes_everything_touched() {
+        let mut stats = UsageStats::new(0);
+        stats.record_query(1, 5);
+        stats.record_update(10, 5);
+        stats.record_update(11, 5);
+        let mut mgr = CacheManager::new(0.0);
+        let d = mgr.run(&mut stats, 10, |_, _| true);
+        assert_eq!(d.admitted.len(), 2);
+        assert!(d.evicted.is_empty());
+    }
+
+    #[test]
+    fn threshold_one_materializes_only_perfect_heat() {
+        let mut stats = UsageStats::new(0);
+        stats.record_query(1, 5);
+        stats.record_query(1, 5);
+        stats.record_query(2, 5); // colder user
+        stats.record_update(10, 5);
+        let mut mgr = CacheManager::new(1.0);
+        let d = mgr.run(&mut stats, 10, |_, _| true);
+        // Only the hottest user × hottest item reaches 1.0.
+        assert_eq!(d.admitted, vec![(1, 10)]);
+        assert!(d.evicted.contains(&(2, 10)));
+    }
+
+    #[test]
+    fn rated_pairs_are_not_candidates() {
+        let mut stats = UsageStats::new(0);
+        stats.record_query(1, 5);
+        stats.record_update(10, 5);
+        let mut mgr = CacheManager::new(0.0);
+        let d = mgr.run(&mut stats, 10, |_, _| false); // everything already rated
+        assert!(d.admitted.is_empty());
+        assert!(d.evicted.is_empty());
+    }
+
+    #[test]
+    fn second_run_only_considers_newly_touched() {
+        let mut stats = UsageStats::new(0);
+        stats.record_query(1, 5);
+        stats.record_update(10, 5);
+        let mut mgr = CacheManager::new(0.0);
+        let first = mgr.run(&mut stats, 10, |_, _| true);
+        assert_eq!(first.admitted.len(), 1);
+        // Nothing touched since tick 10 → empty decision.
+        let second = mgr.run(&mut stats, 20, |_, _| true);
+        assert_eq!(second, CacheDecision::default());
+        // New activity re-enters consideration.
+        stats.record_query(2, 25);
+        stats.record_update(11, 25);
+        let third = mgr.run(&mut stats, 30, |_, _| true);
+        assert!(!third.admitted.is_empty() || !third.evicted.is_empty());
+    }
+
+    #[test]
+    fn no_activity_at_all_is_a_noop() {
+        let mut stats = UsageStats::new(0);
+        let mut mgr = CacheManager::new(0.5);
+        let d = mgr.run(&mut stats, 100, |_, _| true);
+        assert_eq!(d, CacheDecision::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "HOTNESS-THRESHOLD")]
+    fn invalid_threshold_rejected() {
+        let _ = CacheManager::new(1.5);
+    }
+
+    #[test]
+    fn rates_use_elapsed_since_creation() {
+        // Same counts, recommender created earlier ⇒ lower rates, but
+        // hotness (a ratio of ratios) is unchanged.
+        let mut fresh = UsageStats::new(90);
+        let mut old = UsageStats::new(0);
+        for stats in [&mut fresh, &mut old] {
+            stats.record_query(1, 95);
+            stats.record_update(10, 95);
+        }
+        let mut m1 = CacheManager::new(0.5);
+        let mut m2 = CacheManager::new(0.5);
+        let d1 = m1.run(&mut fresh, 100, |_, _| true);
+        let d2 = m2.run(&mut old, 100, |_, _| true);
+        assert!(fresh.user(1).unwrap().demand_rate > old.user(1).unwrap().demand_rate);
+        assert_eq!(d1.admitted, d2.admitted);
+    }
+}

@@ -1,0 +1,945 @@
+//! The RecDB engine façade: parse → plan → optimize → execute, plus the
+//! recommender lifecycle (§III).
+
+use crate::error::{EngineError, EngineResult};
+use crate::recommender::Recommender;
+use recdb_algo::model::TrainConfig;
+use recdb_algo::Algorithm;
+use recdb_exec::{
+    build_logical, execute_plan, optimize, ExecContext, LogicalPlan, RecScoreIndex,
+    RecommenderProvider, ResultSet,
+};
+use recdb_exec::expr::{bind, literal_value};
+use recdb_sql::{parse, parse_many, Expr, SelectStatement, Statement};
+use recdb_storage::{Catalog, DataType, Schema, Tuple};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine-wide tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct RecDbConfig {
+    /// The N% maintenance threshold (§III-A): rebuild a model once pending
+    /// updates reach this percentage of the ratings it was built from.
+    pub maintenance_threshold_pct: f64,
+    /// The Algorithm 4 `HOTNESS-THRESHOLD` in `[0, 1]`.
+    pub hotness_threshold: f64,
+    /// Model-training knobs shared by all recommenders.
+    pub train: TrainConfig,
+    /// Whether inserts trigger the N% rule automatically (the paper's
+    /// behaviour). Disable for benches that want explicit control.
+    pub auto_maintenance: bool,
+}
+
+impl Default for RecDbConfig {
+    fn default() -> Self {
+        RecDbConfig {
+            maintenance_threshold_pct: 10.0,
+            hotness_threshold: 0.5,
+            train: TrainConfig::default(),
+            auto_maintenance: true,
+        }
+    }
+}
+
+/// The outcome of one executed statement.
+#[derive(Debug)]
+pub enum QueryResult {
+    /// `CREATE TABLE` succeeded.
+    TableCreated(String),
+    /// `DROP TABLE` succeeded.
+    TableDropped(String),
+    /// `INSERT` stored this many rows.
+    Inserted(usize),
+    /// `CREATE RECOMMENDER` trained a model.
+    RecommenderCreated {
+        /// Recommender name.
+        name: String,
+        /// Model build time (the Table II metric).
+        build_time: Duration,
+    },
+    /// `DROP RECOMMENDER` succeeded.
+    RecommenderDropped(String),
+    /// `CREATE INDEX` succeeded.
+    IndexCreated(String),
+    /// `DROP INDEX` succeeded.
+    IndexDropped(String),
+    /// `DELETE` removed this many rows.
+    Deleted(usize),
+    /// `UPDATE` rewrote this many rows.
+    Updated(usize),
+    /// A `SELECT` produced rows.
+    Rows(ResultSet),
+}
+
+impl QueryResult {
+    /// The result set, for `SELECT` outcomes.
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match self {
+            QueryResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consume into a result set, for `SELECT` outcomes.
+    pub fn into_rows(self) -> Option<ResultSet> {
+        match self {
+            QueryResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// The engine: catalog + recommenders + executor behind a SQL interface.
+#[derive(Debug)]
+pub struct RecDb {
+    catalog: Catalog,
+    recommenders: Vec<Recommender>,
+    config: RecDbConfig,
+    /// Logical clock: one tick per executed statement. Drives the usage
+    /// histograms deterministically.
+    clock: u64,
+}
+
+impl Default for RecDb {
+    fn default() -> Self {
+        RecDb::new()
+    }
+}
+
+impl RecDb {
+    /// An empty engine with default configuration.
+    pub fn new() -> Self {
+        RecDb::with_config(RecDbConfig::default())
+    }
+
+    /// An empty engine with explicit configuration.
+    pub fn with_config(config: RecDbConfig) -> Self {
+        RecDb {
+            catalog: Catalog::new(),
+            recommenders: Vec::new(),
+            config,
+            clock: 0,
+        }
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (dataset loaders).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &RecDbConfig {
+        &self.config
+    }
+
+    /// Current logical clock tick.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Look up a recommender by name.
+    pub fn recommender(&self, name: &str) -> Option<&Recommender> {
+        self.recommenders
+            .iter()
+            .find(|r| r.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Look up a recommender mutably by name.
+    pub fn recommender_mut(&mut self, name: &str) -> Option<&mut Recommender> {
+        self.recommenders
+            .iter_mut()
+            .find(|r| r.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Names of all recommenders.
+    pub fn recommender_names(&self) -> Vec<&str> {
+        self.recommenders.iter().map(|r| r.name()).collect()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> EngineResult<QueryResult> {
+        let statement = parse(sql)?;
+        self.clock += 1;
+        self.apply(statement)
+    }
+
+    /// Execute a `;`-separated script.
+    pub fn execute_script(&mut self, sql: &str) -> EngineResult<Vec<QueryResult>> {
+        let statements = parse_many(sql)?;
+        statements
+            .into_iter()
+            .map(|s| {
+                self.clock += 1;
+                self.apply(s)
+            })
+            .collect()
+    }
+
+    /// Execute a SELECT and return its rows (convenience).
+    pub fn query(&mut self, sql: &str) -> EngineResult<ResultSet> {
+        match self.execute(sql)? {
+            QueryResult::Rows(r) => Ok(r),
+            _ => Err(EngineError::Exec(recdb_exec::ExecError::Unsupported(
+                "statement did not produce rows".into(),
+            ))),
+        }
+    }
+
+    /// Render the optimized logical plan of a SELECT (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> EngineResult<String> {
+        let Statement::Select(select) = parse(sql)? else {
+            return Err(EngineError::Exec(recdb_exec::ExecError::Unsupported(
+                "EXPLAIN is only available for SELECT".into(),
+            )));
+        };
+        let plan = optimize(build_logical(&select, &self.catalog)?);
+        Ok(plan.explain())
+    }
+
+    fn apply(&mut self, statement: Statement) -> EngineResult<QueryResult> {
+        match statement {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::from_pairs(
+                    &columns
+                        .iter()
+                        .map(|c| Ok((c.name.as_str(), map_type(&c.type_name)?)))
+                        .collect::<EngineResult<Vec<_>>>()?,
+                );
+                self.catalog.create_table(&name, schema)?;
+                Ok(QueryResult::TableCreated(name))
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                // Recommenders created on the table are dropped with it.
+                self.recommenders
+                    .retain(|r| !r.ratings_table().eq_ignore_ascii_case(&name));
+                Ok(QueryResult::TableDropped(name))
+            }
+            Statement::Insert { table, rows } => {
+                let tuples = rows
+                    .iter()
+                    .map(const_tuple)
+                    .collect::<EngineResult<Vec<Tuple>>>()?;
+                let n = self.insert_tuples(&table, tuples)?;
+                Ok(QueryResult::Inserted(n))
+            }
+            Statement::CreateRecommender {
+                name,
+                ratings_table,
+                users_column,
+                items_column,
+                ratings_column,
+                algorithm,
+            } => {
+                if self.recommender(&name).is_some() {
+                    return Err(EngineError::RecommenderExists(name));
+                }
+                let algorithm: Algorithm = algorithm
+                    .parse()
+                    .map_err(|_| recdb_exec::ExecError::UnknownAlgorithm(algorithm.clone()))?;
+                let rec = Recommender::create(
+                    &name,
+                    &self.catalog,
+                    &ratings_table,
+                    &users_column,
+                    &items_column,
+                    &ratings_column,
+                    algorithm,
+                    self.config.train,
+                    self.config.hotness_threshold,
+                    self.clock,
+                )?;
+                let build_time = rec.build_time();
+                self.recommenders.push(rec);
+                Ok(QueryResult::RecommenderCreated { name, build_time })
+            }
+            Statement::DropRecommender { name } => {
+                let before = self.recommenders.len();
+                self.recommenders
+                    .retain(|r| !r.name().eq_ignore_ascii_case(&name));
+                if self.recommenders.len() == before {
+                    return Err(EngineError::RecommenderNotFound(name));
+                }
+                Ok(QueryResult::RecommenderDropped(name))
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => {
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                self.catalog.table_mut(&table)?.create_index(&name, &cols)?;
+                Ok(QueryResult::IndexCreated(name))
+            }
+            Statement::DropIndex { name, table } => {
+                self.catalog.table_mut(&table)?.drop_index(&name)?;
+                Ok(QueryResult::IndexDropped(name))
+            }
+            Statement::Explain(select) => {
+                let plan = optimize(build_logical(&select, &self.catalog)?);
+                let schema = Schema::from_pairs(&[("plan", DataType::Text)]);
+                let rows = plan
+                    .explain()
+                    .lines()
+                    .map(|l| Tuple::new(vec![recdb_storage::Value::Text(l.to_owned())]))
+                    .collect();
+                Ok(QueryResult::Rows(ResultSet::new(schema, rows)))
+            }
+            Statement::Delete { table, filter } => {
+                let n = self.apply_delete(&table, filter.as_ref())?;
+                Ok(QueryResult::Deleted(n))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
+                let n = self.apply_update(&table, &assignments, filter.as_ref())?;
+                Ok(QueryResult::Updated(n))
+            }
+            Statement::Select(select) => {
+                let rows = self.run_select(&select)?;
+                Ok(QueryResult::Rows(rows))
+            }
+        }
+    }
+
+    /// Delete rows matching `filter` (all rows when `None`), updating
+    /// recommender statistics and running the N% rule.
+    fn apply_delete(
+        &mut self,
+        table: &str,
+        filter: Option<&Expr>,
+    ) -> EngineResult<usize> {
+        let (rids, touched_items) = {
+            let t = self.catalog.table(table)?;
+            let schema = t.schema().clone();
+            let bound = filter.map(|f| bind(f, &schema)).transpose()?;
+            let item_ordinals = self.recommender_item_ordinals(table)?;
+            let mut rids = Vec::new();
+            let mut touched: Vec<(usize, i64)> = Vec::new();
+            for (rid, tuple) in t.heap().scan() {
+                let keep = match &bound {
+                    Some(b) => b.eval_predicate(&tuple)?,
+                    None => true,
+                };
+                if keep {
+                    rids.push(rid);
+                    for &(k, ord) in &item_ordinals {
+                        if let Some(item) =
+                            tuple.get(ord).and_then(recdb_storage::Value::as_int)
+                        {
+                            touched.push((k, item));
+                        }
+                    }
+                }
+            }
+            (rids, touched)
+        };
+        {
+            let t = self.catalog.table_mut(table)?;
+            for rid in &rids {
+                t.delete(*rid)?;
+            }
+        }
+        let now = self.clock;
+        for (k, item) in touched_items {
+            self.recommenders[k].record_insert(item, now);
+        }
+        self.run_auto_maintenance(table)?;
+        Ok(rids.len())
+    }
+
+    /// Rewrite rows matching `filter` with the SET assignments applied.
+    fn apply_update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        filter: Option<&Expr>,
+    ) -> EngineResult<usize> {
+        let (rids, new_tuples, touched_items) = {
+            let t = self.catalog.table(table)?;
+            let schema = t.schema().clone();
+            let bound = filter.map(|f| bind(f, &schema)).transpose()?;
+            let sets: Vec<(usize, recdb_exec::BoundExpr)> = assignments
+                .iter()
+                .map(|(col, e)| Ok((schema.resolve(col)?, bind(e, &schema)?)))
+                .collect::<EngineResult<_>>()?;
+            let item_ordinals = self.recommender_item_ordinals(table)?;
+            let mut rids = Vec::new();
+            let mut new_tuples = Vec::new();
+            let mut touched: Vec<(usize, i64)> = Vec::new();
+            for (rid, tuple) in t.heap().scan() {
+                let hit = match &bound {
+                    Some(b) => b.eval_predicate(&tuple)?,
+                    None => true,
+                };
+                if !hit {
+                    continue;
+                }
+                let mut values = tuple.clone().into_values();
+                for (ordinal, expr) in &sets {
+                    values[*ordinal] = expr.eval(&tuple)?;
+                }
+                let new_tuple = Tuple::new(values);
+                for &(k, ord) in &item_ordinals {
+                    if let Some(item) =
+                        new_tuple.get(ord).and_then(recdb_storage::Value::as_int)
+                    {
+                        touched.push((k, item));
+                    }
+                }
+                rids.push(rid);
+                new_tuples.push(new_tuple);
+            }
+            (rids, new_tuples, touched)
+        };
+        {
+            let t = self.catalog.table_mut(table)?;
+            for (rid, new_tuple) in rids.iter().zip(new_tuples) {
+                t.delete(*rid)?;
+                t.insert(new_tuple)?;
+            }
+        }
+        let now = self.clock;
+        for (k, item) in touched_items {
+            self.recommenders[k].record_insert(item, now);
+        }
+        self.run_auto_maintenance(table)?;
+        Ok(rids.len())
+    }
+
+    /// `(recommender index, item-column ordinal)` pairs for recommenders
+    /// created on `table`.
+    fn recommender_item_ordinals(&self, table: &str) -> EngineResult<Vec<(usize, usize)>> {
+        let table_key = table.to_ascii_lowercase();
+        let t = self.catalog.table(table)?;
+        self.recommenders
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.ratings_table() == table_key)
+            .map(|(k, r)| Ok((k, t.schema().resolve(r.items_column())?)))
+            .collect()
+    }
+
+    /// Run the N% rule for every recommender on `table`.
+    fn run_auto_maintenance(&mut self, table: &str) -> EngineResult<()> {
+        if !self.config.auto_maintenance {
+            return Ok(());
+        }
+        let table_key = table.to_ascii_lowercase();
+        let RecDb {
+            catalog,
+            recommenders,
+            config,
+            ..
+        } = self;
+        for rec in recommenders.iter_mut() {
+            if rec.ratings_table() == table_key
+                && rec.needs_maintenance(config.maintenance_threshold_pct)
+            {
+                rec.maintain(catalog)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert pre-built tuples into a table, updating recommender
+    /// statistics and running the N% maintenance rule. This is also the
+    /// bulk-loading path used by the dataset loaders.
+    pub fn insert_tuples(&mut self, table: &str, tuples: Vec<Tuple>) -> EngineResult<usize> {
+        let n = tuples.len();
+        // Pre-resolve, per recommender on this table, the item-column
+        // ordinal in the table schema.
+        let item_ordinals = self.recommender_item_ordinals(table)?;
+        {
+            let t = self.catalog.table_mut(table)?;
+            for tuple in &tuples {
+                // Record item updates before the tuple moves into the heap.
+                for &(k, ord) in &item_ordinals {
+                    if let Some(item) = tuple.get(ord).and_then(recdb_storage::Value::as_int) {
+                        self.recommenders[k].record_insert(item, self.clock);
+                    }
+                }
+                t.insert(tuple.clone())?;
+            }
+        }
+        self.run_auto_maintenance(table)?;
+        Ok(n)
+    }
+
+    /// Pre-compute the full RecScoreIndex for every user of a recommender
+    /// (§IV-C pre-computation).
+    pub fn materialize(&mut self, recommender: &str) -> EngineResult<()> {
+        let rec = self
+            .recommender_mut(recommender)
+            .ok_or_else(|| EngineError::RecommenderNotFound(recommender.to_owned()))?;
+        rec.materialize_all();
+        Ok(())
+    }
+
+    /// Run one cache-manager pass (Algorithm 4) for a recommender at the
+    /// current tick.
+    pub fn run_cache_manager(
+        &mut self,
+        recommender: &str,
+    ) -> EngineResult<crate::cache::CacheDecision> {
+        let now = self.clock;
+        let rec = self
+            .recommender_mut(recommender)
+            .ok_or_else(|| EngineError::RecommenderNotFound(recommender.to_owned()))?;
+        Ok(rec.run_cache_manager(now))
+    }
+
+    fn run_select(&self, select: &SelectStatement) -> EngineResult<ResultSet> {
+        let plan = optimize(build_logical(select, &self.catalog)?);
+        self.record_query_stats(&plan);
+        let ctx = ExecContext {
+            catalog: &self.catalog,
+            provider: self,
+        };
+        Ok(execute_plan(&plan, &ctx)?)
+    }
+
+    /// Update the Users Histogram (`QC_u`, `TS_u`) for recommendation
+    /// queries with a resolved user predicate.
+    fn record_query_stats(&self, plan: &LogicalPlan) {
+        let Some(node) = find_recommend(plan) else {
+            return;
+        };
+        let Some(users) = &node.user_ids else {
+            return;
+        };
+        let Some(rec) = self.recommenders.iter().find(|r| {
+            r.ratings_table().eq_ignore_ascii_case(&node.ratings_table)
+                && r.algorithm() == node.algorithm
+        }) else {
+            return;
+        };
+        for &u in users {
+            rec.record_query(u, self.clock);
+        }
+    }
+}
+
+impl RecommenderProvider for RecDb {
+    fn model(
+        &self,
+        ratings_table: &str,
+        algorithm: Algorithm,
+    ) -> Option<Arc<recdb_algo::RecModel>> {
+        self.recommenders
+            .iter()
+            .find(|r| {
+                r.ratings_table().eq_ignore_ascii_case(ratings_table)
+                    && r.algorithm() == algorithm
+            })
+            .map(|r| r.model())
+    }
+
+    fn rec_index(&self, ratings_table: &str, algorithm: Algorithm) -> Option<Arc<RecScoreIndex>> {
+        self.recommenders
+            .iter()
+            .find(|r| {
+                r.ratings_table().eq_ignore_ascii_case(ratings_table)
+                    && r.algorithm() == algorithm
+            })
+            .and_then(|r| r.index())
+    }
+}
+
+fn find_recommend(plan: &LogicalPlan) -> Option<&recdb_exec::plan::RecommendNode> {
+    match plan {
+        LogicalPlan::Recommend(node) => Some(node),
+        LogicalPlan::RecJoin { rec, .. } => Some(rec),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Project { input, .. } => find_recommend(input),
+        LogicalPlan::Join { left, right, .. } => {
+            find_recommend(left).or_else(|| find_recommend(right))
+        }
+        LogicalPlan::Scan { .. } => None,
+    }
+}
+
+/// Map a SQL type name to a [`DataType`], with common synonyms.
+fn map_type(name: &str) -> EngineResult<DataType> {
+    match name.to_ascii_lowercase().as_str() {
+        "int" | "integer" | "bigint" | "smallint" => Ok(DataType::Int),
+        "float" | "real" | "double" | "numeric" | "decimal" => Ok(DataType::Float),
+        "text" | "varchar" | "char" | "string" => Ok(DataType::Text),
+        "bool" | "boolean" => Ok(DataType::Bool),
+        "point" | "geometry" => Ok(DataType::Point),
+        "rect" | "region" => Ok(DataType::Rect),
+        other => Err(EngineError::UnknownType(other.to_owned())),
+    }
+}
+
+/// Evaluate an INSERT row of constant expressions to a tuple.
+fn const_tuple(row: &Vec<Expr>) -> EngineResult<Tuple> {
+    let empty_schema = Schema::default();
+    let empty_tuple = Tuple::default();
+    let mut values = Vec::with_capacity(row.len());
+    for expr in row {
+        // A fast path for plain literals avoids the bind machinery.
+        if let Expr::Literal(lit) = expr {
+            values.push(literal_value(lit));
+            continue;
+        }
+        let bound = bind(expr, &empty_schema)
+            .map_err(|e| EngineError::NonConstantInsert(e.to_string()))?;
+        let value = bound
+            .eval(&empty_tuple)
+            .map_err(|e| EngineError::NonConstantInsert(e.to_string()))?;
+        values.push(value);
+    }
+    Ok(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_storage::Value;
+
+    /// Stand up the paper's Figure 1 database through pure SQL.
+    fn figure1_db() -> RecDb {
+        let mut db = RecDb::new();
+        db.execute_script(
+            "CREATE TABLE users (uid INT, name TEXT, city TEXT);
+             CREATE TABLE movies (mid INT, name TEXT, genre TEXT);
+             CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+             INSERT INTO users VALUES (1, 'Alice', 'Minneapolis'), (2, 'Bob', 'Austin'),
+                                      (3, 'Carol', 'Minneapolis'), (4, 'Eve', 'San Diego');
+             INSERT INTO movies VALUES (1, 'Spartacus', 'Action'),
+                                       (2, 'Inception', 'Suspense'),
+                                       (3, 'The Matrix', 'Sci-Fi');
+             INSERT INTO ratings VALUES (1, 1, 1.5), (2, 2, 3.5), (2, 1, 4.5),
+                                        (2, 3, 2.0), (3, 2, 1.0), (3, 1, 2.0), (4, 2, 1.0);",
+        )
+        .unwrap();
+        db
+    }
+
+    fn with_recommender() -> RecDb {
+        let mut db = figure1_db();
+        db.execute(
+            "CREATE RECOMMENDER GeneralRec ON ratings \
+             USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn ddl_and_inserts() {
+        let db = figure1_db();
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 7);
+        assert_eq!(db.catalog().table("users").unwrap().tuple_count(), 4);
+    }
+
+    #[test]
+    fn create_recommender_via_sql() {
+        let mut db = figure1_db();
+        let result = db
+            .execute(
+                "CREATE RECOMMENDER GeneralRec ON ratings \
+                 USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF",
+            )
+            .unwrap();
+        assert!(matches!(
+            result,
+            QueryResult::RecommenderCreated { ref name, .. } if name == "GeneralRec"
+        ));
+        assert_eq!(db.recommender_names(), vec!["generalrec"]);
+        let err = db
+            .execute(
+                "CREATE RECOMMENDER GeneralRec ON ratings \
+                 USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING SVD",
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::RecommenderExists(_)));
+    }
+
+    #[test]
+    fn paper_query1_end_to_end() {
+        let mut db = with_recommender();
+        let rows = db
+            .query(
+                "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+                 RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                 WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 10",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2, "user 1 has two unseen movies");
+        assert_eq!(rows.value(0, "uid").unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn missing_recommender_reported_via_sql() {
+        let mut db = figure1_db();
+        let err = db
+            .query(
+                "SELECT R.uid FROM ratings AS R \
+                 RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("CREATE RECOMMENDER"));
+    }
+
+    #[test]
+    fn drop_recommender_and_table_cascade() {
+        let mut db = with_recommender();
+        db.execute("DROP RECOMMENDER GeneralRec").unwrap();
+        assert!(db.recommender_names().is_empty());
+        assert!(matches!(
+            db.execute("DROP RECOMMENDER GeneralRec").unwrap_err(),
+            EngineError::RecommenderNotFound(_)
+        ));
+        // Re-create, then drop the table: the recommender goes with it.
+        db.execute(
+            "CREATE RECOMMENDER R2 ON ratings \
+             USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF",
+        )
+        .unwrap();
+        db.execute("DROP TABLE ratings").unwrap();
+        assert!(db.recommender_names().is_empty());
+    }
+
+    #[test]
+    fn insert_triggers_n_percent_maintenance() {
+        let mut db = with_recommender();
+        assert_eq!(db.recommender("GeneralRec").unwrap().model().trained_on(), 7);
+        // 10% of 7 ratings → a single insert triggers a rebuild.
+        db.execute("INSERT INTO ratings VALUES (4, 3, 5.0)").unwrap();
+        let rec = db.recommender("GeneralRec").unwrap();
+        assert_eq!(rec.model().trained_on(), 8, "model rebuilt");
+        assert_eq!(rec.pending_updates(), 0);
+        assert_eq!(rec.model().score(4, 3), 5.0);
+    }
+
+    #[test]
+    fn maintenance_can_be_deferred() {
+        let mut db = RecDb::with_config(RecDbConfig {
+            auto_maintenance: false,
+            ..Default::default()
+        });
+        db.execute_script(
+            "CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+             INSERT INTO ratings VALUES (1, 1, 5.0), (2, 1, 4.0);
+             CREATE RECOMMENDER R ON ratings USERS FROM uid ITEMS FROM iid \
+             RATINGS FROM ratingval USING ItemCosCF;
+             INSERT INTO ratings VALUES (2, 2, 3.0);",
+        )
+        .unwrap();
+        let rec = db.recommender("R").unwrap();
+        assert_eq!(rec.model().trained_on(), 2, "not rebuilt");
+        assert_eq!(rec.pending_updates(), 1);
+    }
+
+    #[test]
+    fn materialize_then_topk_uses_index() {
+        let mut db = with_recommender();
+        db.materialize("GeneralRec").unwrap();
+        assert_eq!(
+            db.recommender("GeneralRec").unwrap().materialized_entries(),
+            5
+        );
+        let rows = db
+            .query(
+                "SELECT R.iid, R.ratingval FROM ratings AS R \
+                 RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                 WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn query_stats_recorded_for_user_predicates() {
+        let mut db = with_recommender();
+        for _ in 0..3 {
+            db.query(
+                "SELECT R.iid FROM ratings AS R \
+                 RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                 WHERE R.uid = 1",
+            )
+            .unwrap();
+        }
+        let rec = db.recommender("GeneralRec").unwrap();
+        rec.with_stats(|s| {
+            assert_eq!(s.user(1).unwrap().query_count, 3);
+            assert!(s.user(2).is_none());
+        });
+    }
+
+    #[test]
+    fn type_synonyms_in_create_table() {
+        let mut db = RecDb::new();
+        db.execute(
+            "CREATE TABLE t (a INTEGER, b DOUBLE, c VARCHAR, d BOOLEAN, e GEOMETRY, f REGION)",
+        )
+        .unwrap();
+        let schema = db.catalog().table("t").unwrap().schema().clone();
+        assert_eq!(schema.column(0).unwrap().data_type, DataType::Int);
+        assert_eq!(schema.column(4).unwrap().data_type, DataType::Point);
+        assert_eq!(schema.column(5).unwrap().data_type, DataType::Rect);
+        assert!(matches!(
+            db.execute("CREATE TABLE bad (a BLOB)").unwrap_err(),
+            EngineError::UnknownType(_)
+        ));
+    }
+
+    #[test]
+    fn insert_constant_expressions() {
+        let mut db = RecDb::new();
+        db.execute("CREATE TABLE t (a INT, p POINT, r RECT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1 + 2, POINT(1, 2), RECT(0, 0, 5, 5))")
+            .unwrap();
+        let rows = db.query("SELECT * FROM t").unwrap();
+        assert_eq!(rows.value(0, "a").unwrap(), &Value::Int(3));
+        assert_eq!(rows.value(0, "p").unwrap(), &Value::Point(1.0, 2.0));
+        // Non-constant rows are rejected.
+        let err = db.execute("INSERT INTO t VALUES (x, POINT(1,2), RECT(0,0,1,1))");
+        assert!(matches!(err.unwrap_err(), EngineError::NonConstantInsert(_)));
+    }
+
+    #[test]
+    fn explain_shows_optimized_plan() {
+        let db = with_recommender();
+        let text = db
+            .explain(
+                "SELECT R.iid FROM ratings AS R \
+                 RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                 WHERE R.uid = 1",
+            )
+            .unwrap();
+        assert!(text.contains("FilterRecommend"), "{text}");
+    }
+
+    #[test]
+    fn create_and_drop_index_via_sql() {
+        let mut db = figure1_db();
+        assert!(matches!(
+            db.execute("CREATE INDEX movies_mid ON movies (mid)").unwrap(),
+            QueryResult::IndexCreated(_)
+        ));
+        assert!(db
+            .catalog()
+            .table("movies")
+            .unwrap()
+            .index("movies_mid")
+            .is_ok());
+        assert!(matches!(
+            db.execute("DROP INDEX movies_mid ON movies").unwrap(),
+            QueryResult::IndexDropped(_)
+        ));
+        assert!(db.execute("DROP INDEX movies_mid ON movies").is_err());
+        assert!(db.execute("CREATE INDEX i ON movies (nosuch)").is_err());
+    }
+
+    #[test]
+    fn explain_statement_returns_plan_rows() {
+        let mut db = with_recommender();
+        let rows = db
+            .query(
+                "EXPLAIN SELECT R.iid FROM ratings AS R \
+                 RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                 WHERE R.uid = 1",
+            )
+            .unwrap();
+        let text: Vec<String> = rows
+            .column_values("plan")
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert!(text.iter().any(|l| l.contains("FilterRecommend")), "{text:?}");
+    }
+
+    #[test]
+    fn clock_ticks_per_statement() {
+        let mut db = RecDb::new();
+        assert_eq!(db.clock(), 0);
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert_eq!(db.clock(), 2);
+    }
+
+    #[test]
+    fn delete_statement_removes_rows_and_retrains() {
+        let mut db = with_recommender();
+        // Delete all of user 2's ratings (4 rows of 7 → well past N%).
+        let result = db.execute("DELETE FROM ratings WHERE uid = 2").unwrap();
+        assert!(matches!(result, QueryResult::Deleted(3)));
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 4);
+        let rec = db.recommender("GeneralRec").unwrap();
+        assert_eq!(rec.model().trained_on(), 4, "model rebuilt without user 2");
+        assert_eq!(rec.model().score(2, 1), 0.0, "user 2 gone from the model");
+    }
+
+    #[test]
+    fn update_statement_rewrites_rows() {
+        let mut db = with_recommender();
+        let result = db
+            .execute("UPDATE ratings SET ratingval = 5.0 WHERE uid = 1 AND iid = 1")
+            .unwrap();
+        assert!(matches!(result, QueryResult::Updated(1)));
+        let rows = db
+            .query("SELECT ratingval FROM ratings WHERE uid = 1 AND iid = 1")
+            .unwrap();
+        assert_eq!(rows.value(0, "ratingval").unwrap(), &Value::Float(5.0));
+        // The re-rate reached the model through maintenance.
+        let rec = db.recommender("GeneralRec").unwrap();
+        assert_eq!(rec.model().score(1, 1), 5.0);
+    }
+
+    #[test]
+    fn update_with_expression_and_no_filter() {
+        let mut db = figure1_db();
+        let result = db.execute("UPDATE ratings SET ratingval = ratingval + 1").unwrap();
+        assert!(matches!(result, QueryResult::Updated(7)));
+        let rows = db.query("SELECT ratingval FROM ratings WHERE uid = 2 AND iid = 1").unwrap();
+        assert_eq!(rows.value(0, "ratingval").unwrap(), &Value::Float(5.5));
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut db = figure1_db();
+        let result = db.execute("DELETE FROM ratings").unwrap();
+        assert!(matches!(result, QueryResult::Deleted(7)));
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 0);
+    }
+
+    #[test]
+    fn aggregate_sql_through_engine() {
+        let mut db = figure1_db();
+        let rows = db
+            .query(
+                "SELECT genre, COUNT(*) AS n FROM movies GROUP BY genre \
+                 ORDER BY genre ASC",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.value(0, "genre").unwrap().as_text(), Some("Action"));
+        assert_eq!(rows.value(0, "n").unwrap(), &Value::Int(1));
+        // Global aggregate.
+        let rows = db
+            .query("SELECT COUNT(*) AS n, AVG(ratingval) AS mean FROM ratings")
+            .unwrap();
+        assert_eq!(rows.value(0, "n").unwrap(), &Value::Int(7));
+        let mean = rows.value(0, "mean").unwrap().as_f64().unwrap();
+        assert!((mean - 15.5 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_on_non_select_errors() {
+        let mut db = RecDb::new();
+        assert!(db.query("CREATE TABLE t (a INT)").is_err());
+    }
+}

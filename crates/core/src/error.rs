@@ -1,0 +1,87 @@
+//! Engine-level errors.
+
+use recdb_exec::ExecError;
+use recdb_sql::ParseError;
+use recdb_storage::StorageError;
+use std::fmt;
+
+/// Result alias for the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors surfaced by [`crate::engine::RecDb`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// SQL could not be parsed.
+    Parse(ParseError),
+    /// Planning or execution failed.
+    Exec(ExecError),
+    /// A storage operation failed.
+    Storage(StorageError),
+    /// A recommender with this name already exists.
+    RecommenderExists(String),
+    /// No recommender with this name exists.
+    RecommenderNotFound(String),
+    /// The CREATE TABLE type name is not recognized.
+    UnknownType(String),
+    /// INSERT rows must be constant expressions.
+    NonConstantInsert(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "parse error: {e}"),
+            EngineError::Exec(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::RecommenderExists(name) => {
+                write!(f, "recommender `{name}` already exists")
+            }
+            EngineError::RecommenderNotFound(name) => {
+                write!(f, "recommender `{name}` does not exist")
+            }
+            EngineError::UnknownType(name) => write!(
+                f,
+                "unknown column type `{name}` (expected INT, FLOAT, TEXT, BOOL, POINT, or RECT)"
+            ),
+            EngineError::NonConstantInsert(msg) => {
+                write!(f, "INSERT values must be constants: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = StorageError::TableNotFound("t".into()).into();
+        assert!(e.to_string().contains("`t`"));
+        let e = EngineError::UnknownType("BLOB".into());
+        assert!(e.to_string().contains("BLOB"));
+        assert!(e.to_string().contains("POINT"));
+        let e = EngineError::RecommenderExists("GeneralRec".into());
+        assert!(e.to_string().contains("GeneralRec"));
+    }
+}

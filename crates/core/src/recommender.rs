@@ -1,0 +1,498 @@
+//! One created recommender: its trained model, maintenance state, usage
+//! statistics, and materialized score index.
+
+use crate::cache::{CacheDecision, CacheManager, UsageStats};
+use crate::error::{EngineError, EngineResult};
+use parking_lot::Mutex;
+use recdb_algo::{Algorithm, Rating, RatingsMatrix, RecModel};
+use recdb_algo::model::TrainConfig;
+use recdb_exec::RecScoreIndex;
+use recdb_storage::Catalog;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A recommender created by `CREATE RECOMMENDER` (§III-A).
+pub struct Recommender {
+    name: String,
+    ratings_table: String,
+    users_column: String,
+    items_column: String,
+    ratings_column: String,
+    algorithm: Algorithm,
+    train_config: TrainConfig,
+    model: Arc<RecModel>,
+    /// Time spent building the current model (Table II's metric).
+    build_time: Duration,
+    /// Ratings inserted since the current model was built (the N% rule).
+    pending_updates: usize,
+    /// Materialized score index, swapped wholesale on maintenance.
+    index: Option<Arc<RecScoreIndex>>,
+    /// Usage histograms, updated from `&self` query paths.
+    stats: Mutex<UsageStats>,
+    /// The Algorithm 4 manager.
+    cache_manager: Mutex<CacheManager>,
+}
+
+impl std::fmt::Debug for Recommender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recommender")
+            .field("name", &self.name)
+            .field("ratings_table", &self.ratings_table)
+            .field("algorithm", &self.algorithm)
+            .field("trained_on", &self.model.trained_on())
+            .field("pending_updates", &self.pending_updates)
+            .field(
+                "materialized_entries",
+                &self.index.as_ref().map(|i| i.len()).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+impl Recommender {
+    /// Build ("initialize", §III-A) a recommender by scanning the ratings
+    /// table and training the model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        name: &str,
+        catalog: &Catalog,
+        ratings_table: &str,
+        users_column: &str,
+        items_column: &str,
+        ratings_column: &str,
+        algorithm: Algorithm,
+        train_config: TrainConfig,
+        hotness_threshold: f64,
+        now: u64,
+    ) -> EngineResult<Self> {
+        let matrix = load_matrix(
+            catalog,
+            ratings_table,
+            users_column,
+            items_column,
+            ratings_column,
+        )?;
+        let started = Instant::now();
+        let model = RecModel::train(algorithm, matrix, &train_config);
+        let build_time = started.elapsed();
+        Ok(Recommender {
+            name: name.to_ascii_lowercase(),
+            ratings_table: ratings_table.to_ascii_lowercase(),
+            users_column: users_column.to_owned(),
+            items_column: items_column.to_owned(),
+            ratings_column: ratings_column.to_owned(),
+            algorithm,
+            train_config,
+            model: Arc::new(model),
+            build_time,
+            pending_updates: 0,
+            index: None,
+            stats: Mutex::new(UsageStats::new(now)),
+            cache_manager: Mutex::new(CacheManager::new(hotness_threshold)),
+        })
+    }
+
+    /// Recommender name (lowercase).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ratings table the recommender was created on (lowercase).
+    pub fn ratings_table(&self) -> &str {
+        &self.ratings_table
+    }
+
+    /// The users-id column name.
+    pub fn users_column(&self) -> &str {
+        &self.users_column
+    }
+
+    /// The items-id column name.
+    pub fn items_column(&self) -> &str {
+        &self.items_column
+    }
+
+    /// The algorithm from USING.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> Arc<RecModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// Time spent building the current model (Table II).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Ratings inserted since the model was built.
+    pub fn pending_updates(&self) -> usize {
+        self.pending_updates
+    }
+
+    /// The materialized index, if any.
+    pub fn index(&self) -> Option<Arc<RecScoreIndex>> {
+        self.index.as_ref().map(Arc::clone)
+    }
+
+    /// Number of materialized `(user, item)` entries.
+    pub fn materialized_entries(&self) -> usize {
+        self.index.as_ref().map(|i| i.len()).unwrap_or(0)
+    }
+
+    /// Record a recommendation query by `user` (updates the Users
+    /// Histogram). Called from the read path, hence `&self`.
+    pub fn record_query(&self, user: i64, now: u64) {
+        self.stats.lock().record_query(user, now);
+    }
+
+    /// Record a rating insertion `(user, item)` (updates the Items
+    /// Histogram and the pending-update counter).
+    pub fn record_insert(&mut self, item: i64, now: u64) {
+        self.pending_updates += 1;
+        self.stats.lock().record_update(item, now);
+    }
+
+    /// The N% maintenance rule (§III-A): rebuild once pending updates reach
+    /// `threshold_pct` percent of the entries used to build the model.
+    pub fn needs_maintenance(&self, threshold_pct: f64) -> bool {
+        let base = self.model.trained_on().max(1) as f64;
+        (self.pending_updates as f64) / base * 100.0 >= threshold_pct
+    }
+
+    /// Rebuild the model from the current table contents and refresh every
+    /// materialized entry ("RECDB maintains the recommendation score for
+    /// all materialized entries", §IV-D).
+    pub fn maintain(&mut self, catalog: &Catalog) -> EngineResult<()> {
+        let matrix = load_matrix(
+            catalog,
+            &self.ratings_table,
+            &self.users_column,
+            &self.items_column,
+            &self.ratings_column,
+        )?;
+        let started = Instant::now();
+        self.model = Arc::new(RecModel::train(self.algorithm, matrix, &self.train_config));
+        self.build_time = started.elapsed();
+        self.pending_updates = 0;
+        if let Some(old) = self.index.take() {
+            let mut fresh = RecScoreIndex::new();
+            // Re-materialize complete users in full; re-score partial pairs.
+            for user in old.users() {
+                if old.is_complete(user) {
+                    materialize_user_into(&mut fresh, &self.model, user);
+                } else {
+                    for (item, _) in old.iter_desc(user, None, None) {
+                        if self.model.matrix().rating_of(user, item).is_none() {
+                            fresh.insert(user, item, self.model.predict(user, item).unwrap_or(0.0));
+                        }
+                    }
+                }
+            }
+            self.index = Some(Arc::new(fresh));
+        }
+        Ok(())
+    }
+
+    /// Pre-compute the full unseen-item score list for one user and mark it
+    /// complete (the §IV-C pre-computation that IndexRecommend serves).
+    pub fn materialize_user(&mut self, user: i64) {
+        let mut index = match self.index.take() {
+            Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
+            None => RecScoreIndex::new(),
+        };
+        materialize_user_into(&mut index, &self.model, user);
+        self.index = Some(Arc::new(index));
+    }
+
+    /// Pre-compute score lists for every user known to the model.
+    pub fn materialize_all(&mut self) {
+        let mut index = match self.index.take() {
+            Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
+            None => RecScoreIndex::new(),
+        };
+        for &user in self.model.matrix().user_ids() {
+            materialize_user_into(&mut index, &self.model, user);
+        }
+        self.index = Some(Arc::new(index));
+    }
+
+    /// Run the Algorithm 4 cache manager at tick `now`: refresh rates,
+    /// decide admissions/evictions, and apply them to the index. Returns
+    /// the decision for observability.
+    pub fn run_cache_manager(&mut self, now: u64) -> CacheDecision {
+        let decision = {
+            let mut stats = self.stats.lock();
+            let mut mgr = self.cache_manager.lock();
+            let model = &self.model;
+            mgr.run(&mut stats, now, |u, i| {
+                model.matrix().rating_of(u, i).is_none()
+            })
+        };
+        if decision.admitted.is_empty() && decision.evicted.is_empty() {
+            return decision;
+        }
+        let mut index = match self.index.take() {
+            Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
+            None => RecScoreIndex::new(),
+        };
+        for &(u, i) in &decision.evicted {
+            index.remove(u, i);
+        }
+        for &(u, i) in &decision.admitted {
+            index.insert(u, i, self.model.predict(u, i).unwrap_or(0.0));
+        }
+        self.index = Some(Arc::new(index));
+        decision
+    }
+
+    /// Immutable access to the usage statistics (testing/observability).
+    pub fn with_stats<R>(&self, f: impl FnOnce(&UsageStats) -> R) -> R {
+        f(&self.stats.lock())
+    }
+}
+
+fn materialize_user_into(index: &mut RecScoreIndex, model: &RecModel, user: i64) {
+    for &item in model.matrix().item_ids() {
+        if model.matrix().rating_of(user, item).is_none() {
+            index.insert(user, item, model.predict(user, item).unwrap_or(0.0));
+        }
+    }
+    index.mark_complete(user);
+}
+
+/// Scan a ratings table into a [`RatingsMatrix`], resolving the three
+/// named columns.
+pub fn load_matrix(
+    catalog: &Catalog,
+    ratings_table: &str,
+    users_column: &str,
+    items_column: &str,
+    ratings_column: &str,
+) -> EngineResult<RatingsMatrix> {
+    let table = catalog.table(ratings_table)?;
+    let schema = table.schema();
+    let u = schema.resolve(users_column)?;
+    let i = schema.resolve(items_column)?;
+    let r = schema.resolve(ratings_column)?;
+    let mut ratings = Vec::with_capacity(table.tuple_count() as usize);
+    for (_, tuple) in table.heap().scan() {
+        let (Some(user), Some(item), Some(value)) = (
+            tuple.get(u).and_then(recdb_storage::Value::as_int),
+            tuple.get(i).and_then(recdb_storage::Value::as_int),
+            tuple.get(r).and_then(recdb_storage::Value::as_f64),
+        ) else {
+            return Err(EngineError::Exec(recdb_exec::ExecError::Type(format!(
+                "non-numeric rating triple in `{ratings_table}`: {tuple}"
+            ))));
+        };
+        ratings.push(Rating::new(user, item, value));
+    }
+    Ok(RatingsMatrix::from_ratings(ratings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_storage::{DataType, Schema, Tuple, Value};
+
+    fn catalog_with_ratings(rows: &[(i64, i64, f64)]) -> Catalog {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "ratings",
+                Schema::from_pairs(&[
+                    ("uid", DataType::Int),
+                    ("iid", DataType::Int),
+                    ("ratingval", DataType::Float),
+                ]),
+            )
+            .unwrap();
+        for &(u, i, r) in rows {
+            t.insert(Tuple::new(vec![
+                Value::Int(u),
+                Value::Int(i),
+                Value::Float(r),
+            ]))
+            .unwrap();
+        }
+        cat
+    }
+
+    fn figure1_rows() -> Vec<(i64, i64, f64)> {
+        vec![
+            (1, 1, 1.5),
+            (2, 2, 3.5),
+            (2, 1, 4.5),
+            (2, 3, 2.0),
+            (3, 2, 1.0),
+            (3, 1, 2.0),
+            (4, 2, 1.0),
+        ]
+    }
+
+    fn make(cat: &Catalog) -> Recommender {
+        Recommender::create(
+            "GeneralRec",
+            cat,
+            "ratings",
+            "uid",
+            "iid",
+            "ratingval",
+            Algorithm::ItemCosCF,
+            TrainConfig::default(),
+            0.5,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_trains_from_table() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        let rec = make(&cat);
+        assert_eq!(rec.model().trained_on(), 7);
+        assert_eq!(rec.model().score(2, 1), 4.5);
+        assert_eq!(rec.name(), "generalrec");
+    }
+
+    #[test]
+    fn n_percent_maintenance_rule() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        let mut rec = make(&cat);
+        assert!(!rec.needs_maintenance(10.0));
+        rec.record_insert(1, 1); // 1/7 ≈ 14% ≥ 10%
+        assert!(rec.needs_maintenance(10.0));
+        assert!(!rec.needs_maintenance(50.0));
+        for k in 0..3 {
+            rec.record_insert(k, 2);
+        }
+        assert!(rec.needs_maintenance(50.0), "4/7 ≈ 57%");
+    }
+
+    #[test]
+    fn maintain_retrains_and_resets_counter() {
+        let mut cat = catalog_with_ratings(&figure1_rows());
+        let mut rec = make(&cat);
+        // New rating arrives in the table and is recorded.
+        cat.table_mut("ratings")
+            .unwrap()
+            .insert(Tuple::new(vec![
+                Value::Int(4),
+                Value::Int(3),
+                Value::Float(5.0),
+            ]))
+            .unwrap();
+        rec.record_insert(3, 1);
+        rec.maintain(&cat).unwrap();
+        assert_eq!(rec.pending_updates(), 0);
+        assert_eq!(rec.model().trained_on(), 8);
+        assert_eq!(rec.model().score(4, 3), 5.0, "new rating visible");
+    }
+
+    #[test]
+    fn materialize_user_builds_complete_list() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        let mut rec = make(&cat);
+        rec.materialize_user(1);
+        let idx = rec.index().unwrap();
+        assert!(idx.is_complete(1));
+        // User 1 rated item 1 → 2 unseen items materialized.
+        assert_eq!(idx.iter_desc(1, None, None).count(), 2);
+        assert!(!idx.is_complete(2));
+    }
+
+    #[test]
+    fn materialize_all_covers_every_user() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        let mut rec = make(&cat);
+        rec.materialize_all();
+        let idx = rec.index().unwrap();
+        // User 2 rated all three items → no entries, but still complete.
+        assert_eq!(idx.user_count(), 3);
+        // 4 users × 3 items − 7 rated = 5 entries.
+        assert_eq!(idx.len(), 5);
+        for u in 1..=4 {
+            assert!(idx.is_complete(u));
+        }
+    }
+
+    #[test]
+    fn maintain_refreshes_materialized_entries() {
+        let mut cat = catalog_with_ratings(&figure1_rows());
+        let mut rec = make(&cat);
+        rec.materialize_user(4);
+        let before = rec.index().unwrap().get(4, 1);
+        assert!(before.is_some());
+        // User 4 rates item 1 → after maintenance the pair is seen and must
+        // leave the index, while the user list stays complete.
+        cat.table_mut("ratings")
+            .unwrap()
+            .insert(Tuple::new(vec![
+                Value::Int(4),
+                Value::Int(1),
+                Value::Float(2.0),
+            ]))
+            .unwrap();
+        rec.record_insert(1, 1);
+        rec.maintain(&cat).unwrap();
+        let idx = rec.index().unwrap();
+        assert_eq!(idx.get(4, 1), None, "now-rated pair dematerialized");
+        assert!(idx.is_complete(4));
+        assert!(idx.get(4, 3).is_some(), "still-unseen pair retained");
+    }
+
+    #[test]
+    fn cache_manager_admits_hot_pairs_into_index() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        let mut rec = make(&cat);
+        // User 1 queries a lot; item 3 is updated a lot.
+        for _ in 0..10 {
+            rec.record_query(1, 5);
+        }
+        rec.record_insert(3, 5);
+        let decision = rec.run_cache_manager(10);
+        assert!(decision.admitted.contains(&(1, 3)));
+        let idx = rec.index().unwrap();
+        assert!(idx.get(1, 3).is_some());
+        assert!(!idx.is_complete(1), "pair admission is partial");
+    }
+
+    #[test]
+    fn cache_manager_evicts_cold_pairs() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        let mut rec = make(&cat);
+        rec.materialize_user(4); // contains (4, 1) and (4, 3)
+        // Heat: user 1 hot, user 4 cold; item 1 hot, item 3 cold-ish.
+        for _ in 0..100 {
+            rec.record_query(1, 5);
+        }
+        rec.record_query(4, 5);
+        for _ in 0..100 {
+            rec.record_insert(1, 5);
+        }
+        rec.record_insert(3, 5);
+        let decision = rec.run_cache_manager(10);
+        assert!(decision.evicted.contains(&(4, 3)), "{decision:?}");
+        let idx = rec.index().unwrap();
+        assert_eq!(idx.get(4, 3), None);
+        assert!(!idx.is_complete(4), "eviction breaks completeness");
+    }
+
+    #[test]
+    fn load_matrix_rejects_bad_columns() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        assert!(load_matrix(&cat, "ratings", "nope", "iid", "ratingval").is_err());
+        assert!(load_matrix(&cat, "missing", "uid", "iid", "ratingval").is_err());
+    }
+
+    #[test]
+    fn build_time_is_recorded() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        let rec = make(&cat);
+        // Tiny model, but the timer must have run.
+        assert!(rec.build_time() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dataset shape specifications.
+
+/// Parameters of a synthetic ratings dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Dataset name (becomes part of generated row names).
+    pub name: String,
+    /// Number of distinct users.
+    pub n_users: usize,
+    /// Number of distinct items.
+    pub n_items: usize,
+    /// Number of distinct (user, item) ratings to generate.
+    pub n_ratings: usize,
+    /// Minimum rating value.
+    pub rating_min: f64,
+    /// Maximum rating value.
+    pub rating_max: f64,
+    /// Number of genres/categories cycled over the items.
+    pub n_genres: usize,
+    /// Whether items carry planar locations (POI datasets).
+    pub with_locations: bool,
+    /// Zipf skew exponent for item popularity / user activity.
+    pub skew: f64,
+    /// Latent cluster count driving the learnable rating structure.
+    pub n_clusters: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// The MovieLens-100K shape (§VI: 943 users, 1,682 movies, 100K
+    /// ratings, 1–5 stars).
+    pub fn movielens() -> Self {
+        SyntheticSpec {
+            name: "movielens".into(),
+            n_users: 943,
+            n_items: 1682,
+            n_ratings: 100_000,
+            rating_min: 1.0,
+            rating_max: 5.0,
+            n_genres: 18,
+            with_locations: false,
+            skew: 0.8,
+            n_clusters: 8,
+            seed: 0x4D4C_3130_304B, // "ML100K"
+        }
+    }
+
+    /// The LDOS-CoMoDa shape (§VI: 185 users, 785 movies, 2,297 ratings).
+    pub fn ldos_comoda() -> Self {
+        SyntheticSpec {
+            name: "ldos-comoda".into(),
+            n_users: 185,
+            n_items: 785,
+            n_ratings: 2_297,
+            rating_min: 1.0,
+            rating_max: 5.0,
+            n_genres: 18,
+            with_locations: false,
+            skew: 0.8,
+            n_clusters: 6,
+            seed: 0x4C44_4F53,
+        }
+    }
+
+    /// The Yelp challenge subset shape (§VI: 3,403 users, 1,446
+    /// businesses, 126,747 reviews) with locations on a 1,000 × 1,000
+    /// planar city grid.
+    pub fn yelp() -> Self {
+        SyntheticSpec {
+            name: "yelp".into(),
+            n_users: 3_403,
+            n_items: 1_446,
+            n_ratings: 126_747,
+            rating_min: 1.0,
+            rating_max: 5.0,
+            n_genres: 12,
+            with_locations: true,
+            skew: 0.8,
+            n_clusters: 8,
+            seed: 0x59454C50, // "YELP"
+        }
+    }
+
+    /// A density-preserving shrunk copy for fast unit tests: the rating
+    /// count scales by `factor`, the user/item dimensions by `√factor`
+    /// (so ratings ÷ (users × items) stays constant, to first order).
+    pub fn scaled(&self, factor: f64) -> SyntheticSpec {
+        let dim = factor.sqrt();
+        let scale = |n: usize| (((n as f64) * dim).round() as usize).max(2);
+        let n_users = scale(self.n_users);
+        let n_items = scale(self.n_items);
+        let n_ratings = (((self.n_ratings as f64) * factor).round() as usize)
+            .clamp(1, n_users * n_items);
+        SyntheticSpec {
+            name: format!("{}-x{factor}", self.name),
+            n_users,
+            n_items,
+            n_ratings,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cardinalities() {
+        let ml = SyntheticSpec::movielens();
+        assert_eq!((ml.n_users, ml.n_items, ml.n_ratings), (943, 1682, 100_000));
+        let ldos = SyntheticSpec::ldos_comoda();
+        assert_eq!((ldos.n_users, ldos.n_items, ldos.n_ratings), (185, 785, 2_297));
+        let yelp = SyntheticSpec::yelp();
+        assert_eq!(
+            (yelp.n_users, yelp.n_items, yelp.n_ratings),
+            (3_403, 1_446, 126_747)
+        );
+        assert!(yelp.with_locations);
+        assert!(!ml.with_locations);
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let s = SyntheticSpec::movielens().scaled(0.1);
+        assert_eq!(s.n_users, 298);
+        assert_eq!(s.n_items, 532);
+        assert_eq!(s.n_ratings, 10_000);
+        // Density is preserved to first order.
+        let full = SyntheticSpec::movielens();
+        let d_full = full.n_ratings as f64 / (full.n_users * full.n_items) as f64;
+        let d_small = s.n_ratings as f64 / (s.n_users * s.n_items) as f64;
+        assert!((d_full - d_small).abs() / d_full < 0.15);
+    }
+
+    #[test]
+    fn scaling_has_floors() {
+        let s = SyntheticSpec::ldos_comoda().scaled(0.0001);
+        assert!(s.n_users >= 2);
+        assert!(s.n_items >= 2);
+        assert!(s.n_ratings >= 1);
+    }
+}

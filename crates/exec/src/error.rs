@@ -1,0 +1,91 @@
+//! Execution-layer errors.
+
+use recdb_storage::StorageError;
+use std::fmt;
+
+/// Result alias for the exec crate.
+pub type ExecResult<T> = Result<T, ExecError>;
+
+/// Errors raised during planning, binding, or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// An underlying storage error.
+    Storage(StorageError),
+    /// A name could not be resolved or a construct is malformed.
+    Bind(String),
+    /// A runtime type error (e.g. `'abc' + 1`).
+    Type(String),
+    /// Integer or float division by zero.
+    DivisionByZero,
+    /// The query references a recommender that was never created for this
+    /// (ratings table, algorithm) pair.
+    NoRecommender {
+        /// The ratings table in the FROM/RECOMMEND clause.
+        table: String,
+        /// The algorithm in the USING clause.
+        algorithm: String,
+    },
+    /// An algorithm name that RecDB does not support.
+    UnknownAlgorithm(String),
+    /// A feature the engine does not implement.
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Bind(msg) => write!(f, "binding error: {msg}"),
+            ExecError::Type(msg) => write!(f, "type error: {msg}"),
+            ExecError::DivisionByZero => f.write_str("division by zero"),
+            ExecError::NoRecommender { table, algorithm } => write!(
+                f,
+                "no {algorithm} recommender has been created on table `{table}` \
+                 (run CREATE RECOMMENDER first)"
+            ),
+            ExecError::UnknownAlgorithm(name) => {
+                write!(f, "unknown recommendation algorithm `{name}`")
+            }
+            ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_no_recommender_is_actionable() {
+        let e = ExecError::NoRecommender {
+            table: "ratings".into(),
+            algorithm: "SVD".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("SVD"));
+        assert!(msg.contains("ratings"));
+        assert!(msg.contains("CREATE RECOMMENDER"));
+    }
+
+    #[test]
+    fn storage_error_converts_and_chains() {
+        let e: ExecError = StorageError::TableNotFound("t".into()).into();
+        assert!(matches!(e, ExecError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! Index nested-loop join: probe a base-table B-tree index with each
+//! outer tuple instead of materializing and hashing the whole inner table.
+//!
+//! Chosen by the physical planner when the inner side of an equi-join is a
+//! base table (optionally with a filter) that has a secondary index whose
+//! leading key column is the join column. For selective outer inputs this
+//! touches `O(probes · log n)` pages instead of the full inner relation —
+//! the access-path trade-off visible in the shared [`recdb_storage::IoStats`]
+//! counters.
+
+use super::PhysicalOp;
+use crate::error::ExecResult;
+use crate::expr::BoundExpr;
+use recdb_storage::{BTreeIndex, Schema, Table, Tuple, Value};
+use std::collections::VecDeque;
+
+/// An index nested-loop join. Output tuples are `outer ++ inner`.
+pub struct IndexJoinOp<'a> {
+    outer: Box<dyn PhysicalOp + 'a>,
+    inner_table: &'a Table,
+    index: &'a BTreeIndex,
+    schema: Schema,
+    /// Ordinal of the probe column in the outer schema.
+    outer_ordinal: usize,
+    /// Residual predicate over the joined schema (covers any filter on the
+    /// inner side plus non-equi join conjuncts).
+    residual: Option<BoundExpr>,
+    pending: VecDeque<Tuple>,
+}
+
+impl<'a> IndexJoinOp<'a> {
+    /// Build the operator. `inner_schema` is the inner table's schema
+    /// qualified by its query binding.
+    pub fn new(
+        outer: Box<dyn PhysicalOp + 'a>,
+        inner_table: &'a Table,
+        index: &'a BTreeIndex,
+        inner_schema: &Schema,
+        outer_ordinal: usize,
+        residual: Option<BoundExpr>,
+    ) -> Self {
+        let schema = outer.schema().join(inner_schema);
+        IndexJoinOp {
+            outer,
+            inner_table,
+            index,
+            schema,
+            outer_ordinal,
+            residual,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl PhysicalOp for IndexJoinOp<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(Ok(t));
+            }
+            let outer_tuple = match self.outer.next()? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            let key = outer_tuple
+                .get(self.outer_ordinal)
+                .cloned()
+                .unwrap_or(Value::Null);
+            if key.is_null() {
+                continue; // SQL equality: NULL joins nothing
+            }
+            for rid in self.index.lookup(&vec![key]) {
+                let inner_tuple = match self.inner_table.get(rid) {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e.into())),
+                };
+                let joined = outer_tuple.join(&inner_tuple);
+                match &self.residual {
+                    None => self.pending.push_back(joined),
+                    Some(p) => match p.eval_predicate(&joined) {
+                        Ok(true) => self.pending.push_back(joined),
+                        Ok(false) => {}
+                        Err(e) => return Some(Err(e)),
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::bind;
+    use crate::ops::{drain, ValuesOp};
+    use recdb_sql::parse;
+    use recdb_storage::{Catalog, Column, DataType};
+
+    fn outer_schema() -> Schema {
+        Schema::new(vec![
+            Column::qualified("R", "uid", DataType::Int),
+            Column::qualified("R", "iid", DataType::Int),
+        ])
+    }
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let movies = cat
+            .create_table(
+                "movies",
+                Schema::from_pairs(&[
+                    ("mid", DataType::Int),
+                    ("name", DataType::Text),
+                    ("genre", DataType::Text),
+                ]),
+            )
+            .unwrap();
+        for (mid, name, genre) in [
+            (10, "Spartacus", "Action"),
+            (11, "Inception", "Suspense"),
+            (12, "The Matrix", "Sci-Fi"),
+            (10, "Spartacus (1960)", "Action"), // duplicate key
+        ] {
+            movies
+                .insert(Tuple::new(vec![
+                    Value::Int(mid),
+                    Value::Text(name.into()),
+                    Value::Text(genre.into()),
+                ]))
+                .unwrap();
+        }
+        movies.create_index("movies_mid", &["mid"]).unwrap();
+        cat
+    }
+
+    fn outer_rows() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![Value::Int(1), Value::Int(10)]),
+            Tuple::new(vec![Value::Int(1), Value::Int(12)]),
+            Tuple::new(vec![Value::Int(2), Value::Null]),
+            Tuple::new(vec![Value::Int(2), Value::Int(99)]),
+        ]
+    }
+
+    #[test]
+    fn probes_match_hash_join_semantics() {
+        let cat = catalog();
+        let table = cat.table("movies").unwrap();
+        let index = table.index("movies_mid").unwrap();
+        let inner_schema = table.schema().with_qualifier("M");
+        let outer = Box::new(ValuesOp::new(outer_schema(), outer_rows()));
+        let mut op = IndexJoinOp::new(outer, table, index, &inner_schema, 1, None);
+        let got = drain(&mut op).unwrap();
+        // iid 10 matches two movies, iid 12 one, NULL and 99 none.
+        assert_eq!(got.len(), 3);
+        for t in &got {
+            assert_eq!(t.get(1), t.get(2), "join key equality");
+            assert_eq!(t.arity(), 5);
+        }
+    }
+
+    #[test]
+    fn residual_filters_joined_rows() {
+        let cat = catalog();
+        let table = cat.table("movies").unwrap();
+        let index = table.index("movies_mid").unwrap();
+        let inner_schema = table.schema().with_qualifier("M");
+        let joined = outer_schema().join(&inner_schema);
+        let recdb_sql::Statement::Select(s) =
+            parse("SELECT * FROM t WHERE M.genre = 'Action'").unwrap()
+        else {
+            panic!()
+        };
+        let residual = bind(&s.filter.unwrap(), &joined).unwrap();
+        let outer = Box::new(ValuesOp::new(outer_schema(), outer_rows()));
+        let mut op = IndexJoinOp::new(outer, table, index, &inner_schema, 1, Some(residual));
+        let got = drain(&mut op).unwrap();
+        assert_eq!(got.len(), 2, "only the two Action duplicates of mid 10");
+    }
+
+    #[test]
+    fn index_join_reads_fewer_pages_than_full_scan() {
+        // Cost-model check: with one probe, the index path charges log-
+        // height page reads plus one fetch, far less than scanning the
+        // (here, single-page) table per probe would at scale. We assert
+        // the counters move at all and stay below a full-scan bound.
+        let cat = catalog();
+        let table = cat.table("movies").unwrap();
+        let index = table.index("movies_mid").unwrap();
+        let inner_schema = table.schema().with_qualifier("M");
+        cat.stats().reset();
+        let outer = Box::new(ValuesOp::new(
+            outer_schema(),
+            vec![Tuple::new(vec![Value::Int(1), Value::Int(12)])],
+        ));
+        let mut op = IndexJoinOp::new(outer, table, index, &inner_schema, 1, None);
+        let got = drain(&mut op).unwrap();
+        assert_eq!(got.len(), 1);
+        let reads = cat.stats().page_reads();
+        assert!(reads >= 1, "index descent + fetch must be charged");
+        assert!(reads <= 4, "one probe must not scan the table ({reads} reads)");
+        assert_eq!(cat.stats().tuple_reads(), 1, "exactly one tuple fetched");
+    }
+}

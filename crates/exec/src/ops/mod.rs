@@ -1,0 +1,435 @@
+//! Volcano-style physical operators.
+//!
+//! Every operator implements [`PhysicalOp`]: `next()` produces one tuple at
+//! a time, so recommendation operators are non-blocking ("pipeline-able")
+//! exactly as §IV-B requires — downstream operators receive scored tuples
+//! before the recommender has finished all its predictions.
+
+pub mod aggregate;
+pub mod index_join;
+pub mod join;
+pub mod recommend;
+
+use crate::error::ExecResult;
+use crate::expr::BoundExpr;
+use recdb_storage::{HeapTable, Rid, Schema, Tuple, Value};
+
+pub use aggregate::{AggFunc, AggOutput, HashAggregateOp};
+pub use index_join::IndexJoinOp;
+pub use join::JoinOp;
+pub use recommend::{IndexRecommendOp, JoinRecommendOp, RecommendOp};
+
+/// A pull-based physical operator.
+pub trait PhysicalOp {
+    /// The operator's output schema.
+    fn schema(&self) -> &Schema;
+    /// Produce the next tuple, `None` at end of stream.
+    fn next(&mut self) -> Option<ExecResult<Tuple>>;
+}
+
+/// Drain an operator into a vector, stopping at the first error.
+pub fn drain(op: &mut dyn PhysicalOp) -> ExecResult<Vec<Tuple>> {
+    let mut rows = Vec::new();
+    while let Some(t) = op.next() {
+        rows.push(t?);
+    }
+    Ok(rows)
+}
+
+// ------------------------------------------------------------------- Scan
+
+/// Sequential heap scan, page at a time (charges one page read per block).
+pub struct ScanOp<'a> {
+    heap: &'a HeapTable,
+    schema: Schema,
+    page: u32,
+    buffer: std::vec::IntoIter<(Rid, Tuple)>,
+}
+
+impl<'a> ScanOp<'a> {
+    /// Scan `heap`, emitting tuples under `schema` (the table schema
+    /// qualified by the query binding).
+    pub fn new(heap: &'a HeapTable, schema: Schema) -> Self {
+        ScanOp {
+            heap,
+            schema,
+            page: 0,
+            buffer: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl PhysicalOp for ScanOp<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        loop {
+            if let Some((_, tuple)) = self.buffer.next() {
+                return Some(Ok(tuple));
+            }
+            let tuples = self.heap.read_page(self.page)?;
+            self.page += 1;
+            self.buffer = tuples.into_iter();
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Filter
+
+/// σ — emit tuples whose predicate evaluates to TRUE.
+pub struct FilterOp<'a> {
+    input: Box<dyn PhysicalOp + 'a>,
+    predicate: BoundExpr,
+}
+
+impl<'a> FilterOp<'a> {
+    /// Wrap `input` with a bound predicate.
+    pub fn new(input: Box<dyn PhysicalOp + 'a>, predicate: BoundExpr) -> Self {
+        FilterOp { input, predicate }
+    }
+}
+
+impl PhysicalOp for FilterOp<'_> {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        loop {
+            let tuple = match self.input.next()? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            match self.predicate.eval_predicate(&tuple) {
+                Ok(true) => return Some(Ok(tuple)),
+                Ok(false) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Project
+
+/// π — compute output expressions per tuple.
+pub struct ProjectOp<'a> {
+    input: Box<dyn PhysicalOp + 'a>,
+    exprs: Vec<BoundExpr>,
+    schema: Schema,
+}
+
+impl<'a> ProjectOp<'a> {
+    /// Wrap `input`; `exprs` are bound against the input schema, `schema`
+    /// is the output schema.
+    pub fn new(input: Box<dyn PhysicalOp + 'a>, exprs: Vec<BoundExpr>, schema: Schema) -> Self {
+        ProjectOp {
+            input,
+            exprs,
+            schema,
+        }
+    }
+}
+
+impl PhysicalOp for ProjectOp<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        let tuple = match self.input.next()? {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
+        let mut out = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            match e.eval(&tuple) {
+                Ok(v) => out.push(v),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok(Tuple::new(out)))
+    }
+}
+
+// ------------------------------------------------------------------- Sort
+
+/// Blocking sort. Materializes its input on first `next()`.
+pub struct SortOp<'a> {
+    input: Box<dyn PhysicalOp + 'a>,
+    /// `(key expression, descending?)` in priority order.
+    keys: Vec<(BoundExpr, bool)>,
+    sorted: Option<std::vec::IntoIter<Tuple>>,
+    error: Option<crate::error::ExecError>,
+}
+
+impl<'a> SortOp<'a> {
+    /// Wrap `input` with bound sort keys.
+    pub fn new(input: Box<dyn PhysicalOp + 'a>, keys: Vec<(BoundExpr, bool)>) -> Self {
+        SortOp {
+            input,
+            keys,
+            sorted: None,
+            error: None,
+        }
+    }
+
+    fn materialize(&mut self) {
+        let mut rows: Vec<(Vec<Value>, Tuple)> = Vec::new();
+        while let Some(t) = self.input.next() {
+            let tuple = match t {
+                Ok(t) => t,
+                Err(e) => {
+                    self.error = Some(e);
+                    return;
+                }
+            };
+            let mut key = Vec::with_capacity(self.keys.len());
+            for (expr, _) in &self.keys {
+                match expr.eval(&tuple) {
+                    Ok(v) => key.push(v),
+                    Err(e) => {
+                        self.error = Some(e);
+                        return;
+                    }
+                }
+            }
+            rows.push((key, tuple));
+        }
+        let keys = &self.keys;
+        rows.sort_by(|a, b| {
+            for (i, (_, desc)) in keys.iter().enumerate() {
+                let ord = a.0[i].total_cmp(&b.0[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.sorted = Some(
+            rows.into_iter()
+                .map(|(_, t)| t)
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+    }
+}
+
+impl PhysicalOp for SortOp<'_> {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        if self.sorted.is_none() && self.error.is_none() {
+            self.materialize();
+        }
+        if let Some(e) = self.error.take() {
+            return Some(Err(e));
+        }
+        self.sorted.as_mut()?.next().map(Ok)
+    }
+}
+
+// ------------------------------------------------------------------ Limit
+
+/// Emit at most `limit` tuples.
+pub struct LimitOp<'a> {
+    input: Box<dyn PhysicalOp + 'a>,
+    remaining: u64,
+}
+
+impl<'a> LimitOp<'a> {
+    /// Wrap `input` with a row budget.
+    pub fn new(input: Box<dyn PhysicalOp + 'a>, limit: u64) -> Self {
+        LimitOp {
+            input,
+            remaining: limit,
+        }
+    }
+}
+
+impl PhysicalOp for LimitOp<'_> {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let t = self.input.next()?;
+        if t.is_ok() {
+            self.remaining -= 1;
+        }
+        Some(t)
+    }
+}
+
+// A values operator used by tests and INSERT ... SELECT style plumbing.
+
+/// Emit a fixed list of tuples (test/bench helper).
+pub struct ValuesOp {
+    schema: Schema,
+    rows: std::vec::IntoIter<Tuple>,
+}
+
+impl ValuesOp {
+    /// Build from a schema and rows.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
+        ValuesOp {
+            schema,
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl PhysicalOp for ValuesOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        self.rows.next().map(Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::bind;
+    use recdb_sql::parse;
+    use recdb_storage::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::qualified("R", "uid", DataType::Int),
+            Column::qualified("R", "ratingval", DataType::Float),
+        ])
+    }
+
+    fn rows(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::Float(((i * 7) % 10) as f64 / 2.0),
+                ])
+            })
+            .collect()
+    }
+
+    fn values(n: i64) -> Box<dyn PhysicalOp> {
+        Box::new(ValuesOp::new(schema(), rows(n)))
+    }
+
+    fn predicate(src: &str) -> BoundExpr {
+        let recdb_sql::Statement::Select(s) =
+            parse(&format!("SELECT * FROM t WHERE {src}")).unwrap()
+        else {
+            panic!()
+        };
+        bind(&s.filter.unwrap(), &schema()).unwrap()
+    }
+
+    #[test]
+    fn scan_reads_all_pages() {
+        let mut heap = HeapTable::new(schema());
+        for t in rows(2000) {
+            heap.insert(t).unwrap();
+        }
+        let mut op = ScanOp::new(&heap, schema());
+        let got = drain(&mut op).unwrap();
+        assert_eq!(got.len(), 2000);
+        assert_eq!(got[0].get(0).unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let mut op = FilterOp::new(values(10), predicate("uid < 3"));
+        let got = drain(&mut op).unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let recdb_sql::Statement::Select(s) =
+            parse("SELECT uid * 2 AS d FROM t").unwrap()
+        else {
+            panic!()
+        };
+        let recdb_sql::SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        let bound = bind(expr, &schema()).unwrap();
+        let out_schema = Schema::from_pairs(&[("d", DataType::Int)]);
+        let mut op = ProjectOp::new(values(3), vec![bound], out_schema);
+        let got = drain(&mut op).unwrap();
+        assert_eq!(got[2].get(0).unwrap(), &Value::Int(4));
+    }
+
+    #[test]
+    fn sort_orders_desc_then_asc() {
+        let keys = vec![
+            (predicate_expr("ratingval"), true),
+            (predicate_expr("uid"), false),
+        ];
+        let mut op = SortOp::new(values(10), keys);
+        let got = drain(&mut op).unwrap();
+        let vals: Vec<f64> = got
+            .iter()
+            .map(|t| t.get(1).unwrap().as_f64().unwrap())
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] >= w[1]), "{vals:?}");
+        // Ties broken by ascending uid.
+        for w in got.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.get(1) == b.get(1) {
+                assert!(a.get(0).unwrap() < b.get(0).unwrap());
+            }
+        }
+    }
+
+    fn predicate_expr(col: &str) -> BoundExpr {
+        bind(&recdb_sql::Expr::col(col), &schema()).unwrap()
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut op = LimitOp::new(values(10), 4);
+        assert_eq!(drain(&mut op).unwrap().len(), 4);
+        let mut op = LimitOp::new(values(2), 100);
+        assert_eq!(drain(&mut op).unwrap().len(), 2);
+        let mut op = LimitOp::new(values(5), 0);
+        assert_eq!(drain(&mut op).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn filter_propagates_eval_errors() {
+        let mut op = FilterOp::new(values(3), predicate("uid / 0 = 1"));
+        assert!(drain(&mut op).is_err());
+    }
+
+    #[test]
+    fn sort_propagates_eval_errors() {
+        let keys = vec![(predicate("uid / 0 = 1"), false)];
+        let mut op = SortOp::new(values(3), keys);
+        assert!(drain(&mut op).is_err());
+    }
+
+    #[test]
+    fn pipeline_composes() {
+        // values → filter → sort → limit
+        let filtered = Box::new(FilterOp::new(values(100), predicate("uid >= 10")));
+        let sorted = Box::new(SortOp::new(filtered, vec![(predicate_expr("uid"), true)]));
+        let mut limited = LimitOp::new(sorted, 3);
+        let got = drain(&mut limited).unwrap();
+        let uids: Vec<i64> = got
+            .iter()
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(uids, vec![99, 98, 97]);
+    }
+}

@@ -1,0 +1,563 @@
+//! The recommendation-aware operator family (§IV).
+//!
+//! * [`RecommendOp`] — Algorithms 1/2: score user/item pairs from the
+//!   trained model. With uid/iid/ratingval predicates pushed into it, it is
+//!   the paper's FILTERRECOMMEND: only the requested users/items are
+//!   scored, so cost scales with the predicate selectivity instead of
+//!   `|U| × |I|`.
+//! * [`JoinRecommendOp`] — §IV-B2: streams the (already filtered) outer
+//!   relation and predicts a score only for items that survive the join
+//!   predicate.
+//! * [`IndexRecommendOp`] — Algorithm 3: serves pre-computed scores from
+//!   the [`RecScoreIndex`] in descending score order per user (Phase I
+//!   user filter → Phase II rating-range tree traversal → Phase III item
+//!   filter).
+//!
+//! All three emit `〈user, item, ratingval〉` tuples for items **unseen** by
+//! the user ("each tuple represents ... item i (unseen by user uid)");
+//! pairs with no model signal score 0 (Algorithm 1 line 14).
+
+use super::PhysicalOp;
+use crate::error::ExecResult;
+use crate::rec_index::RecScoreIndex;
+use recdb_algo::RecModel;
+use recdb_storage::{Schema, Tuple, Value};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn in_bounds(score: f64, min: Option<f64>, max: Option<f64>) -> bool {
+    min.is_none_or(|m| score >= m) && max.is_none_or(|m| score <= m)
+}
+
+/// Keep only ids known to the predicate, de-duplicated preserving first
+/// occurrence (an `IN (8, 8)` list must not double-count item 8).
+fn dedup_known(list: Vec<i64>, known: impl Fn(&i64) -> bool) -> Vec<i64> {
+    let mut seen = HashSet::with_capacity(list.len());
+    list.into_iter()
+        .filter(|v| known(v) && seen.insert(*v))
+        .collect()
+}
+
+// -------------------------------------------------------------- Recommend
+
+/// The RECOMMEND / FILTERRECOMMEND operator.
+pub struct RecommendOp {
+    model: Arc<RecModel>,
+    schema: Schema,
+    users: Vec<i64>,
+    items: Vec<i64>,
+    min_rating: Option<f64>,
+    max_rating: Option<f64>,
+    u_cursor: usize,
+    i_cursor: usize,
+}
+
+impl RecommendOp {
+    /// Build the operator. `users`/`items` of `None` mean "all users/items
+    /// known to the model" (the plain RECOMMEND of Algorithm 1); lists
+    /// implement the pushed-down `uPred`/`iPred` of FILTERRECOMMEND.
+    ///
+    /// The operator's domain is the recommender's input data: ids that
+    /// never appeared in the ratings table are not part of `U × I` and
+    /// produce no rows (a filter on them intersects to nothing).
+    pub fn new(
+        model: Arc<RecModel>,
+        schema: Schema,
+        users: Option<Vec<i64>>,
+        items: Option<Vec<i64>>,
+        min_rating: Option<f64>,
+        max_rating: Option<f64>,
+    ) -> Self {
+        let users = match users {
+            Some(list) => dedup_known(list, |u| model.matrix().user_idx(*u).is_some()),
+            None => model.matrix().user_ids().to_vec(),
+        };
+        let items = match items {
+            Some(list) => dedup_known(list, |i| model.matrix().item_idx(*i).is_some()),
+            None => model.matrix().item_ids().to_vec(),
+        };
+        RecommendOp {
+            model,
+            schema,
+            users,
+            items,
+            min_rating,
+            max_rating,
+            u_cursor: 0,
+            i_cursor: 0,
+        }
+    }
+}
+
+impl PhysicalOp for RecommendOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        loop {
+            if self.u_cursor >= self.users.len() {
+                return None;
+            }
+            if self.i_cursor >= self.items.len() {
+                self.u_cursor += 1;
+                self.i_cursor = 0;
+                continue;
+            }
+            let user = self.users[self.u_cursor];
+            let item = self.items[self.i_cursor];
+            self.i_cursor += 1;
+            // Unseen items only; rated pairs are not recommendations.
+            if self.model.matrix().rating_of(user, item).is_some() {
+                continue;
+            }
+            let score = self.model.predict(user, item).unwrap_or(0.0);
+            if !in_bounds(score, self.min_rating, self.max_rating) {
+                continue;
+            }
+            return Some(Ok(Tuple::new(vec![
+                Value::Int(user),
+                Value::Int(item),
+                Value::Float(score),
+            ])));
+        }
+    }
+}
+
+// ---------------------------------------------------------- JoinRecommend
+
+/// The JOINRECOMMEND operator: predicts scores only for the items flowing
+/// out of the outer relation. Output tuples are `rec ++ outer`.
+pub struct JoinRecommendOp<'a> {
+    model: Arc<RecModel>,
+    schema: Schema,
+    outer: Box<dyn PhysicalOp + 'a>,
+    /// Ordinal of the item-id column in the outer schema.
+    outer_item_ordinal: usize,
+    users: Vec<i64>,
+    min_rating: Option<f64>,
+    max_rating: Option<f64>,
+    pending: VecDeque<Tuple>,
+}
+
+impl<'a> JoinRecommendOp<'a> {
+    /// Build the operator. `rec_schema` is the recommend leaf's 3-column
+    /// schema; the output schema is `rec_schema ⊕ outer.schema()`.
+    pub fn new(
+        model: Arc<RecModel>,
+        rec_schema: Schema,
+        outer: Box<dyn PhysicalOp + 'a>,
+        outer_item_ordinal: usize,
+        users: Option<Vec<i64>>,
+        min_rating: Option<f64>,
+        max_rating: Option<f64>,
+    ) -> Self {
+        let users = match users {
+            Some(list) => dedup_known(list, |u| model.matrix().user_idx(*u).is_some()),
+            None => model.matrix().user_ids().to_vec(),
+        };
+        let schema = rec_schema.join(outer.schema());
+        JoinRecommendOp {
+            model,
+            schema,
+            outer,
+            outer_item_ordinal,
+            users,
+            min_rating,
+            max_rating,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl PhysicalOp for JoinRecommendOp<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(Ok(t));
+            }
+            let outer_tuple = match self.outer.next()? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            let Some(item) = outer_tuple
+                .get(self.outer_item_ordinal)
+                .and_then(Value::as_int)
+            else {
+                continue; // NULL / non-integer join keys never match
+            };
+            if self.model.matrix().item_idx(item).is_none() {
+                continue; // items outside the recommender's universe
+            }
+            for &user in &self.users {
+                if self.model.matrix().rating_of(user, item).is_some() {
+                    continue;
+                }
+                let score = self.model.predict(user, item).unwrap_or(0.0);
+                if !in_bounds(score, self.min_rating, self.max_rating) {
+                    continue;
+                }
+                let rec = Tuple::new(vec![
+                    Value::Int(user),
+                    Value::Int(item),
+                    Value::Float(score),
+                ]);
+                self.pending.push_back(rec.join(&outer_tuple));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- IndexRecommend
+
+/// The INDEXRECOMMEND operator (Algorithm 3).
+pub struct IndexRecommendOp {
+    index: Arc<RecScoreIndex>,
+    schema: Schema,
+    users: Vec<i64>,
+    item_filter: Option<HashSet<i64>>,
+    min_rating: Option<f64>,
+    max_rating: Option<f64>,
+    u_cursor: usize,
+    /// Per-user buffered descending entries (Phase II output).
+    buffer: VecDeque<(i64, i64, f64)>,
+}
+
+impl IndexRecommendOp {
+    /// Build the operator for the given (Phase I) user list. `item_filter`
+    /// is the Phase III `iPred`; the rating bounds are the Phase II
+    /// `rPred`.
+    pub fn new(
+        index: Arc<RecScoreIndex>,
+        schema: Schema,
+        users: Vec<i64>,
+        item_filter: Option<Vec<i64>>,
+        min_rating: Option<f64>,
+        max_rating: Option<f64>,
+    ) -> Self {
+        IndexRecommendOp {
+            index,
+            schema,
+            users,
+            item_filter: item_filter.map(|v| v.into_iter().collect()),
+            min_rating,
+            max_rating,
+            u_cursor: 0,
+            buffer: VecDeque::new(),
+        }
+    }
+}
+
+impl PhysicalOp for IndexRecommendOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        loop {
+            if let Some((user, item, score)) = self.buffer.pop_front() {
+                return Some(Ok(Tuple::new(vec![
+                    Value::Int(user),
+                    Value::Int(item),
+                    Value::Float(score),
+                ])));
+            }
+            if self.u_cursor >= self.users.len() {
+                return None;
+            }
+            let user = self.users[self.u_cursor];
+            self.u_cursor += 1;
+            // Phase II: rating-range tree traversal, descending.
+            for (item, score) in self.index.iter_desc(user, self.min_rating, self.max_rating) {
+                // Phase III: item-id filtering.
+                if self
+                    .item_filter
+                    .as_ref()
+                    .is_none_or(|set| set.contains(&item))
+                {
+                    self.buffer.push_back((user, item, score));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{drain, ValuesOp};
+    use recdb_algo::{Algorithm, Rating, RatingsMatrix};
+    use recdb_storage::{Column, DataType};
+
+    fn rec_schema() -> Schema {
+        Schema::new(vec![
+            Column::qualified("R", "uid", DataType::Int),
+            Column::qualified("R", "iid", DataType::Int),
+            Column::qualified("R", "ratingval", DataType::Float),
+        ])
+    }
+
+    /// Figure 1 data: users 1–4, items 1–3.
+    fn model() -> Arc<RecModel> {
+        Arc::new(RecModel::train(
+            Algorithm::ItemCosCF,
+            RatingsMatrix::from_ratings(vec![
+                Rating::new(1, 1, 1.5),
+                Rating::new(2, 2, 3.5),
+                Rating::new(2, 1, 4.5),
+                Rating::new(2, 3, 2.0),
+                Rating::new(3, 2, 1.0),
+                Rating::new(3, 1, 2.0),
+                Rating::new(4, 2, 1.0),
+            ]),
+            &Default::default(),
+        ))
+    }
+
+    #[test]
+    fn full_recommend_covers_all_unseen_pairs() {
+        let mut op = RecommendOp::new(model(), rec_schema(), None, None, None, None);
+        let got = drain(&mut op).unwrap();
+        // 4 users × 3 items = 12 pairs, 7 rated → 5 unseen.
+        assert_eq!(got.len(), 5);
+        for t in &got {
+            let u = t.get(0).unwrap().as_int().unwrap();
+            let i = t.get(1).unwrap().as_int().unwrap();
+            assert!(model().matrix().rating_of(u, i).is_none(), "({u},{i}) rated");
+        }
+    }
+
+    #[test]
+    fn filter_recommend_scopes_to_user() {
+        let mut op = RecommendOp::new(model(), rec_schema(), Some(vec![1]), None, None, None);
+        let got = drain(&mut op).unwrap();
+        // User 1 rated item 1 only → items 2, 3 unseen.
+        assert_eq!(got.len(), 2);
+        assert!(got
+            .iter()
+            .all(|t| t.get(0).unwrap() == &Value::Int(1)));
+    }
+
+    #[test]
+    fn filter_recommend_scopes_to_items() {
+        let mut op = RecommendOp::new(
+            model(),
+            rec_schema(),
+            Some(vec![1]),
+            Some(vec![2]),
+            None,
+            None,
+        );
+        let got = drain(&mut op).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get(1).unwrap(), &Value::Int(2));
+        // Predicted value matches the model's Eq. 2 output.
+        let expected = model().predict(1, 2).unwrap();
+        assert_eq!(got[0].get(2).unwrap().as_f64().unwrap(), expected);
+    }
+
+    #[test]
+    fn rating_bounds_prune_output() {
+        let mut op = RecommendOp::new(
+            model(),
+            rec_schema(),
+            None,
+            None,
+            Some(0.5),
+            None,
+        );
+        let got = drain(&mut op).unwrap();
+        assert!(got
+            .iter()
+            .all(|t| t.get(2).unwrap().as_f64().unwrap() >= 0.5));
+        let mut unbounded = RecommendOp::new(model(), rec_schema(), None, None, None, None);
+        assert!(drain(&mut unbounded).unwrap().len() >= got.len());
+    }
+
+    #[test]
+    fn unknown_ids_are_outside_the_domain() {
+        // Users/items that never appear in the ratings table are not part
+        // of the recommender's U × I and yield no rows.
+        let mut op = RecommendOp::new(model(), rec_schema(), Some(vec![99]), None, None, None);
+        assert!(drain(&mut op).unwrap().is_empty());
+        let mut op = RecommendOp::new(
+            model(),
+            rec_schema(),
+            Some(vec![1]),
+            Some(vec![2, 44, 45]),
+            None,
+            None,
+        );
+        let got = drain(&mut op).unwrap();
+        assert_eq!(got.len(), 1, "only the known item 2 survives");
+    }
+
+    #[test]
+    fn duplicate_filter_ids_do_not_duplicate_output() {
+        let mut op = RecommendOp::new(
+            model(),
+            rec_schema(),
+            Some(vec![1, 1]),
+            Some(vec![2, 2, 2]),
+            None,
+            None,
+        );
+        assert_eq!(drain(&mut op).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn join_recommend_scores_only_outer_items() {
+        let outer_schema = Schema::new(vec![
+            Column::qualified("M", "mid", DataType::Int),
+            Column::qualified("M", "name", DataType::Text),
+        ]);
+        let outer = Box::new(ValuesOp::new(
+            outer_schema,
+            vec![
+                Tuple::new(vec![Value::Int(2), Value::Text("Inception".into())]),
+                Tuple::new(vec![Value::Int(3), Value::Text("The Matrix".into())]),
+                Tuple::new(vec![Value::Null, Value::Text("ghost".into())]),
+            ],
+        ));
+        let mut op = JoinRecommendOp::new(
+            model(),
+            rec_schema(),
+            outer,
+            0,
+            Some(vec![1]),
+            None,
+            None,
+        );
+        let got = drain(&mut op).unwrap();
+        // User 1: items 2 and 3 are unseen → two joined tuples.
+        assert_eq!(got.len(), 2);
+        for t in &got {
+            assert_eq!(t.arity(), 5);
+            assert_eq!(t.get(1), t.get(3), "item id equals outer mid");
+        }
+        assert_eq!(got[0].get(4).unwrap().as_text(), Some("Inception"));
+    }
+
+    #[test]
+    fn join_recommend_skips_rated_pairs() {
+        let outer_schema = Schema::new(vec![Column::qualified("M", "mid", DataType::Int)]);
+        let outer = Box::new(ValuesOp::new(
+            outer_schema,
+            vec![Tuple::new(vec![Value::Int(1)])], // user 1 already rated item 1
+        ));
+        let mut op = JoinRecommendOp::new(
+            model(),
+            rec_schema(),
+            outer,
+            0,
+            Some(vec![1]),
+            None,
+            None,
+        );
+        assert!(drain(&mut op).unwrap().is_empty());
+    }
+
+    fn sample_index() -> Arc<RecScoreIndex> {
+        let mut idx = RecScoreIndex::new();
+        idx.insert(1, 10, 4.5);
+        idx.insert(1, 11, 2.0);
+        idx.insert(1, 12, 5.0);
+        idx.insert(2, 10, 3.0);
+        idx.mark_complete(1);
+        idx.mark_complete(2);
+        Arc::new(idx)
+    }
+
+    #[test]
+    fn index_recommend_emits_descending() {
+        let mut op = IndexRecommendOp::new(
+            sample_index(),
+            rec_schema(),
+            vec![1],
+            None,
+            None,
+            None,
+        );
+        let got = drain(&mut op).unwrap();
+        let items: Vec<i64> = got
+            .iter()
+            .map(|t| t.get(1).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(items, vec![12, 10, 11]);
+        let scores: Vec<f64> = got
+            .iter()
+            .map(|t| t.get(2).unwrap().as_f64().unwrap())
+            .collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn index_recommend_three_phase_filtering() {
+        // Phase I: users [1, 2]; Phase II: rating ≥ 3; Phase III: items {10, 12}.
+        let mut op = IndexRecommendOp::new(
+            sample_index(),
+            rec_schema(),
+            vec![1, 2],
+            Some(vec![10, 12]),
+            Some(3.0),
+            None,
+        );
+        let got = drain(&mut op).unwrap();
+        let triples: Vec<(i64, i64, f64)> = got
+            .iter()
+            .map(|t| {
+                (
+                    t.get(0).unwrap().as_int().unwrap(),
+                    t.get(1).unwrap().as_int().unwrap(),
+                    t.get(2).unwrap().as_f64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(triples, vec![(1, 12, 5.0), (1, 10, 4.5), (2, 10, 3.0)]);
+    }
+
+    #[test]
+    fn index_recommend_unknown_user_is_empty() {
+        let mut op = IndexRecommendOp::new(
+            sample_index(),
+            rec_schema(),
+            vec![42],
+            None,
+            None,
+            None,
+        );
+        assert!(drain(&mut op).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filter_recommend_does_less_prediction_work_than_full() {
+        // Cost-shape assertion: the filtered operator emits (and therefore
+        // scored) a small fraction of what the full operator does.
+        let full = drain(&mut RecommendOp::new(
+            model(),
+            rec_schema(),
+            None,
+            None,
+            None,
+            None,
+        ))
+        .unwrap()
+        .len();
+        let filtered = drain(&mut RecommendOp::new(
+            model(),
+            rec_schema(),
+            Some(vec![1]),
+            Some(vec![2]),
+            None,
+            None,
+        ))
+        .unwrap()
+        .len();
+        assert!(filtered * 2 <= full, "filtered {filtered} vs full {full}");
+    }
+}

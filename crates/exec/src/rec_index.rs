@@ -1,0 +1,274 @@
+//! `RecScoreIndex` — the pre-computed recommendation score index (§IV-C).
+//!
+//! The paper's structure (Figure 4) is a hash table from user id to a
+//! per-user B+-tree keyed by predicted rating, whose leaves point to items
+//! in descending score order. Here each per-user tree is a `BTreeMap`
+//! keyed by `(score, item)` with a total order on the score, plus an
+//! item → score side map so the cache manager can evict a specific
+//! user/item pair without knowing its score.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A B+-tree key ordering floats totally (NaN-safe) then by item id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ScoreKey {
+    score: f64,
+    item: i64,
+}
+
+impl Eq for ScoreKey {}
+
+impl PartialOrd for ScoreKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoreKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+/// Per-user score tree (the paper's `RecTree_u`).
+#[derive(Debug, Clone, Default)]
+struct RecTree {
+    tree: BTreeMap<ScoreKey, ()>,
+    by_item: HashMap<i64, f64>,
+}
+
+impl RecTree {
+    fn insert(&mut self, item: i64, score: f64) {
+        if let Some(old) = self.by_item.insert(item, score) {
+            self.tree.remove(&ScoreKey { score: old, item });
+        }
+        self.tree.insert(ScoreKey { score, item }, ());
+    }
+
+    fn remove(&mut self, item: i64) -> bool {
+        match self.by_item.remove(&item) {
+            Some(score) => {
+                self.tree.remove(&ScoreKey { score, item });
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The pre-computed score index: user → RecTree.
+#[derive(Debug, Clone, Default)]
+pub struct RecScoreIndex {
+    trees: HashMap<i64, RecTree>,
+    /// Users whose *entire* unseen-item list is materialized. Only these
+    /// can serve IndexRecommend top-k queries soundly; partially-admitted
+    /// users (Algorithm 4 admits per pair) only accelerate point lookups.
+    complete: HashSet<i64>,
+    entries: usize,
+}
+
+impl RecScoreIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        RecScoreIndex::default()
+    }
+
+    /// Number of materialized `(user, item, score)` entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of users with at least one materialized entry.
+    pub fn user_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether user `u` has any materialized entries.
+    pub fn has_user(&self, user: i64) -> bool {
+        self.trees.contains_key(&user)
+    }
+
+    /// Materialize (or refresh) one entry.
+    pub fn insert(&mut self, user: i64, item: i64, score: f64) {
+        let tree = self.trees.entry(user).or_default();
+        let before = tree.by_item.len();
+        tree.insert(item, score);
+        if tree.by_item.len() > before {
+            self.entries += 1;
+        }
+    }
+
+    /// Mark a user's list as fully materialized (every unseen item is
+    /// present). Set by the engine's materialization step, cleared by any
+    /// eviction touching the user.
+    pub fn mark_complete(&mut self, user: i64) {
+        self.complete.insert(user);
+    }
+
+    /// Whether the user's full unseen-item list is materialized.
+    pub fn is_complete(&self, user: i64) -> bool {
+        self.complete.contains(&user)
+    }
+
+    /// Evict one entry; returns whether it was present.
+    pub fn remove(&mut self, user: i64, item: i64) -> bool {
+        let Some(tree) = self.trees.get_mut(&user) else {
+            return false;
+        };
+        let removed = tree.remove(item);
+        if removed {
+            self.complete.remove(&user);
+            self.entries -= 1;
+            if tree.by_item.is_empty() {
+                self.trees.remove(&user);
+            }
+        }
+        removed
+    }
+
+    /// The materialized score for a pair, if present.
+    pub fn get(&self, user: i64, item: i64) -> Option<f64> {
+        self.trees.get(&user)?.by_item.get(&item).copied()
+    }
+
+    /// Iterate a user's `(item, score)` entries in **descending** score
+    /// order — Algorithm 3's Phase II/III traversal. Optional inclusive
+    /// score bounds implement the `rPred` rating-value filter.
+    pub fn iter_desc(
+        &self,
+        user: i64,
+        min_score: Option<f64>,
+        max_score: Option<f64>,
+    ) -> impl Iterator<Item = (i64, f64)> + '_ {
+        let lo = ScoreKey {
+            score: min_score.unwrap_or(f64::NEG_INFINITY),
+            item: i64::MIN,
+        };
+        let hi = ScoreKey {
+            score: max_score.unwrap_or(f64::INFINITY),
+            item: i64::MAX,
+        };
+        self.trees
+            .get(&user)
+            .into_iter()
+            .flat_map(move |tree| tree.tree.range(lo..=hi).rev().map(|(k, _)| (k.item, k.score)))
+    }
+
+    /// All materialized users (arbitrary order).
+    pub fn users(&self) -> impl Iterator<Item = i64> + '_ {
+        self.trees.keys().copied()
+    }
+
+    /// Every materialized `(user, item, score)` entry (arbitrary order) —
+    /// used when re-scoring materialized entries after a model rebuild.
+    pub fn iter_all(&self) -> impl Iterator<Item = (i64, i64, f64)> + '_ {
+        self.trees.iter().flat_map(|(&user, tree)| {
+            tree.by_item
+                .iter()
+                .map(move |(&item, &score)| (user, item, score))
+        })
+    }
+
+    /// Drop everything (used when the model is rebuilt from scratch).
+    pub fn clear(&mut self) {
+        self.trees.clear();
+        self.complete.clear();
+        self.entries = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RecScoreIndex {
+        let mut idx = RecScoreIndex::new();
+        idx.insert(1, 10, 4.5);
+        idx.insert(1, 11, 2.0);
+        idx.insert(1, 12, 5.0);
+        idx.insert(2, 10, 3.0);
+        idx
+    }
+
+    #[test]
+    fn desc_iteration_orders_by_score() {
+        let idx = sample();
+        let items: Vec<i64> = idx.iter_desc(1, None, None).map(|(i, _)| i).collect();
+        assert_eq!(items, vec![12, 10, 11]);
+    }
+
+    #[test]
+    fn score_range_filter() {
+        let idx = sample();
+        let items: Vec<i64> = idx
+            .iter_desc(1, Some(2.5), Some(4.5))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(items, vec![10], "only 4.5 is within [2.5, 4.5]");
+        let items: Vec<i64> = idx.iter_desc(1, Some(2.0), None).map(|(i, _)| i).collect();
+        assert_eq!(items, vec![12, 10, 11], "inclusive lower bound");
+    }
+
+    #[test]
+    fn insert_refreshes_score() {
+        let mut idx = sample();
+        assert_eq!(idx.len(), 4);
+        idx.insert(1, 10, 1.0); // re-score, not a new entry
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.get(1, 10), Some(1.0));
+        let items: Vec<i64> = idx.iter_desc(1, None, None).map(|(i, _)| i).collect();
+        assert_eq!(items, vec![12, 11, 10]);
+    }
+
+    #[test]
+    fn remove_evicts_and_cleans_empty_users() {
+        let mut idx = sample();
+        assert!(idx.remove(2, 10));
+        assert!(!idx.has_user(2), "user with no entries disappears");
+        assert!(!idx.remove(2, 10), "double eviction is a no-op");
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn missing_user_iterates_empty() {
+        let idx = sample();
+        assert_eq!(idx.iter_desc(99, None, None).count(), 0);
+        assert_eq!(idx.get(99, 1), None);
+    }
+
+    #[test]
+    fn equal_scores_are_kept_distinct_by_item() {
+        let mut idx = RecScoreIndex::new();
+        idx.insert(1, 7, 3.0);
+        idx.insert(1, 8, 3.0);
+        assert_eq!(idx.len(), 2);
+        let items: Vec<i64> = idx.iter_desc(1, None, None).map(|(i, _)| i).collect();
+        assert_eq!(items, vec![8, 7], "ties broken by item id, descending");
+    }
+
+    #[test]
+    fn completeness_tracking() {
+        let mut idx = sample();
+        assert!(!idx.is_complete(1));
+        idx.mark_complete(1);
+        assert!(idx.is_complete(1));
+        // Evicting any pair of the user invalidates completeness.
+        idx.remove(1, 11);
+        assert!(!idx.is_complete(1));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut idx = sample();
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.user_count(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The PostGIS-style functions the case study (§V) uses, with RecDB's
+//! `CScore` combined ranking.
+
+use crate::geom::{Point, Polygon};
+
+/// `ST_Contains(geom, point)` — whether the polygon contains the point
+/// (boundary inclusive). Used by Query 6 to keep only hotels inside the
+/// 'San Diego' urban area.
+pub fn st_contains(area: &Polygon, p: &Point) -> bool {
+    area.contains(p)
+}
+
+/// `ST_Distance(a, b)` — planar distance between two points. Used by
+/// Query 8's combined ranking.
+pub fn st_distance(a: &Point, b: &Point) -> f64 {
+    a.distance(b)
+}
+
+/// `ST_DWithin(a, b, d)` — whether two points lie within distance `d`
+/// (inclusive). Used by Query 7's 500-unit radius filter.
+pub fn st_dwithin(a: &Point, b: &Point, d: f64) -> bool {
+    a.distance(b) <= d
+}
+
+/// `CScore(ratingval, distance)` — the combined personalized/proximity
+/// score of Query 8: higher predicted rating is better, larger distance is
+/// worse. The paper leaves the combination function abstract; we use the
+/// standard linear trade-off
+///
+/// ```text
+/// CScore = w · rating_norm + (1 − w) · (1 − min(dist / d_max, 1))
+/// ```
+///
+/// with `w = 0.5`, ratings normalized by a 5-star scale, and `d_max` the
+/// scale beyond which distance saturates. [`cscore_weighted`] exposes the
+/// knobs.
+pub fn cscore(ratingval: f64, distance: f64) -> f64 {
+    cscore_weighted(ratingval, distance, 0.5, 5.0, 1000.0)
+}
+
+/// The parameterized combined score; see [`cscore`].
+pub fn cscore_weighted(
+    ratingval: f64,
+    distance: f64,
+    rating_weight: f64,
+    rating_scale: f64,
+    max_distance: f64,
+) -> f64 {
+    let r = (ratingval / rating_scale).clamp(0.0, 1.0);
+    let d = 1.0 - (distance / max_distance).clamp(0.0, 1.0);
+    rating_weight * r + (1.0 - rating_weight) * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+
+    #[test]
+    fn contains_matches_polygon() {
+        let area = Polygon::from_rect(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)));
+        assert!(st_contains(&area, &Point::new(5.0, 5.0)));
+        assert!(!st_contains(&area, &Point::new(15.0, 5.0)));
+    }
+
+    #[test]
+    fn dwithin_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(st_dwithin(&a, &b, 5.0));
+        assert!(st_dwithin(&a, &b, 5.1));
+        assert!(!st_dwithin(&a, &b, 4.9));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 7.5);
+        assert_eq!(st_distance(&a, &b), st_distance(&b, &a));
+    }
+
+    #[test]
+    fn cscore_monotonicity() {
+        // Higher rating at equal distance ⇒ higher score.
+        assert!(cscore(5.0, 100.0) > cscore(3.0, 100.0));
+        // Nearer at equal rating ⇒ higher score.
+        assert!(cscore(4.0, 10.0) > cscore(4.0, 500.0));
+    }
+
+    #[test]
+    fn cscore_bounds() {
+        for &(r, d) in &[(0.0, 0.0), (5.0, 0.0), (5.0, 1e9), (0.0, 1e9), (2.5, 500.0)] {
+            let s = cscore(r, d);
+            assert!((0.0..=1.0).contains(&s), "cscore({r}, {d}) = {s}");
+        }
+        assert_eq!(cscore(5.0, 0.0), 1.0, "best case saturates at 1");
+        assert_eq!(cscore(0.0, 1e9), 0.0, "worst case saturates at 0");
+    }
+
+    #[test]
+    fn weighted_extremes_ignore_other_term() {
+        // All weight on rating: distance irrelevant.
+        assert_eq!(
+            cscore_weighted(4.0, 1.0, 1.0, 5.0, 100.0),
+            cscore_weighted(4.0, 99.0, 1.0, 5.0, 100.0)
+        );
+        // All weight on distance: rating irrelevant.
+        assert_eq!(
+            cscore_weighted(1.0, 50.0, 0.0, 5.0, 100.0),
+            cscore_weighted(5.0, 50.0, 0.0, 5.0, 100.0)
+        );
+    }
+}

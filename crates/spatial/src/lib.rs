@@ -1,0 +1,24 @@
+//! # recdb-spatial
+//!
+//! The PostGIS substitute for the paper's location-aware case study (§V).
+//! RecDB integrates with PostGIS to spatially filter and rank recommended
+//! POIs; the case study uses exactly three geometry functions plus a
+//! combined score:
+//!
+//! * [`functions::st_contains`] — polygon/region containment (Query 6),
+//! * [`functions::st_dwithin`] — within-distance predicate (Query 7),
+//! * [`functions::st_distance`] — point distance (Query 8),
+//! * [`functions::cscore`] — the combined rating/proximity score of
+//!   Query 8's `ORDER BY CScore(...)`.
+//!
+//! [`rtree::RTree`] provides an STR-bulk-loaded R-tree over points so
+//! spatial filters have an index access path, mirroring PostGIS GiST
+//! indexes.
+
+pub mod functions;
+pub mod geom;
+pub mod rtree;
+
+pub use functions::{cscore, st_contains, st_distance, st_dwithin};
+pub use geom::{Point, Polygon, Rect};
+pub use rtree::RTree;

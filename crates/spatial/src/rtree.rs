@@ -1,0 +1,347 @@
+//! A static R-tree over points, bulk-loaded with Sort-Tile-Recursive (STR).
+//!
+//! This is the GiST-index substitute for the POI tables: the planner can
+//! answer `ST_DWithin`/bounding-box filters by tree descent instead of a
+//! full scan. STR packing gives near-optimal leaves for static data, which
+//! matches the datasets (POI locations don't move during a benchmark run).
+
+use crate::geom::{Point, Rect};
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug)]
+enum Node<T> {
+    Leaf {
+        bbox: Rect,
+        entries: Vec<(Point, T)>,
+    },
+    Inner {
+        bbox: Rect,
+        children: Vec<Node<T>>,
+    },
+}
+
+impl<T> Node<T> {
+    fn bbox(&self) -> &Rect {
+        match self {
+            Node::Leaf { bbox, .. } => bbox,
+            Node::Inner { bbox, .. } => bbox,
+        }
+    }
+}
+
+/// A static, STR-packed R-tree mapping points to payloads.
+#[derive(Debug)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    len: usize,
+}
+
+impl<T: Clone> RTree<T> {
+    /// Bulk-load from `(point, payload)` pairs.
+    pub fn bulk_load(mut items: Vec<(Point, T)>) -> Self {
+        let len = items.len();
+        if items.is_empty() {
+            return RTree { root: None, len: 0 };
+        }
+        // STR: sort by x, slice into vertical strips, sort each strip by y,
+        // cut into leaves of NODE_CAPACITY.
+        items.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));
+        let leaf_count = len.div_ceil(NODE_CAPACITY);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = len.div_ceil(strip_count).max(1);
+        let mut leaves: Vec<Node<T>> = Vec::with_capacity(leaf_count);
+        for strip in items.chunks_mut(per_strip) {
+            strip.sort_by(|a, b| a.0.y.total_cmp(&b.0.y));
+            for chunk in strip.chunks(NODE_CAPACITY) {
+                let mut bbox = Rect::of_point(chunk[0].0);
+                for (p, _) in &chunk[1..] {
+                    bbox = bbox.union(&Rect::of_point(*p));
+                }
+                leaves.push(Node::Leaf {
+                    bbox,
+                    entries: chunk.to_vec(),
+                });
+            }
+        }
+        // Pack upward until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next: Vec<Node<T>> = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            let mut group: Vec<Node<T>> = Vec::with_capacity(NODE_CAPACITY);
+            for node in level {
+                group.push(node);
+                if group.len() == NODE_CAPACITY {
+                    next.push(Self::pack(std::mem::take(&mut group)));
+                }
+            }
+            if !group.is_empty() {
+                next.push(Self::pack(group));
+            }
+            level = next;
+        }
+        RTree {
+            root: level.pop(),
+            len,
+        }
+    }
+
+    fn pack(children: Vec<Node<T>>) -> Node<T> {
+        let mut bbox = *children[0].bbox();
+        for c in &children[1..] {
+            bbox = bbox.union(c.bbox());
+        }
+        Node::Inner { bbox, children }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All entries whose point lies inside `query` (boundary inclusive).
+    pub fn query_rect(&self, query: &Rect) -> Vec<(Point, T)> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::collect_rect(root, query, &mut out);
+        }
+        out
+    }
+
+    fn collect_rect(node: &Node<T>, query: &Rect, out: &mut Vec<(Point, T)>) {
+        if !node.bbox().intersects(query) {
+            return;
+        }
+        match node {
+            Node::Leaf { entries, .. } => {
+                for (p, t) in entries {
+                    if query.contains(p) {
+                        out.push((*p, t.clone()));
+                    }
+                }
+            }
+            Node::Inner { children, .. } => {
+                for c in children {
+                    Self::collect_rect(c, query, out);
+                }
+            }
+        }
+    }
+
+    /// All entries within distance `radius` of `center` (inclusive) — the
+    /// index path for `ST_DWithin`.
+    pub fn query_within(&self, center: &Point, radius: f64) -> Vec<(Point, T)> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::collect_within(root, center, radius, &mut out);
+        }
+        out
+    }
+
+    fn collect_within(node: &Node<T>, center: &Point, radius: f64, out: &mut Vec<(Point, T)>) {
+        if node.bbox().min_distance(center) > radius {
+            return;
+        }
+        match node {
+            Node::Leaf { entries, .. } => {
+                for (p, t) in entries {
+                    if p.distance(center) <= radius {
+                        out.push((*p, t.clone()));
+                    }
+                }
+            }
+            Node::Inner { children, .. } => {
+                for c in children {
+                    Self::collect_within(c, center, radius, out);
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest entries to `center`, nearest first (best-first
+    /// branch-and-bound).
+    pub fn nearest(&self, center: &Point, k: usize) -> Vec<(Point, T, f64)> {
+        let Some(root) = &self.root else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        // Max-heap of current best k by distance.
+        let mut best: Vec<(Point, T, f64)> = Vec::with_capacity(k + 1);
+        Self::nearest_descend(root, center, k, &mut best);
+        best.sort_by(|a, b| a.2.total_cmp(&b.2));
+        best
+    }
+
+    fn nearest_descend(
+        node: &Node<T>,
+        center: &Point,
+        k: usize,
+        best: &mut Vec<(Point, T, f64)>,
+    ) {
+        let worst = if best.len() < k {
+            f64::INFINITY
+        } else {
+            best.iter().map(|e| e.2).fold(0.0, f64::max)
+        };
+        if node.bbox().min_distance(center) > worst {
+            return;
+        }
+        match node {
+            Node::Leaf { entries, .. } => {
+                for (p, t) in entries {
+                    let d = p.distance(center);
+                    let worst = if best.len() < k {
+                        f64::INFINITY
+                    } else {
+                        best.iter().map(|e| e.2).fold(0.0, f64::max)
+                    };
+                    if d < worst || best.len() < k {
+                        best.push((*p, t.clone(), d));
+                        if best.len() > k {
+                            // Drop the current farthest.
+                            let (far, _) = best
+                                .iter()
+                                .enumerate()
+                                .max_by(|a, b| a.1 .2.total_cmp(&b.1 .2))
+                                .map(|(i, e)| (i, e.2))
+                                .unwrap();
+                            best.swap_remove(far);
+                        }
+                    }
+                }
+            }
+            Node::Inner { children, .. } => {
+                // Visit nearer children first for tighter pruning.
+                let mut order: Vec<(f64, usize)> = children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (c.bbox().min_distance(center), i))
+                    .collect();
+                order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (_, i) in order {
+                    Self::nearest_descend(&children[i], center, k, best);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random points on a 1000×1000 grid.
+    fn grid_points(n: usize) -> Vec<(Point, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761) % 1000) as f64;
+                let y = ((i * 40503 + 17) % 1000) as f64;
+                (Point::new(x, y), i)
+            })
+            .collect()
+    }
+
+    fn brute_rect(pts: &[(Point, usize)], q: &Rect) -> Vec<usize> {
+        let mut v: Vec<usize> = pts
+            .iter()
+            .filter(|(p, _)| q.contains(p))
+            .map(|&(_, i)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn rect_query_matches_brute_force() {
+        let pts = grid_points(500);
+        let tree = RTree::bulk_load(pts.clone());
+        assert_eq!(tree.len(), 500);
+        for (lo, hi) in [(0.0, 100.0), (200.0, 800.0), (999.0, 1000.0)] {
+            let q = Rect::new(Point::new(lo, lo), Point::new(hi, hi));
+            let mut got: Vec<usize> = tree.query_rect(&q).into_iter().map(|(_, i)| i).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_rect(&pts, &q), "query [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn within_query_matches_brute_force() {
+        let pts = grid_points(500);
+        let tree = RTree::bulk_load(pts.clone());
+        let center = Point::new(500.0, 500.0);
+        for radius in [0.0, 50.0, 250.0, 2000.0] {
+            let mut got: Vec<usize> = tree
+                .query_within(&center, radius)
+                .into_iter()
+                .map(|(_, i)| i)
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .filter(|(p, _)| p.distance(&center) <= radius)
+                .map(|&(_, i)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = grid_points(300);
+        let tree = RTree::bulk_load(pts.clone());
+        let center = Point::new(123.0, 456.0);
+        for k in [1, 5, 20] {
+            let got: Vec<f64> = tree.nearest(&center, k).iter().map(|e| e.2).collect();
+            let mut dists: Vec<f64> = pts.iter().map(|(p, _)| p.distance(&center)).collect();
+            dists.sort_by(f64::total_cmp);
+            let want = &dists[..k];
+            assert_eq!(got.len(), k);
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() < 1e-9, "k={k}: {g} vs {w}");
+            }
+            assert!(got.windows(2).all(|w| w[0] <= w[1]), "sorted ascending");
+        }
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree: RTree<usize> = RTree::bulk_load(Vec::new());
+        assert!(tree.is_empty());
+        assert!(tree
+            .query_rect(&Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)))
+            .is_empty());
+        assert!(tree.query_within(&Point::new(0.0, 0.0), 10.0).is_empty());
+        assert!(tree.nearest(&Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = RTree::bulk_load(vec![(Point::new(5.0, 5.0), "x")]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.query_within(&Point::new(5.0, 5.0), 0.0).len(), 1);
+        assert_eq!(tree.nearest(&Point::new(0.0, 0.0), 5).len(), 1);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let pts = grid_points(10);
+        let tree = RTree::bulk_load(pts);
+        assert_eq!(tree.nearest(&Point::new(0.0, 0.0), 100).len(), 10);
+    }
+
+    #[test]
+    fn duplicate_points_all_returned() {
+        let p = Point::new(1.0, 1.0);
+        let tree = RTree::bulk_load(vec![(p, 1), (p, 2), (p, 3)]);
+        let got = tree.query_within(&p, 0.0);
+        assert_eq!(got.len(), 3);
+    }
+}

@@ -1,0 +1,1183 @@
+//! Recursive-descent parser for the RecDB SQL dialect.
+//!
+//! The grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement      := create_table | drop_table | insert | create_rec
+//!                 | drop_rec | select
+//! create_table   := CREATE TABLE ident '(' col_def (',' col_def)* ')'
+//! drop_table     := DROP TABLE ident
+//! insert         := INSERT INTO ident VALUES row (',' row)*
+//! create_rec     := CREATE RECOMMENDER ident ON ident
+//!                   USERS FROM ident ITEMS FROM ident RATINGS FROM ident
+//!                   USING ident
+//! drop_rec       := DROP RECOMMENDER ident
+//! select         := SELECT select_list FROM table_ref (',' table_ref)*
+//!                   [RECOMMEND colref TO colref ON colref USING ident]
+//!                   [WHERE expr] [ORDER BY order_key (',' order_key)*]
+//!                   [LIMIT int]
+//! expr           := or_expr
+//! or_expr        := and_expr (OR and_expr)*
+//! and_expr       := not_expr (AND not_expr)*
+//! not_expr       := NOT not_expr | cmp_expr
+//! cmp_expr       := add_expr [(=|!=|<|<=|>|>=) add_expr
+//!                 | [NOT] IN '(' expr (',' expr)* ')'
+//!                 | [NOT] BETWEEN add_expr AND add_expr]
+//! add_expr       := mul_expr ((+|-) mul_expr)*
+//! mul_expr       := unary ((*|/) unary)*
+//! unary          := '-' unary | primary
+//! primary        := literal | colref | func '(' args ')' | '(' expr ')'
+//! ```
+
+use crate::ast::*;
+use crate::token::{tokenize, Token, TokenKind};
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the problem in the source, when known.
+    pub offset: Option<usize>,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, offset: Option<usize>) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at offset {o}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a single statement (a trailing `;` is allowed).
+pub fn parse(src: &str) -> Result<Statement, ParseError> {
+    let mut stmts = parse_many(src)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        0 => Err(ParseError::new("empty statement", None)),
+        n => Err(ParseError::new(
+            format!("expected one statement, found {n}"),
+            None,
+        )),
+    }
+}
+
+/// Parse a `;`-separated script into statements.
+pub fn parse_many(src: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = tokenize(src)
+        .map_err(|e| ParseError::new(e.message.clone(), Some(e.offset)))?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_symbol(&TokenKind::Semicolon) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + n)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.peek().map(|t| t.offset))
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_keyword(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!(
+                "expected keyword `{kw}`, found {}",
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat_symbol(kind) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!(
+                "expected `{kind}`, found {}",
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("`{}`", t.kind),
+            None => "end of input".to_owned(),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error_here(format!(
+                "expected {what}, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+
+    /// `ident` or `ident.ident` as a reference string.
+    fn column_reference(&mut self, what: &str) -> Result<String, ParseError> {
+        let first = self.ident(what)?;
+        if self.eat_symbol(&TokenKind::Dot) {
+            let second = self.ident("column name")?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek_keyword("CREATE") {
+            match self.peek_at(1) {
+                Some(t) if t.is_keyword("TABLE") => return self.create_table(),
+                Some(t) if t.is_keyword("RECOMMENDER") => return self.create_recommender(),
+                Some(t) if t.is_keyword("INDEX") => return self.create_index(),
+                _ => {
+                    return Err(self.error_here(
+                        "expected TABLE, INDEX, or RECOMMENDER after CREATE",
+                    ))
+                }
+            }
+        }
+        if self.peek_keyword("DROP") {
+            match self.peek_at(1) {
+                Some(t) if t.is_keyword("TABLE") => {
+                    self.pos += 2;
+                    let name = self.ident("table name")?;
+                    return Ok(Statement::DropTable { name });
+                }
+                Some(t) if t.is_keyword("RECOMMENDER") => {
+                    self.pos += 2;
+                    let name = self.ident("recommender name")?;
+                    return Ok(Statement::DropRecommender { name });
+                }
+                Some(t) if t.is_keyword("INDEX") => {
+                    self.pos += 2;
+                    let name = self.ident("index name")?;
+                    self.expect_keyword("ON")?;
+                    let table = self.ident("table name")?;
+                    return Ok(Statement::DropIndex { name, table });
+                }
+                _ => {
+                    return Err(
+                        self.error_here("expected TABLE, INDEX, or RECOMMENDER after DROP")
+                    )
+                }
+            }
+        }
+        if self.peek_keyword("INSERT") {
+            return self.insert();
+        }
+        if self.peek_keyword("DELETE") {
+            self.pos += 1;
+            self.expect_keyword("FROM")?;
+            let table = self.ident("table name")?;
+            let filter = if self.eat_keyword("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, filter });
+        }
+        if self.peek_keyword("UPDATE") {
+            self.pos += 1;
+            let table = self.ident("table name")?;
+            self.expect_keyword("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let column = self.ident("column name")?;
+                self.expect_symbol(&TokenKind::Eq)?;
+                let value = self.expr()?;
+                assignments.push((column, value));
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            let filter = if self.eat_keyword("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                assignments,
+                filter,
+            });
+        }
+        if self.peek_keyword("EXPLAIN") {
+            self.pos += 1;
+            return self.select().map(Statement::Explain);
+        }
+        if self.peek_keyword("SELECT") {
+            return self.select().map(Statement::Select);
+        }
+        Err(self.error_here(format!(
+            "expected a statement, found {}",
+            self.describe_current()
+        )))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.ident("table name")?;
+        self.expect_symbol(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            let ty = self.ident("type name")?;
+            columns.push(ColumnDef {
+                name: col,
+                type_name: ty,
+            });
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(&TokenKind::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("INDEX")?;
+        let name = self.ident("index name")?;
+        self.expect_keyword("ON")?;
+        let table = self.ident("table name")?;
+        self.expect_symbol(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident("column name")?);
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(&TokenKind::RParen)?;
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            columns,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident("table name")?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(&TokenKind::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn create_recommender(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("RECOMMENDER")?;
+        let name = self.ident("recommender name")?;
+        self.expect_keyword("ON")?;
+        let ratings_table = self.ident("ratings table name")?;
+        self.expect_keyword("USERS")?;
+        self.expect_keyword("FROM")?;
+        let users_column = self.ident("users id column")?;
+        // The paper writes both `ITEMS FROM` and `ITEM FROM`; accept both.
+        if !self.eat_keyword("ITEMS") && !self.eat_keyword("ITEM") {
+            return Err(self.error_here("expected ITEMS FROM"));
+        }
+        self.expect_keyword("FROM")?;
+        let items_column = self.ident("items id column")?;
+        self.expect_keyword("RATINGS")?;
+        self.expect_keyword("FROM")?;
+        let ratings_column = self.ident("ratings value column")?;
+        self.expect_keyword("USING")?;
+        let algorithm = self.ident("algorithm name")?;
+        Ok(Statement::CreateRecommender {
+            name,
+            ratings_table,
+            users_column,
+            items_column,
+            ratings_column,
+            algorithm,
+        })
+    }
+
+    fn select(&mut self) -> Result<SelectStatement, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.ident("output alias")?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident("table name")?;
+            let has_bare_alias = self
+                .peek()
+                .is_some_and(|t| matches!(&t.kind, TokenKind::Ident(s) if !is_clause_keyword(s)));
+            let alias = if self.eat_keyword("AS") || has_bare_alias {
+                Some(self.ident("table alias")?)
+            } else {
+                None
+            };
+            from.push(TableRef { table, alias });
+            if !self.eat_symbol(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let recommend = if self.eat_keyword("RECOMMEND") {
+            let item_column = self.column_reference("item id column")?;
+            self.expect_keyword("TO")?;
+            let user_column = self.column_reference("user id column")?;
+            self.expect_keyword("ON")?;
+            let rating_column = self.column_reference("rating value column")?;
+            self.expect_keyword("USING")?;
+            let algorithm = self.ident("algorithm name")?;
+            Some(RecommendClause {
+                item_column,
+                user_column,
+                rating_column,
+                algorithm,
+            })
+        } else {
+            None
+        };
+        let filter = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                Some(Token {
+                    kind: TokenKind::Int(n),
+                    ..
+                }) if *n >= 0 => Some(*n as u64),
+                _ => {
+                    return Err(ParseError::new(
+                        "expected a non-negative integer after LIMIT",
+                        self.tokens.get(self.pos.saturating_sub(1)).map(|t| t.offset),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            items,
+            from,
+            recommend,
+            filter,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.add_expr()?;
+        // IN / NOT IN / BETWEEN / NOT BETWEEN
+        let negated = {
+            let save = self.pos;
+            if self.eat_keyword("NOT") {
+                if self.peek_keyword("IN") || self.peek_keyword("BETWEEN") {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_keyword("IN") {
+            self.expect_symbol(&TokenKind::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_symbol(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.add_expr()?;
+            self.expect_keyword("AND")?;
+            let high = self.add_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error_here("expected IN or BETWEEN after NOT"));
+        }
+        let op = match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Eq) => Some(BinaryOp::Eq),
+            Some(TokenKind::Neq) => Some(BinaryOp::Neq),
+            Some(TokenKind::Lt) => Some(BinaryOp::Lt),
+            Some(TokenKind::Le) => Some(BinaryOp::Le),
+            Some(TokenKind::Gt) => Some(BinaryOp::Gt),
+            Some(TokenKind::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => BinaryOp::Add,
+                Some(TokenKind::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Star) => BinaryOp::Mul,
+                Some(TokenKind::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_symbol(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            Some(Token {
+                kind: TokenKind::Float(v),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_symbol(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => {
+                if is_reserved_word(&name) {
+                    return Err(self.error_here(format!(
+                        "expected an expression, found reserved word `{name}`"
+                    )));
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Bool(false)));
+                }
+                self.pos += 1;
+                // Function call?
+                if self.peek().map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                    self.pos += 1;
+                    // COUNT(*) — the star stands for "rows", not a column.
+                    if name.eq_ignore_ascii_case("count")
+                        && self.peek().map(|t| &t.kind) == Some(&TokenKind::Star)
+                    {
+                        self.pos += 1;
+                        self.expect_symbol(&TokenKind::RParen)?;
+                        return Ok(Expr::Function { name, args: Vec::new() });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek().map(|t| &t.kind) != Some(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_symbol(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_symbol(&TokenKind::RParen)?;
+                    return Ok(Expr::Function { name, args });
+                }
+                // Qualified column?
+                if self.eat_symbol(&TokenKind::Dot) {
+                    let col = self.ident("column name")?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            _ => Err(self.error_here(format!(
+                "expected an expression, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+}
+
+/// Fully reserved words that can never appear in expression position.
+fn is_reserved_word(s: &str) -> bool {
+    const RESERVED: [&str; 12] = [
+        "SELECT", "FROM", "WHERE", "ORDER", "LIMIT", "RECOMMEND", "AND", "OR", "NOT", "IN",
+        "BETWEEN", "AS",
+    ];
+    RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Identifiers that terminate a bare (AS-less) table alias in FROM.
+fn is_clause_keyword(s: &str) -> bool {
+    const CLAUSES: [&str; 9] = [
+        "RECOMMEND", "WHERE", "ORDER", "LIMIT", "GROUP", "HAVING", "UNION", "ON", "USING",
+    ];
+    CLAUSES.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_recommender1() {
+        let stmt = parse(
+            "Create Recommender GeneralRec On Ratings \
+             Users From uid Item From iid Ratings From ratingval \
+             Using ItemCosCF",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateRecommender {
+                name: "GeneralRec".into(),
+                ratings_table: "Ratings".into(),
+                users_column: "uid".into(),
+                items_column: "iid".into(),
+                ratings_column: "ratingval".into(),
+                algorithm: "ItemCosCF".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_paper_query1() {
+        let stmt = parse(
+            "Select R.uid, R.iid, R.ratingval From Ratings as R \
+             Recommend R.iid To R.uid On R.ratingVal Using ItemCosCF \
+             Where R.uid=1 \
+             Order By R.ratingVal Desc Limit 10",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("expected SELECT")
+        };
+        assert_eq!(s.items.len(), 3);
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].binding(), "R");
+        let rec = s.recommend.unwrap();
+        assert_eq!(rec.item_column, "R.iid");
+        assert_eq!(rec.user_column, "R.uid");
+        assert_eq!(rec.rating_column, "R.ratingVal");
+        assert_eq!(rec.algorithm, "ItemCosCF");
+        assert!(s.filter.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_paper_query3_in_list() {
+        let stmt = parse(
+            "Select R.iid, R.ratingval From Ratings as R \
+             Recommend R.iid To R.uid On R.ratingval Using ItemCosCF \
+             Where R.uid=1 And R.iid In (1,2,3,4,5)",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        let filter = s.filter.unwrap();
+        let parts = filter.conjuncts();
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(parts[1], Expr::InList { list, .. } if list.len() == 5));
+    }
+
+    #[test]
+    fn parse_paper_query4_join() {
+        let stmt = parse(
+            "Select R.uid, M.name, R.ratingval From Ratings as R, Movies as M \
+             Recommend R.iid To R.uid On R.ratingval Using ItemCosCF \
+             Where R.uid=1 And M.iid = R.iid And M.genre='Action'",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.filter.unwrap().conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn parse_paper_query5_bare_alias() {
+        // `Movies M` without AS.
+        let stmt = parse(
+            "Select M.name, R.ratingval From Ratings as R, Movies M \
+             Recommend R.iid To R.uid On R.ratingval Using SVD \
+             Where R.uid=1 And M.iid=R.iid And M.genre='Action' \
+             Order By R.ratingval Desc Limit 5",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        assert_eq!(s.from[1].table, "Movies");
+        assert_eq!(s.from[1].binding(), "M");
+        assert_eq!(s.recommend.unwrap().algorithm, "SVD");
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn parse_paper_query6_spatial() {
+        let stmt = parse(
+            "Select H.name, R.ratingval \
+             From HotelRatings as R, Hotels as H, City as C \
+             Recommend R.iid To R.uid On R.ratingVal Using ItemCosCF \
+             Where R.uid=1 AND R.iid=H.vid AND C.name = 'San Diego' \
+             AND ST_Contains(C.geom, H.geom)",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        assert_eq!(s.from.len(), 3);
+        let parts_owned = s.filter.unwrap();
+        let parts = parts_owned.conjuncts();
+        assert_eq!(parts.len(), 4);
+        assert!(
+            matches!(parts[3], Expr::Function { name, args } if name == "ST_Contains" && args.len() == 2)
+        );
+    }
+
+    #[test]
+    fn parse_paper_query8_cscore_ordering() {
+        let stmt = parse(
+            "Select V.name, V.address From Ratings as R, Restaurants as V \
+             Recommend R.iid To R.uid On R.ratingVal Using UserPearCF \
+             Where R.uid=1 AND R.iid=V.vid \
+             Order By CScore(R.ratingVal, ST_Distance(V.geom, ULoc)) Desc Limit 3",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert!(matches!(
+            &s.order_by[0].expr,
+            Expr::Function { name, args } if name == "CScore" && args.len() == 2
+        ));
+    }
+
+    #[test]
+    fn parse_create_and_drop_table() {
+        let stmt =
+            parse("CREATE TABLE movies (mid INT, name TEXT, genre TEXT, loc POINT)").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::CreateTable { ref name, ref columns }
+                if name == "movies" && columns.len() == 4
+        ));
+        assert_eq!(
+            parse("DROP TABLE movies").unwrap(),
+            Statement::DropTable {
+                name: "movies".into()
+            }
+        );
+        assert_eq!(
+            parse("DROP RECOMMENDER GeneralRec").unwrap(),
+            Statement::DropRecommender {
+                name: "GeneralRec".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let stmt = parse(
+            "INSERT INTO ratings VALUES (1, 1, 1.5), (2, 1, 4.5), (2, 2, -3.5)",
+        )
+        .unwrap();
+        let Statement::Insert { table, rows } = stmt else {
+            panic!()
+        };
+        assert_eq!(table, "ratings");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 3);
+        assert!(matches!(
+            rows[2][2],
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let Statement::Select(s) =
+            parse("SELECT a + b * c FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap()
+        else {
+            panic!()
+        };
+        // a + (b * c)
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            expr,
+            Expr::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
+        ));
+        // x = 1 OR (y = 2 AND z = 3)
+        assert!(matches!(
+            s.filter.unwrap(),
+            Expr::Binary {
+                op: BinaryOp::Or,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn between_and_not_variants() {
+        let Statement::Select(s) = parse(
+            "SELECT * FROM t WHERE r BETWEEN 2 AND 4 AND i NOT IN (1, 2) AND NOT b",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let filter = s.filter.unwrap();
+        let parts = filter.conjuncts();
+        assert!(matches!(parts[0], Expr::Between { negated: false, .. }));
+        assert!(matches!(parts[1], Expr::InList { negated: true, .. }));
+        assert!(matches!(
+            parts[2],
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn select_star_and_aliases() {
+        let Statement::Select(s) =
+            parse("SELECT *, uid AS user_id FROM ratings").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(s.items[0], SelectItem::Wildcard));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "user_id"
+        ));
+    }
+
+    #[test]
+    fn parse_many_script() {
+        let stmts = parse_many(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert!(err.message.contains("expression"));
+        let err = parse("CREATE VIEW v").unwrap_err();
+        assert!(err.message.contains("TABLE, INDEX, or RECOMMENDER"));
+        let err = parse("SELECT * FROM t LIMIT x").unwrap_err();
+        assert!(err.message.contains("LIMIT"));
+    }
+
+    #[test]
+    fn literal_keywords() {
+        let Statement::Select(s) =
+            parse("SELECT NULL, TRUE, FALSE FROM t").unwrap()
+        else {
+            panic!()
+        };
+        let exprs: Vec<&Expr> = s
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Expr { expr, .. } => expr,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(exprs[0], &Expr::Literal(Literal::Null));
+        assert_eq!(exprs[1], &Expr::Literal(Literal::Bool(true)));
+        assert_eq!(exprs[2], &Expr::Literal(Literal::Bool(false)));
+    }
+
+    #[test]
+    fn function_with_no_args() {
+        let Statement::Select(s) = parse("SELECT now() FROM t").unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: Expr::Function { name, args },
+                ..
+            } if name == "now" && args.is_empty()
+        ));
+    }
+
+    #[test]
+    fn group_by_and_aggregates_parse() {
+        let Statement::Select(s) = parse(
+            "SELECT genre, COUNT(*), AVG(ratingval) AS mean \
+             FROM movies GROUP BY genre ORDER BY mean DESC LIMIT 3",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.group_by.len(), 1);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: Expr::Function { name, args }, .. }
+                if name.eq_ignore_ascii_case("count") && args.is_empty()
+        ));
+        assert!(matches!(
+            &s.items[2],
+            SelectItem::Expr { expr: Expr::Function { name, args }, alias: Some(a) }
+                if name.eq_ignore_ascii_case("avg") && args.len() == 1 && a == "mean"
+        ));
+    }
+
+    #[test]
+    fn group_by_multiple_keys() {
+        let Statement::Select(s) =
+            parse("SELECT a, b, SUM(c) FROM t GROUP BY a, b").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.group_by.len(), 2);
+    }
+
+    #[test]
+    fn create_and_drop_index_parse() {
+        assert_eq!(
+            parse("CREATE INDEX ratings_uid ON ratings (uid, iid)").unwrap(),
+            Statement::CreateIndex {
+                name: "ratings_uid".into(),
+                table: "ratings".into(),
+                columns: vec!["uid".into(), "iid".into()],
+            }
+        );
+        assert_eq!(
+            parse("DROP INDEX ratings_uid ON ratings").unwrap(),
+            Statement::DropIndex {
+                name: "ratings_uid".into(),
+                table: "ratings".into(),
+            }
+        );
+        assert!(parse("CREATE INDEX i ON t ()").is_err());
+        assert!(parse("DROP INDEX i").is_err());
+    }
+
+    #[test]
+    fn explain_parses() {
+        assert!(matches!(
+            parse("EXPLAIN SELECT * FROM t WHERE a = 1").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(parse("EXPLAIN DROP TABLE t").is_err());
+    }
+
+    #[test]
+    fn delete_and_update_parse() {
+        assert_eq!(
+            parse("DELETE FROM ratings WHERE uid = 1").unwrap(),
+            Statement::Delete {
+                table: "ratings".into(),
+                filter: Some(Expr::Binary {
+                    op: BinaryOp::Eq,
+                    left: Box::new(Expr::col("uid")),
+                    right: Box::new(Expr::int(1)),
+                }),
+            }
+        );
+        assert!(matches!(
+            parse("DELETE FROM ratings").unwrap(),
+            Statement::Delete { filter: None, .. }
+        ));
+        let Statement::Update {
+            table,
+            assignments,
+            filter,
+        } = parse("UPDATE ratings SET ratingval = 5.0, iid = iid + 1 WHERE uid = 2").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(table, "ratings");
+        assert_eq!(assignments.len(), 2);
+        assert_eq!(assignments[0].0, "ratingval");
+        assert!(filter.is_some());
+        assert!(parse("UPDATE t SET").is_err());
+        assert!(parse("DELETE ratings").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        // Two statements through `parse` (singular) is an error.
+        assert!(parse("SELECT * FROM t; SELECT * FROM u").is_err());
+    }
+}

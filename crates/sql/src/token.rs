@@ -1,0 +1,404 @@
+//! The SQL lexer.
+//!
+//! Identifiers and keywords share one token kind — the parser matches
+//! keywords case-insensitively by text, which lets names like `users` or
+//! `ratings` double as table names (as they do throughout the paper).
+
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`SELECT`, `Ratings`, `uid`, …).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `;`
+    Semicolon,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Neq => f.write_str("!="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Semicolon => f.write_str(";"),
+        }
+    }
+}
+
+/// A token with its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize SQL source. Supports `--` line comments.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            '.' if !bytes.get(i + 1).map(u8::is_ascii_digit).unwrap_or(false) => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Neq, offset: i });
+                i += 2;
+            }
+            '<' => {
+                let (kind, n) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Le, 2),
+                    Some(b'>') => (TokenKind::Neq, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                tokens.push(Token { kind, offset: i });
+                i += n;
+            }
+            '>' => {
+                let (kind, n) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                tokens.push(Token { kind, offset: i });
+                i += n;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).map(u8::is_ascii_digit).unwrap_or(false)) => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (b == 'e' || b == 'E')
+                        && !saw_exp
+                        && bytes
+                            .get(i + 1)
+                            .map(|&n| n.is_ascii_digit() || n == b'-' || n == b'+')
+                            .unwrap_or(false)
+                    {
+                        saw_exp = true;
+                        i += 1;
+                        if bytes[i] == b'-' || bytes[i] == b'+' {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if saw_dot || saw_exp {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("invalid float literal `{text}`"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("invalid integer literal `{text}`"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_paper_query1_fragment() {
+        let toks = kinds("Select R.uid From Ratings as R Where R.uid=1 Limit 10");
+        assert_eq!(toks[0], TokenKind::Ident("Select".into()));
+        assert!(toks.contains(&TokenKind::Eq));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Int(10));
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("1 2.5 0.001 1e3 2.5E-2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(0.001),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        assert_eq!(
+            kinds("'San Diego' 'O''Brien'"),
+            vec![
+                TokenKind::Str("San Diego".into()),
+                TokenKind::Str("O'Brien".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("'open").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >= + - * /"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Neq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the select keyword\n1"),
+            vec![TokenKind::Ident("SELECT".into()), TokenKind::Int(1)]
+        );
+    }
+
+    #[test]
+    fn dot_vs_float() {
+        assert_eq!(
+            kinds("R.uid"),
+            vec![
+                TokenKind::Ident("R".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("uid".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_helper_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].is_keyword("SELECT"));
+        assert!(toks[0].is_keyword("select"));
+        assert!(!toks[0].is_keyword("from"));
+    }
+
+    #[test]
+    fn offsets_track_positions() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(tokenize("a ยง b").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        assert_eq!(
+            kinds("ST_Contains ST_DWithin _x"),
+            vec![
+                TokenKind::Ident("ST_Contains".into()),
+                TokenKind::Ident("ST_DWithin".into()),
+                TokenKind::Ident("_x".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the SQL front end: the lexer and parser must
+//! be total (no panics) on arbitrary input, and generated well-formed
+//! statements must round-trip through their AST invariants.
+
+use proptest::prelude::*;
+use recdb_sql::{parse, parse_many, tokenize, Expr, SelectItem, Statement};
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("not a reserved word", |s| {
+        ![
+            "select", "from", "where", "order", "limit", "recommend", "and", "or", "not",
+            "in", "between", "as", "group", "by", "null", "true", "false", "create",
+            "drop", "insert", "delete", "update", "set", "explain",
+        ]
+        .contains(&s.to_ascii_lowercase().as_str())
+    })
+}
+
+proptest! {
+    /// The lexer never panics, whatever the input bytes (printable ASCII
+    /// plus whitespace here; invalid characters must error, not crash).
+    #[test]
+    fn tokenizer_is_total(src in "[ -~\\t\\n]{0,200}") {
+        let _ = tokenize(&src);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_is_total(src in "[ -~\\t\\n]{0,200}") {
+        let _ = parse(&src);
+        let _ = parse_many(&src);
+    }
+
+    /// The parser never panics on keyword soup — strings made only of SQL
+    /// keywords and punctuation, which exercise deep grammar paths.
+    #[test]
+    fn parser_survives_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("RECOMMEND"),
+                Just("TO"), Just("ON"), Just("USING"), Just("ORDER"), Just("BY"),
+                Just("LIMIT"), Just("GROUP"), Just("AND"), Just("OR"), Just("NOT"),
+                Just("IN"), Just("BETWEEN"), Just("("), Just(")"), Just(","),
+                Just("="), Just("1"), Just("x"), Just("*"), Just(";"),
+            ],
+            0..30,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// A generated simple SELECT parses into the expected AST shape.
+    #[test]
+    fn generated_select_parses(
+        table in ident_strategy(),
+        cols in proptest::collection::vec(ident_strategy(), 1..5),
+        filter_col in ident_strategy(),
+        filter_val in any::<i32>(),
+        limit in proptest::option::of(0u64..10_000),
+    ) {
+        let mut sql = format!("SELECT {} FROM {}", cols.join(", "), table);
+        sql.push_str(&format!(" WHERE {filter_col} = {filter_val}"));
+        if let Some(l) = limit {
+            sql.push_str(&format!(" LIMIT {l}"));
+        }
+        let Statement::Select(s) = parse(&sql).unwrap() else {
+            panic!("expected SELECT for {sql}");
+        };
+        prop_assert_eq!(s.items.len(), cols.len());
+        for (item, col) in s.items.iter().zip(&cols) {
+            let SelectItem::Expr { expr, alias: None } = item else {
+                panic!("bare column became {item:?}");
+            };
+            let reference = expr.column_ref();
+            prop_assert_eq!(reference.as_deref(), Some(col.as_str()));
+        }
+        prop_assert_eq!(s.from.len(), 1);
+        prop_assert_eq!(&s.from[0].table, &table);
+        prop_assert_eq!(s.limit, limit);
+        prop_assert!(s.filter.is_some());
+    }
+
+    /// Integer and float literals round-trip through the lexer with full
+    /// precision.
+    #[test]
+    fn numeric_literals_roundtrip(i in 0i64..=i64::MAX, f in -1e15f64..1e15) {
+        let sql = format!("SELECT {} FROM t WHERE x = {:?}", i, f.abs());
+        let Statement::Select(s) = parse(&sql).unwrap() else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        if let Expr::Literal(recdb_sql::Literal::Int(v)) = expr {
+            prop_assert_eq!(*v, i);
+        } else {
+            panic!("expected int literal, got {expr:?}");
+        }
+    }
+
+    /// String literals with embedded quotes round-trip via '' escaping.
+    #[test]
+    fn string_literals_roundtrip(s in "[a-zA-Z0-9 ']{0,30}") {
+        let escaped = s.replace('\'', "''");
+        let sql = format!("SELECT x FROM t WHERE n = '{escaped}'");
+        let Statement::Select(stmt) = parse(&sql).unwrap() else { panic!() };
+        let filter = stmt.filter.unwrap();
+        let Expr::Binary { right, .. } = filter else { panic!() };
+        let Expr::Literal(recdb_sql::Literal::Str(got)) = *right else {
+            panic!("expected string literal")
+        };
+        prop_assert_eq!(got, s);
+    }
+
+    /// `conjuncts` and `and_all` are inverses (up to tree shape).
+    #[test]
+    fn conjuncts_and_all_inverse(names in proptest::collection::vec(ident_strategy(), 1..8)) {
+        let exprs: Vec<Expr> = names.iter().map(|n| Expr::col(n)).collect();
+        let tree = Expr::and_all(exprs.clone()).unwrap();
+        let parts: Vec<Expr> = tree.conjuncts().into_iter().cloned().collect();
+        prop_assert_eq!(parts, exprs);
+    }
+}

@@ -1,0 +1,349 @@
+//! The table catalog: named tables, each a heap plus its indexes.
+//!
+//! Index maintenance is transparent: [`Table::insert`] and [`Table::delete`]
+//! keep every secondary index in sync with the heap.
+
+use crate::error::{StorageError, StorageResult};
+use crate::heap::{HeapTable, Rid};
+use crate::index::BTreeIndex;
+use crate::schema::Schema;
+use crate::stats::IoStats;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named relation: heap storage plus secondary indexes.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    heap: HeapTable,
+    indexes: Vec<BTreeIndex>,
+}
+
+impl Table {
+    /// A fresh table.
+    pub fn new(name: impl Into<String>, schema: Schema, stats: Arc<IoStats>) -> Self {
+        Table {
+            name: name.into(),
+            heap: HeapTable::with_stats(schema, stats),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        self.heap.schema()
+    }
+
+    /// The underlying heap (read access for scans).
+    pub fn heap(&self) -> &HeapTable {
+        &self.heap
+    }
+
+    /// Number of live tuples.
+    pub fn tuple_count(&self) -> u64 {
+        self.heap.tuple_count()
+    }
+
+    /// Create a secondary index over the named columns and backfill it from
+    /// the current heap contents.
+    pub fn create_index(&mut self, index_name: &str, columns: &[&str]) -> StorageResult<()> {
+        if self.indexes.iter().any(|i| i.name() == index_name) {
+            return Err(StorageError::IndexExists(index_name.to_owned()));
+        }
+        let ordinals: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema().resolve(c))
+            .collect::<StorageResult<_>>()?;
+        let mut idx = BTreeIndex::new(index_name, ordinals)
+            .with_stats(Arc::clone(self.heap.stats()));
+        for (rid, tuple) in self.heap.scan() {
+            idx.insert(idx.key_of(&tuple), rid);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Drop an index by name.
+    pub fn drop_index(&mut self, index_name: &str) -> StorageResult<()> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|i| i.name() == index_name)
+            .ok_or_else(|| StorageError::IndexNotFound(index_name.to_owned()))?;
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// Fetch an index by name.
+    pub fn index(&self, index_name: &str) -> StorageResult<&BTreeIndex> {
+        self.indexes
+            .iter()
+            .find(|i| i.name() == index_name)
+            .ok_or_else(|| StorageError::IndexNotFound(index_name.to_owned()))
+    }
+
+    /// Find any index whose leading key column is `column`, the way a
+    /// planner probes for a usable access path.
+    pub fn index_on(&self, column: &str) -> Option<&BTreeIndex> {
+        let ordinal = self.schema().resolve(column).ok()?;
+        self.indexes
+            .iter()
+            .find(|i| i.key_columns().first() == Some(&ordinal))
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[BTreeIndex] {
+        &self.indexes
+    }
+
+    /// Insert a tuple into the heap and every index.
+    pub fn insert(&mut self, tuple: Tuple) -> StorageResult<Rid> {
+        let rid = self.heap.insert(tuple)?;
+        if !self.indexes.is_empty() {
+            let stored = self.heap.get(rid)?;
+            for idx in &mut self.indexes {
+                idx.insert(idx.key_of(&stored), rid);
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Insert many tuples.
+    pub fn insert_many(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> StorageResult<Vec<Rid>> {
+        tuples.into_iter().map(|t| self.insert(t)).collect()
+    }
+
+    /// Delete a tuple from the heap and every index.
+    pub fn delete(&mut self, rid: Rid) -> StorageResult<()> {
+        let stored = self.heap.get(rid)?;
+        self.heap.delete(rid)?;
+        for idx in &mut self.indexes {
+            idx.remove(&idx.key_of(&stored), rid);
+        }
+        Ok(())
+    }
+
+    /// Fetch a tuple by rid.
+    pub fn get(&self, rid: Rid) -> StorageResult<Tuple> {
+        self.heap.get(rid)
+    }
+
+    /// Drop all rows (heap and indexes).
+    pub fn truncate(&mut self) {
+        self.heap.truncate();
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+    }
+}
+
+/// The database catalog: a named collection of tables sharing one set of
+/// I/O counters.
+#[derive(Debug)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    stats: Arc<IoStats>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            tables: BTreeMap::new(),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// The shared I/O counters charged by every table in this catalog.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Create a table. Table names are case-insensitive (stored folded to
+    /// lowercase, like PostgreSQL's unquoted identifiers).
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> StorageResult<&mut Table> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(StorageError::TableExists(name.to_owned()));
+        }
+        let table = Table::new(key.clone(), schema, Arc::clone(&self.stats));
+        Ok(self.tables.entry(key).or_insert(table))
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| StorageError::TableNotFound(name.to_owned()))
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> StorageResult<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::TableNotFound(name.to_owned()))
+    }
+
+    /// Look up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::TableNotFound(name.to_owned()))
+    }
+
+    /// Whether a table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{DataType, Value};
+
+    fn ratings_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("uid", DataType::Int),
+            Column::new("iid", DataType::Int),
+            Column::new("ratingval", DataType::Float),
+        ])
+    }
+
+    fn row(u: i64, i: i64, r: f64) -> Tuple {
+        Tuple::new(vec![Value::Int(u), Value::Int(i), Value::Float(r)])
+    }
+
+    #[test]
+    fn create_and_lookup_case_insensitive() {
+        let mut cat = Catalog::new();
+        cat.create_table("Ratings", ratings_schema()).unwrap();
+        assert!(cat.table("ratings").is_ok());
+        assert!(cat.table("RATINGS").is_ok());
+        assert!(matches!(
+            cat.create_table("ratings", ratings_schema()),
+            Err(StorageError::TableExists(_))
+        ));
+        assert_eq!(cat.table_names(), vec!["ratings"]);
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", ratings_schema()).unwrap();
+        cat.drop_table("T").unwrap();
+        assert!(matches!(
+            cat.table("t"),
+            Err(StorageError::TableNotFound(_))
+        ));
+        assert!(cat.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn index_maintained_on_insert_and_delete() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("ratings", ratings_schema()).unwrap();
+        t.create_index("ratings_uid", &["uid"]).unwrap();
+        let rid1 = t.insert(row(1, 10, 4.0)).unwrap();
+        let rid2 = t.insert(row(1, 11, 3.0)).unwrap();
+        t.insert(row(2, 10, 5.0)).unwrap();
+        let idx = t.index("ratings_uid").unwrap();
+        assert_eq!(idx.lookup(&vec![Value::Int(1)]).len(), 2);
+        t.delete(rid1).unwrap();
+        let idx = t.index("ratings_uid").unwrap();
+        assert_eq!(idx.lookup(&vec![Value::Int(1)]), vec![rid2]);
+    }
+
+    #[test]
+    fn index_backfills_existing_rows() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("ratings", ratings_schema()).unwrap();
+        for u in 0..50 {
+            t.insert(row(u, u * 3, 2.5)).unwrap();
+        }
+        t.create_index("by_iid", &["iid"]).unwrap();
+        let idx = t.index("by_iid").unwrap();
+        assert_eq!(idx.len(), 50);
+        assert_eq!(idx.lookup(&vec![Value::Int(30)]).len(), 1);
+    }
+
+    #[test]
+    fn index_on_finds_leading_column() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("ratings", ratings_schema()).unwrap();
+        t.create_index("by_uid_iid", &["uid", "iid"]).unwrap();
+        assert!(t.index_on("uid").is_some());
+        assert!(t.index_on("iid").is_none(), "iid is not a leading column");
+        assert!(t.index_on("nope").is_none());
+    }
+
+    #[test]
+    fn drop_index_removes_it() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("r", ratings_schema()).unwrap();
+        t.create_index("i", &["uid"]).unwrap();
+        t.drop_index("i").unwrap();
+        assert!(t.index("i").is_err());
+        assert!(matches!(
+            t.drop_index("i"),
+            Err(StorageError::IndexNotFound(_))
+        ));
+        // Inserts after the drop don't touch the removed index.
+        t.insert(row(1, 1, 1.0)).unwrap();
+        assert!(t.indexes().is_empty());
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("ratings", ratings_schema()).unwrap();
+        t.create_index("i", &["uid"]).unwrap();
+        assert!(matches!(
+            t.create_index("i", &["iid"]),
+            Err(StorageError::IndexExists(_))
+        ));
+    }
+
+    #[test]
+    fn shared_stats_across_tables() {
+        let mut cat = Catalog::new();
+        cat.create_table("a", ratings_schema()).unwrap();
+        cat.create_table("b", ratings_schema()).unwrap();
+        cat.table_mut("a").unwrap().insert(row(1, 1, 1.0)).unwrap();
+        cat.table_mut("b").unwrap().insert(row(2, 2, 2.0)).unwrap();
+        assert_eq!(cat.stats().page_writes(), 2);
+    }
+
+    #[test]
+    fn truncate_clears_heap_and_indexes() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("r", ratings_schema()).unwrap();
+        t.create_index("i", &["uid"]).unwrap();
+        t.insert(row(1, 1, 1.0)).unwrap();
+        t.truncate();
+        assert_eq!(t.tuple_count(), 0);
+        assert!(t.index("i").unwrap().is_empty());
+    }
+}

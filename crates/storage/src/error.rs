@@ -1,0 +1,112 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    TableNotFound(String),
+    /// No column with this name exists in the schema.
+    ColumnNotFound(String),
+    /// A column reference such as `R.uid` matched more than one column.
+    AmbiguousColumn(String),
+    /// The tuple arity does not match the schema arity.
+    ArityMismatch { expected: usize, got: usize },
+    /// A value's type does not match the declared column type.
+    TypeMismatch {
+        column: String,
+        expected: String,
+        got: String,
+    },
+    /// A single tuple is larger than a page can hold.
+    TupleTooLarge { size: usize, max: usize },
+    /// The referenced record id does not exist.
+    InvalidRid { page: u32, slot: u16 },
+    /// An index with this name already exists on the table.
+    IndexExists(String),
+    /// No index with this name exists on the table.
+    IndexNotFound(String),
+    /// A page's binary content could not be decoded.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(name) => write!(f, "table `{name}` already exists"),
+            StorageError::TableNotFound(name) => write!(f, "table `{name}` does not exist"),
+            StorageError::ColumnNotFound(name) => write!(f, "column `{name}` does not exist"),
+            StorageError::AmbiguousColumn(name) => {
+                write!(f, "column reference `{name}` is ambiguous")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "tuple has {got} values but the schema has {expected} columns")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for column `{column}`: expected {expected}, got {got}"
+            ),
+            StorageError::TupleTooLarge { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds the page capacity of {max} bytes")
+            }
+            StorageError::InvalidRid { page, slot } => {
+                write!(f, "invalid record id (page {page}, slot {slot})")
+            }
+            StorageError::IndexExists(name) => write!(f, "index `{name}` already exists"),
+            StorageError::IndexNotFound(name) => write!(f, "index `{name}` does not exist"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offender() {
+        assert_eq!(
+            StorageError::TableNotFound("ratings".into()).to_string(),
+            "table `ratings` does not exist"
+        );
+        assert_eq!(
+            StorageError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+            .to_string(),
+            "tuple has 2 values but the schema has 3 columns"
+        );
+        let e = StorageError::TypeMismatch {
+            column: "uid".into(),
+            expected: "Int".into(),
+            got: "Text".into(),
+        };
+        assert!(e.to_string().contains("uid"));
+        assert!(e.to_string().contains("Int"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::TableExists("t".into()),
+            StorageError::TableExists("t".into())
+        );
+        assert_ne!(
+            StorageError::TableExists("t".into()),
+            StorageError::TableNotFound("t".into())
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # recdb-storage
+//!
+//! The storage substrate for RecDB-rs: an in-process relational storage
+//! engine modelled on the access paths the RecDB paper (ICDE 2017) assumes
+//! from PostgreSQL.
+//!
+//! It provides:
+//!
+//! * [`value::Value`] / [`value::DataType`] — the dynamic value system,
+//! * [`schema::Schema`] — column metadata with alias-aware resolution,
+//! * [`tuple::Tuple`] — a row of values,
+//! * [`page::Page`] — an 8 KiB slotted page holding binary-encoded tuples,
+//! * [`heap::HeapTable`] — a page-based heap with block-at-a-time scans,
+//! * [`index::BTreeIndex`] — an ordered secondary index (point + range),
+//! * [`catalog::Catalog`] — the table catalog,
+//! * [`stats::IoStats`] — page read/write counters used as the I/O cost
+//!   model for the paper's operator cost discussion (§IV-A).
+//!
+//! The paper's recommendation-aware operators (ItemCF-Recommend etc.) are
+//! specified as *block-nested-loop* algorithms over tables fetched "block by
+//! block"; this crate exposes exactly that granularity via
+//! [`heap::HeapTable::scan_pages`].
+
+pub mod catalog;
+pub mod error;
+pub mod heap;
+pub mod index;
+pub mod page;
+pub mod schema;
+pub mod stats;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::{Catalog, Table};
+pub use error::{StorageError, StorageResult};
+pub use heap::{HeapTable, Rid};
+pub use index::BTreeIndex;
+pub use page::{Page, PAGE_SIZE};
+pub use schema::{Column, Schema};
+pub use stats::IoStats;
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

@@ -1,0 +1,243 @@
+//! Slotted pages: the unit of I/O for the cost model.
+//!
+//! A [`Page`] is a fixed-capacity (8 KiB, PostgreSQL's default block size)
+//! container of binary-encoded tuples. Tuples are appended to a data area
+//! and addressed by slot number through a slot directory, exactly like a
+//! simplified PostgreSQL heap page. Deletion marks a slot dead without
+//! compacting; the space is reclaimed only on [`Page::compact`].
+
+use crate::error::{StorageError, StorageResult};
+use crate::tuple::Tuple;
+
+/// Page capacity in bytes (PostgreSQL's default block size).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Per-slot bookkeeping overhead we budget for, in bytes.
+const SLOT_OVERHEAD: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    offset: u32,
+    len: u32,
+    live: bool,
+}
+
+/// A fixed-capacity slotted page of encoded tuples.
+#[derive(Debug, Clone, Default)]
+pub struct Page {
+    data: Vec<u8>,
+    slots: Vec<Slot>,
+}
+
+impl Page {
+    /// An empty page.
+    pub fn new() -> Self {
+        Page::default()
+    }
+
+    /// Number of slots, live or dead.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live tuples.
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.live).count()
+    }
+
+    /// Bytes used, counting data and slot-directory overhead.
+    pub fn used_bytes(&self) -> usize {
+        self.data.len() + self.slots.len() * SLOT_OVERHEAD
+    }
+
+    /// Whether a tuple of `encoded` bytes fits in the remaining space.
+    pub fn fits(&self, encoded: usize) -> bool {
+        self.used_bytes() + encoded + SLOT_OVERHEAD <= PAGE_SIZE
+    }
+
+    /// Append a tuple, returning its slot number.
+    ///
+    /// Fails with [`StorageError::TupleTooLarge`] if the tuple could never
+    /// fit even in an empty page; callers should allocate a new page when a
+    /// fitting tuple doesn't fit *here* (checked via [`Page::fits`]).
+    pub fn insert(&mut self, tuple: &Tuple) -> StorageResult<u16> {
+        let size = tuple.encoded_size();
+        if size + SLOT_OVERHEAD > PAGE_SIZE {
+            return Err(StorageError::TupleTooLarge {
+                size,
+                max: PAGE_SIZE - SLOT_OVERHEAD,
+            });
+        }
+        debug_assert!(self.fits(size), "caller must check Page::fits first");
+        let offset = self.data.len() as u32;
+        tuple.encode_into(&mut self.data);
+        let slot = self.slots.len() as u16;
+        self.slots.push(Slot {
+            offset,
+            len: size as u32,
+            live: true,
+        });
+        Ok(slot)
+    }
+
+    /// Read the tuple in `slot`, if it is live.
+    pub fn get(&self, slot: u16) -> StorageResult<Tuple> {
+        let s = self
+            .slots
+            .get(slot as usize)
+            .filter(|s| s.live)
+            .ok_or(StorageError::InvalidRid { page: 0, slot })?;
+        let raw = &self.data[s.offset as usize..(s.offset + s.len) as usize];
+        let (tuple, used) = Tuple::decode(raw)?;
+        debug_assert_eq!(used, s.len as usize);
+        Ok(tuple)
+    }
+
+    /// Mark `slot` dead. Idempotent for already-dead slots is an error to
+    /// surface double-delete bugs.
+    pub fn delete(&mut self, slot: u16) -> StorageResult<()> {
+        let s = self
+            .slots
+            .get_mut(slot as usize)
+            .ok_or(StorageError::InvalidRid { page: 0, slot })?;
+        if !s.live {
+            return Err(StorageError::InvalidRid { page: 0, slot });
+        }
+        s.live = false;
+        Ok(())
+    }
+
+    /// Iterate live `(slot, tuple)` pairs in slot order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (u16, Tuple)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            if s.live {
+                let raw = &self.data[s.offset as usize..(s.offset + s.len) as usize];
+                let (tuple, _) = Tuple::decode(raw).expect("page data is self-consistent");
+                Some((i as u16, tuple))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Rewrite the page keeping only live tuples. Slot numbers change;
+    /// returns the mapping `old slot → new slot`.
+    pub fn compact(&mut self) -> Vec<(u16, u16)> {
+        let mut mapping = Vec::new();
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut slots = Vec::with_capacity(self.live_count());
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.live {
+                let offset = data.len() as u32;
+                data.extend_from_slice(
+                    &self.data[s.offset as usize..(s.offset + s.len) as usize],
+                );
+                mapping.push((i as u16, slots.len() as u16));
+                slots.push(Slot {
+                    offset,
+                    len: s.len,
+                    live: true,
+                });
+            }
+        }
+        self.data = data;
+        self.slots = slots;
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(i: i64) -> Tuple {
+        Tuple::new(vec![
+            Value::Int(i),
+            Value::Float(i as f64 / 2.0),
+            Value::Text(format!("movie-{i}")),
+        ])
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Page::new();
+        let s0 = p.insert(&row(0)).unwrap();
+        let s1 = p.insert(&row(1)).unwrap();
+        assert_eq!(p.get(s0).unwrap(), row(0));
+        assert_eq!(p.get(s1).unwrap(), row(1));
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn page_fills_up_near_8k() {
+        let mut p = Page::new();
+        let mut n = 0;
+        while p.fits(row(n).encoded_size()) {
+            p.insert(&row(n)).unwrap();
+            n += 1;
+        }
+        assert!(p.used_bytes() <= PAGE_SIZE);
+        // A ~45-byte tuple should pack well over 100 rows per 8 KiB page.
+        assert!(n > 100, "only packed {n} tuples");
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let mut p = Page::new();
+        let big = Tuple::new(vec![Value::Text("x".repeat(PAGE_SIZE))]);
+        assert!(matches!(
+            p.insert(&big),
+            Err(StorageError::TupleTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_hides_tuple_and_double_delete_errors() {
+        let mut p = Page::new();
+        let s = p.insert(&row(7)).unwrap();
+        p.delete(s).unwrap();
+        assert!(p.get(s).is_err());
+        assert_eq!(p.live_count(), 0);
+        assert!(p.delete(s).is_err());
+    }
+
+    #[test]
+    fn iter_live_skips_dead() {
+        let mut p = Page::new();
+        for i in 0..5 {
+            p.insert(&row(i)).unwrap();
+        }
+        p.delete(1).unwrap();
+        p.delete(3).unwrap();
+        let got: Vec<i64> = p
+            .iter_live()
+            .map(|(_, t)| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn compact_reclaims_space_and_remaps_slots() {
+        let mut p = Page::new();
+        for i in 0..10 {
+            p.insert(&row(i)).unwrap();
+        }
+        let before = p.used_bytes();
+        for s in [0u16, 2, 4, 6, 8] {
+            p.delete(s).unwrap();
+        }
+        let mapping = p.compact();
+        assert!(p.used_bytes() < before);
+        assert_eq!(mapping, vec![(1, 0), (3, 1), (5, 2), (7, 3), (9, 4)]);
+        assert_eq!(p.get(0).unwrap(), row(1));
+        assert_eq!(p.live_count(), 5);
+    }
+
+    #[test]
+    fn get_out_of_range_slot_errors() {
+        let p = Page::new();
+        assert!(p.get(0).is_err());
+        assert!(p.get(999).is_err());
+    }
+}

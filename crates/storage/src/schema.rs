@@ -1,0 +1,238 @@
+//! Column and schema metadata, with alias-aware column resolution.
+//!
+//! Query operators concatenate schemas (joins) and rename relations
+//! (`Ratings AS R`), so resolution must handle both bare names (`uid`) and
+//! qualified names (`R.uid`), detecting ambiguity.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::DataType;
+
+/// A single column: an optional relation qualifier, a name, and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Relation qualifier (table name or alias), if any.
+    pub relation: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+}
+
+impl Column {
+    /// An unqualified column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            relation: None,
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// A column qualified by a relation name or alias.
+    pub fn qualified(
+        relation: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Self {
+        Column {
+            relation: Some(relation.into()),
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// `rel.name` if qualified, else `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.relation {
+            Some(rel) => format!("{rel}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether a reference (optionally qualified) matches this column.
+    /// Matching is case-insensitive, like PostgreSQL's folded identifiers.
+    fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .relation
+                .as_deref()
+                .is_some_and(|r| r.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs (unqualified).
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> Option<&Column> {
+        self.columns.get(i)
+    }
+
+    /// Resolve a column reference such as `uid` or `R.uid` to its ordinal.
+    ///
+    /// Returns [`StorageError::AmbiguousColumn`] if the reference matches
+    /// more than one column and [`StorageError::ColumnNotFound`] if it
+    /// matches none.
+    pub fn resolve(&self, reference: &str) -> StorageResult<usize> {
+        let (qualifier, name) = match reference.split_once('.') {
+            Some((q, n)) => (Some(q), n),
+            None => (None, reference),
+        };
+        let mut found: Option<usize> = None;
+        for (i, col) in self.columns.iter().enumerate() {
+            if col.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(StorageError::AmbiguousColumn(reference.to_owned()));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| StorageError::ColumnNotFound(reference.to_owned()))
+    }
+
+    /// Like [`Schema::resolve`] but returns the column too.
+    pub fn resolve_column(&self, reference: &str) -> StorageResult<(usize, &Column)> {
+        let i = self.resolve(reference)?;
+        Ok((i, &self.columns[i]))
+    }
+
+    /// A copy of this schema with every column qualified by `alias`
+    /// (re-qualifying replaces any existing qualifier, as `AS` does).
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column::qualified(alias, c.name.clone(), c.data_type))
+                .collect(),
+        }
+    }
+
+    /// Concatenate two schemas (join output schema).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(right.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Project a subset of columns by ordinal.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            columns: indices
+                .iter()
+                .filter_map(|&i| self.columns.get(i).cloned())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratings_schema() -> Schema {
+        Schema::new(vec![
+            Column::qualified("R", "uid", DataType::Int),
+            Column::qualified("R", "iid", DataType::Int),
+            Column::qualified("R", "ratingval", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn resolve_bare_and_qualified() {
+        let s = ratings_schema();
+        assert_eq!(s.resolve("uid").unwrap(), 0);
+        assert_eq!(s.resolve("R.iid").unwrap(), 1);
+        assert_eq!(s.resolve("r.RATINGVAL").unwrap(), 2, "case-insensitive");
+    }
+
+    #[test]
+    fn resolve_missing_and_wrong_qualifier() {
+        let s = ratings_schema();
+        assert!(matches!(
+            s.resolve("nope"),
+            Err(StorageError::ColumnNotFound(_))
+        ));
+        assert!(matches!(
+            s.resolve("M.uid"),
+            Err(StorageError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguity_detected_after_join() {
+        let joined = ratings_schema().join(&Schema::new(vec![Column::qualified(
+            "M",
+            "uid",
+            DataType::Int,
+        )]));
+        assert!(matches!(
+            joined.resolve("uid"),
+            Err(StorageError::AmbiguousColumn(_))
+        ));
+        assert_eq!(joined.resolve("R.uid").unwrap(), 0);
+        assert_eq!(joined.resolve("M.uid").unwrap(), 3);
+    }
+
+    #[test]
+    fn requalification_replaces_alias() {
+        let s = ratings_schema().with_qualifier("X");
+        assert_eq!(s.resolve("X.uid").unwrap(), 0);
+        assert!(s.resolve("R.uid").is_err());
+    }
+
+    #[test]
+    fn projection_keeps_order() {
+        let s = ratings_schema().project(&[2, 0]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column(0).unwrap().name, "ratingval");
+        assert_eq!(s.column(1).unwrap().name, "uid");
+    }
+
+    #[test]
+    fn qualified_name_format() {
+        let c = Column::qualified("R", "uid", DataType::Int);
+        assert_eq!(c.qualified_name(), "R.uid");
+        let c = Column::new("uid", DataType::Int);
+        assert_eq!(c.qualified_name(), "uid");
+    }
+}

@@ -1,0 +1,110 @@
+//! Page-I/O counters — the cost model behind the paper's §IV-A analysis.
+//!
+//! The RecDB paper expresses operator cost in pages fetched (`||I||`,
+//! `α_u × ||I||`, …). Every block-granular access in this crate bumps these
+//! counters so benches and tests can assert cost *shapes* (e.g. that
+//! `FilterRecommend` touches a fraction of the pages `Recommend` does)
+//! independent of wall-clock noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic page read/write counters. Cheap to share: all methods take
+/// `&self` (interior atomics), so a table can count reads during scans.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    page_reads: AtomicU64,
+    page_writes: AtomicU64,
+    tuple_reads: AtomicU64,
+    tuple_writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Record `n` page reads.
+    pub fn record_page_reads(&self, n: u64) {
+        self.page_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` page writes.
+    pub fn record_page_writes(&self, n: u64) {
+        self.page_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` tuple reads.
+    pub fn record_tuple_reads(&self, n: u64) {
+        self.tuple_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` tuple writes.
+    pub fn record_tuple_writes(&self, n: u64) {
+        self.tuple_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total page reads so far.
+    pub fn page_reads(&self) -> u64 {
+        self.page_reads.load(Ordering::Relaxed)
+    }
+
+    /// Total page writes so far.
+    pub fn page_writes(&self) -> u64 {
+        self.page_writes.load(Ordering::Relaxed)
+    }
+
+    /// Total tuple reads so far.
+    pub fn tuple_reads(&self) -> u64 {
+        self.tuple_reads.load(Ordering::Relaxed)
+    }
+
+    /// Total tuple writes so far.
+    pub fn tuple_writes(&self) -> u64 {
+        self.tuple_writes.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters to zero (between bench iterations).
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+        self.tuple_reads.store(0, Ordering::Relaxed);
+        self.tuple_writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of `(page_reads, page_writes, tuple_reads, tuple_writes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.page_reads(),
+            self.page_writes(),
+            self.tuple_reads(),
+            self.tuple_writes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_page_reads(3);
+        s.record_page_reads(2);
+        s.record_page_writes(1);
+        s.record_tuple_reads(100);
+        s.record_tuple_writes(7);
+        assert_eq!(s.snapshot(), (5, 1, 100, 7));
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn counting_through_shared_reference() {
+        let s = IoStats::new();
+        let r: &IoStats = &s;
+        r.record_page_reads(1);
+        assert_eq!(s.page_reads(), 1);
+    }
+}

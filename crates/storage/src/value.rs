@@ -1,0 +1,402 @@
+//! The dynamic value system shared by all layers of RecDB-rs.
+//!
+//! Values carry their own runtime type and support the total ordering the
+//! sort / B-tree layers need (floats order via [`f64::total_cmp`], `Null`
+//! sorts first, and cross-type comparisons fall back to a stable type rank).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (user ids, item ids, counts).
+    Int,
+    /// 64-bit IEEE float (ratings, predicted scores, distances).
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// 2-D point `(x, y)` — the PostGIS-substitute geometry type.
+    Point,
+    /// Axis-aligned rectangle `(min_x, min_y, max_x, max_y)` — the region
+    /// type used for urban-area columns in the §V case study.
+    Rect,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Text => "Text",
+            DataType::Bool => "Bool",
+            DataType::Point => "Point",
+            DataType::Rect => "Rect",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single dynamically-typed value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bool(bool),
+    /// 2-D point `(x, y)`.
+    Point(f64, f64),
+    /// Axis-aligned rectangle `(min_x, min_y, max_x, max_y)`.
+    Rect(f64, f64, f64, f64),
+}
+
+impl Value {
+    /// Runtime type of the value, or `None` for `Null` (NULL is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Point(_, _) => Some(DataType::Point),
+            Value::Rect(..) => Some(DataType::Rect),
+        }
+    }
+
+    /// True if the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view, coercing from `Int` only.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int` widens to `f64`, `Float` passes through.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Point view.
+    pub fn as_point(&self) -> Option<(f64, f64)> {
+        match self {
+            Value::Point(x, y) => Some((*x, *y)),
+            _ => None,
+        }
+    }
+
+    /// Rect view as `(min_x, min_y, max_x, max_y)`.
+    pub fn as_rect(&self) -> Option<(f64, f64, f64, f64)> {
+        match self {
+            Value::Rect(a, b, c, d) => Some((*a, *b, *c, *d)),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is storable in a column of type `ty`.
+    ///
+    /// NULL is storable anywhere; `Int` is storable in a `Float` column
+    /// (implicit widening, applied at insert time by the heap).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Point(_, _), DataType::Point)
+                | (Value::Rect(..), DataType::Rect)
+        )
+    }
+
+    /// Rank used to order values of different types (NULL first).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Text(_) => 3,
+            Value::Point(_, _) => 4,
+            Value::Rect(..) => 5,
+        }
+    }
+
+    /// Total order over values: numerics compare numerically across
+    /// `Int`/`Float`, otherwise same-type natural order, otherwise by type
+    /// rank. This is the ordering used by sort operators and B-tree keys.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Point(ax, ay), Point(bx, by)) => ax
+                .total_cmp(bx)
+                .then_with(|| ay.total_cmp(by)),
+            (Rect(a0, a1, a2, a3), Rect(b0, b1, b2, b3)) => a0
+                .total_cmp(b0)
+                .then_with(|| a1.total_cmp(b1))
+                .then_with(|| a2.total_cmp(b2))
+                .then_with(|| a3.total_cmp(b3)),
+            (a, b) if a.type_rank() == 2 && b.type_rank() == 2 => {
+                // Int/Float cross comparison.
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.total_cmp(&y)
+            }
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+
+    /// SQL equality: NULL equals nothing (returns `None`), numerics compare
+    /// across `Int`/`Float`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the page layer's
+    /// encoder to budget tuples into 8 KiB pages.
+    pub fn encoded_size(&self) -> usize {
+        1 + match self {
+            Value::Null => 0,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Text(s) => 4 + s.len(),
+            Value::Bool(_) => 1,
+            Value::Point(_, _) => 16,
+            Value::Rect(..) => 32,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float that compare equal must hash equal; hash the
+            // f64 bit pattern of the widened value for both.
+            Value::Int(v) => {
+                2u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Point(x, y) => {
+                4u8.hash(state);
+                x.to_bits().hash(state);
+                y.to_bits().hash(state);
+            }
+            Value::Rect(a, b, c, d) => {
+                5u8.hash(state);
+                a.to_bits().hash(state);
+                b.to_bits().hash(state);
+                c.to_bits().hash(state);
+                d.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Point(x, y) => write!(f, "POINT({x} {y})"),
+            Value::Rect(a, b, c, d) => write!(f, "RECT({a} {b}, {c} {d})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<(f64, f64)> for Value {
+    fn from((x, y): (f64, f64)) -> Self {
+        Value::Point(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn null_sorts_first_and_equals_nothing_in_sql() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Bool(false));
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        // total_cmp puts NaN above +inf; the key property is non-panicking,
+        // reflexive-equal ordering.
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn conformance_rules() {
+        assert!(Value::Int(1).conforms_to(DataType::Float));
+        assert!(!Value::Float(1.0).conforms_to(DataType::Int));
+        assert!(Value::Null.conforms_to(DataType::Text));
+        assert!(!Value::Text("x".into()).conforms_to(DataType::Int));
+        assert!(Value::Point(1.0, 2.0).conforms_to(DataType::Point));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Text("hi".into()).as_text(), Some("hi"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Point(1.0, 2.0).as_point(), Some((1.0, 2.0)));
+        assert_eq!(Value::Text("hi".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Point(1.0, 2.0).to_string(), "POINT(1 2)");
+        assert_eq!(Value::Text("abc".into()).to_string(), "abc");
+    }
+
+    #[test]
+    fn encoded_size_tracks_payload() {
+        assert_eq!(Value::Int(0).encoded_size(), 9);
+        assert_eq!(Value::Text("abcd".into()).encoded_size(), 1 + 4 + 4);
+        assert_eq!(Value::Null.encoded_size(), 1);
+        assert_eq!(Value::Point(0.0, 0.0).encoded_size(), 17);
+    }
+
+    #[test]
+    fn ordering_across_types_is_total_and_antisymmetric() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(-5),
+            Value::Float(0.5),
+            Value::Text("a".into()),
+            Value::Point(0.0, 0.0),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse(), "{a:?} vs {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the storage substrate: the binary tuple
+//! format, the slotted page, the heap, and the B-tree index are each
+//! checked against simple reference models.
+
+use proptest::prelude::*;
+use recdb_storage::{
+    BTreeIndex, Column, DataType, HeapTable, Page, Rid, Schema, Tuple, Value,
+};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[ -~]{0,40}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y)| Value::Point(x, y)),
+        (-1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6)
+            .prop_map(|(a, b, c, d)| Value::Rect(a, b, c, d)),
+    ]
+}
+
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(value_strategy(), 0..8).prop_map(Tuple::new)
+}
+
+proptest! {
+    /// Binary encode → decode is the identity, and the encoded size is
+    /// exactly what `encoded_size` predicts.
+    #[test]
+    fn tuple_roundtrip(tuple in tuple_strategy()) {
+        let mut buf = Vec::new();
+        tuple.encode_into(&mut buf);
+        prop_assert_eq!(buf.len(), tuple.encoded_size());
+        let (decoded, used) = Tuple::decode(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded, tuple);
+    }
+
+    /// Decoding any strict prefix of an encoding fails cleanly (no panic,
+    /// no garbage tuple) — unless the prefix happens to be a valid
+    /// encoding of a shorter arity, which the length header prevents.
+    #[test]
+    fn tuple_truncation_never_panics(tuple in tuple_strategy(), cut_frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        tuple.encode_into(&mut buf);
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        if cut < buf.len() {
+            prop_assert!(Tuple::decode(&buf[..cut]).is_err());
+        }
+    }
+
+    /// A page behaves like an append-only Vec with tombstones.
+    #[test]
+    fn page_matches_vec_model(
+        tuples in proptest::collection::vec(tuple_strategy(), 1..40),
+        deletions in proptest::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        let mut page = Page::new();
+        let mut model: Vec<Option<Tuple>> = Vec::new();
+        for t in &tuples {
+            if page.fits(t.encoded_size()) {
+                let slot = page.insert(t).unwrap();
+                prop_assert_eq!(slot as usize, model.len());
+                model.push(Some(t.clone()));
+            }
+        }
+        for idx in &deletions {
+            if model.is_empty() { break; }
+            let slot = idx.index(model.len());
+            if model[slot].is_some() {
+                page.delete(slot as u16).unwrap();
+                model[slot] = None;
+            }
+        }
+        prop_assert_eq!(page.live_count(), model.iter().flatten().count());
+        let live: Vec<(u16, Tuple)> = page.iter_live().collect();
+        let expected: Vec<(u16, Tuple)> = model
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.clone().map(|t| (i as u16, t)))
+            .collect();
+        prop_assert_eq!(live, expected);
+    }
+
+    /// Heap scan returns exactly the inserted-and-not-deleted tuples in
+    /// insertion order, across page boundaries.
+    #[test]
+    fn heap_matches_vec_model(
+        rows in proptest::collection::vec((any::<i64>(), -1e9f64..1e9), 1..300),
+        deletions in proptest::collection::vec(any::<prop::sample::Index>(), 0..40),
+    ) {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Float),
+        ]);
+        let mut heap = HeapTable::new(schema);
+        let mut rids: Vec<(Rid, Tuple)> = Vec::new();
+        for (k, v) in &rows {
+            let t = Tuple::new(vec![Value::Int(*k), Value::Float(*v)]);
+            let rid = heap.insert(t.clone()).unwrap();
+            rids.push((rid, t));
+        }
+        let mut deleted = std::collections::HashSet::new();
+        for idx in &deletions {
+            let i = idx.index(rids.len());
+            if deleted.insert(i) {
+                heap.delete(rids[i].0).unwrap();
+            }
+        }
+        let survivors: Vec<Tuple> = rids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !deleted.contains(i))
+            .map(|(_, (_, t))| t.clone())
+            .collect();
+        let scanned: Vec<Tuple> = heap.scan().map(|(_, t)| t).collect();
+        prop_assert_eq!(scanned, survivors);
+        prop_assert_eq!(heap.tuple_count() as usize, rids.len() - deleted.len());
+    }
+
+    /// BTreeIndex point lookups and full ordered iteration agree with a
+    /// reference BTreeMap<i64, Vec<Rid>>.
+    #[test]
+    fn index_matches_btreemap_model(
+        entries in proptest::collection::vec((-50i64..50, 0u16..200), 1..150),
+        removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..30),
+    ) {
+        let mut idx = BTreeIndex::new("prop", vec![0]);
+        let mut model: std::collections::BTreeMap<i64, Vec<Rid>> = Default::default();
+        for (k, slot) in &entries {
+            let rid = Rid::new(0, *slot);
+            idx.insert(vec![Value::Int(*k)], rid);
+            model.entry(*k).or_default().push(rid);
+        }
+        for r in &removals {
+            let (k, slot) = entries[r.index(entries.len())];
+            let rid = Rid::new(0, slot);
+            let in_model = model.get_mut(&k).map(|v| {
+                if let Some(pos) = v.iter().position(|&x| x == rid) {
+                    v.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }).unwrap_or(false);
+            if in_model && model[&k].is_empty() {
+                model.remove(&k);
+            }
+            prop_assert_eq!(idx.remove(&vec![Value::Int(k)], rid), in_model);
+        }
+        // Point lookups agree (as sets).
+        for k in -50i64..50 {
+            let mut got = idx.lookup(&vec![Value::Int(k)]);
+            got.sort();
+            let mut want = model.get(&k).cloned().unwrap_or_default();
+            want.sort();
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+        // Ascending iteration is key-ordered and complete.
+        let keys: Vec<i64> = idx
+            .iter_asc()
+            .map(|(k, _)| k[0].as_int().unwrap())
+            .collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(keys.len() as u64, idx.len());
+        prop_assert_eq!(
+            idx.len(),
+            model.values().map(|v| v.len() as u64).sum::<u64>()
+        );
+    }
+
+    /// Value total order is transitive-consistent with itself when used
+    /// through sort (i.e. sorting never panics and yields a weakly
+    /// increasing sequence under `total_cmp`).
+    #[test]
+    fn value_order_is_sortable(mut values in proptest::collection::vec(value_strategy(), 0..60)) {
+        values.sort_by(|a, b| a.total_cmp(b));
+        prop_assert!(values
+            .windows(2)
+            .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater));
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the paper's Figure 1 world in a dozen statements.
+//!
+//! Creates the users/movies/ratings tables, trains the `GeneralRec`
+//! recommender (paper Recommender 1), and runs paper Query 1 — "Return ten
+//! movies to user 1 using Item-Item Collaborative Filtering".
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use recdb::core::RecDb;
+
+fn main() {
+    let mut db = RecDb::new();
+
+    db.execute_script(
+        "CREATE TABLE users (uid INT, name TEXT, city TEXT);
+         CREATE TABLE movies (mid INT, name TEXT, genre TEXT);
+         CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+
+         INSERT INTO users VALUES
+            (1, 'Alice', 'Minneapolis, MN'),
+            (2, 'Bob', 'Austin, TX'),
+            (3, 'Carol', 'Minneapolis, MN'),
+            (4, 'Eve', 'San Diego, CA');
+
+         INSERT INTO movies VALUES
+            (1, 'Spartacus', 'Action'),
+            (2, 'Inception', 'Suspense'),
+            (3, 'The Matrix', 'Sci-Fi');
+
+         INSERT INTO ratings VALUES
+            (1, 1, 1.5), (2, 2, 3.5), (2, 1, 4.5), (2, 3, 2.0),
+            (3, 2, 1.0), (3, 1, 2.0), (4, 2, 1.0);",
+    )
+    .expect("schema + data");
+
+    // Paper Recommender 1: "GeneralRec, an ItemCosCF recommender created
+    // on the input data stored in the Ratings table".
+    db.execute(
+        "CREATE RECOMMENDER GeneralRec ON ratings \
+         USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval \
+         USING ItemCosCF",
+    )
+    .expect("create recommender");
+
+    // Paper Query 1: top-10 movies for user 1.
+    let sql = "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+               RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+               WHERE R.uid = 1 \
+               ORDER BY R.ratingval DESC LIMIT 10";
+    println!("-- {sql}\n");
+    println!("{}", db.explain(sql).expect("explain"));
+    let result = db.query(sql).expect("query");
+    println!("{result}");
+
+    // The same recommendations joined with movie names (paper Query 4
+    // without the genre filter).
+    let joined = db
+        .query(
+            "SELECT M.name, R.ratingval FROM ratings AS R, movies AS M \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             WHERE R.uid = 1 AND M.mid = R.iid \
+             ORDER BY R.ratingval DESC LIMIT 10",
+        )
+        .expect("join query");
+    println!("With movie names:\n{joined}");
+}

@@ -1,0 +1,119 @@
+//! An interactive RecDB-rs shell.
+//!
+//! Starts with the paper's Figure 1 database pre-loaded (users, movies,
+//! ratings, and the `GeneralRec` ItemCosCF recommender) so recommendation
+//! queries work immediately. Statements end with `;` and may span lines.
+//!
+//! ```text
+//! cargo run --example sql_shell
+//! recdb> SELECT R.iid, R.ratingval FROM ratings AS R
+//!     -> RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+//!     -> WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 10;
+//! ```
+//!
+//! Meta-commands: `\d` lists tables and recommenders, `\q` quits.
+
+use recdb::core::{QueryResult, RecDb};
+use std::io::{BufRead, Write};
+
+fn seed(db: &mut RecDb) {
+    db.execute_script(
+        "CREATE TABLE users (uid INT, name TEXT, city TEXT);
+         CREATE TABLE movies (mid INT, name TEXT, genre TEXT);
+         CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+         INSERT INTO users VALUES (1, 'Alice', 'Minneapolis'), (2, 'Bob', 'Austin'),
+                                  (3, 'Carol', 'Minneapolis'), (4, 'Eve', 'San Diego');
+         INSERT INTO movies VALUES (1, 'Spartacus', 'Action'),
+                                   (2, 'Inception', 'Suspense'),
+                                   (3, 'The Matrix', 'Sci-Fi');
+         INSERT INTO ratings VALUES (1, 1, 1.5), (2, 2, 3.5), (2, 1, 4.5),
+                                    (2, 3, 2.0), (3, 2, 1.0), (3, 1, 2.0), (4, 2, 1.0);
+         CREATE RECOMMENDER GeneralRec ON ratings
+             USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF;",
+    )
+    .expect("seed data");
+}
+
+fn describe(db: &RecDb) {
+    println!("tables:");
+    for name in db.catalog().table_names() {
+        let t = db.catalog().table(name).expect("listed table exists");
+        let cols: Vec<String> = t
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| format!("{} {}", c.name, c.data_type))
+            .collect();
+        println!("  {name} ({}) — {} rows", cols.join(", "), t.tuple_count());
+    }
+    println!("recommenders:");
+    for name in db.recommender_names() {
+        let r = db.recommender(name).expect("listed recommender exists");
+        println!(
+            "  {name} ON {} USING {} — trained on {} ratings, {} materialized entries",
+            r.ratings_table(),
+            r.algorithm(),
+            r.model().trained_on(),
+            r.materialized_entries()
+        );
+    }
+}
+
+fn main() {
+    let mut db = RecDb::new();
+    seed(&mut db);
+    println!(
+        "RecDB-rs shell — Figure 1 data pre-loaded; `\\d` describes, `\\q` quits.\n\
+         Statements end with `;`."
+    );
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        print!("{}", if buffer.is_empty() { "recdb> " } else { "    -> " });
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" | "exit" | "quit" => break,
+                "\\d" => {
+                    describe(&db);
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        match db.execute(&sql) {
+            Ok(QueryResult::Rows(rows)) => println!("{rows}"),
+            Ok(QueryResult::Inserted(n)) => println!("INSERT {n}"),
+            Ok(QueryResult::Deleted(n)) => println!("DELETE {n}"),
+            Ok(QueryResult::Updated(n)) => println!("UPDATE {n}"),
+            Ok(QueryResult::TableCreated(name)) => println!("CREATE TABLE {name}"),
+            Ok(QueryResult::TableDropped(name)) => println!("DROP TABLE {name}"),
+            Ok(QueryResult::RecommenderCreated { name, build_time }) => {
+                println!("CREATE RECOMMENDER {name} (model built in {build_time:?})")
+            }
+            Ok(QueryResult::RecommenderDropped(name)) => {
+                println!("DROP RECOMMENDER {name}")
+            }
+            Ok(QueryResult::IndexCreated(name)) => println!("CREATE INDEX {name}"),
+            Ok(QueryResult::IndexDropped(name)) => println!("DROP INDEX {name}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,45 @@
+//! # RecDB-rs
+//!
+//! A from-scratch Rust reproduction of **RecDB** — *"Database System Support
+//! for Personalized Recommendation Applications"* (Sarwat et al., ICDE 2017):
+//! a relational engine with native, declarative recommendation support.
+//!
+//! This façade crate re-exports the public API of every subsystem:
+//!
+//! * [`storage`] — slotted-page heaps, B-tree indexes, catalog, I/O stats
+//! * [`algo`] — collaborative filtering + matrix factorization models
+//! * [`sql`] — the RecDB SQL dialect (`CREATE RECOMMENDER`, `RECOMMEND` clause)
+//! * [`exec`] — logical plans, optimizer, Volcano operators
+//! * [`spatial`] — geometry + `ST_*` functions (PostGIS substitute)
+//! * [`core`] — the engine: recommender lifecycle, RecScoreIndex, caching
+//! * [`ontop`] — the OnTopDB baseline the paper compares against
+//! * [`datasets`] — seeded synthetic MovieLens / LDOS-CoMoDa / Yelp data
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use recdb::core::RecDb;
+//!
+//! let mut db = RecDb::new();
+//! db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)").unwrap();
+//! db.execute("INSERT INTO ratings VALUES (1, 1, 5.0), (1, 2, 3.0), (2, 1, 4.0), (2, 3, 5.0)").unwrap();
+//! db.execute(
+//!     "CREATE RECOMMENDER MovieRec ON ratings \
+//!      USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF",
+//! ).unwrap();
+//! let result = db.query(
+//!     "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+//!      RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+//!      WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 10",
+//! ).unwrap();
+//! assert!(!result.rows().is_empty());
+//! ```
+
+pub use recdb_algo as algo;
+pub use recdb_core as core;
+pub use recdb_datasets as datasets;
+pub use recdb_exec as exec;
+pub use recdb_ontop as ontop;
+pub use recdb_spatial as spatial;
+pub use recdb_sql as sql;
+pub use recdb_storage as storage;

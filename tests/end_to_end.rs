@@ -1,0 +1,268 @@
+//! Cross-crate integration: the full pipeline from synthetic data through
+//! the engine, checked for consistency between access paths, algorithms,
+//! and against the OnTopDB baseline.
+
+use recdb::algo::Algorithm;
+use recdb::core::{RecDb, RecDbConfig};
+use recdb::datasets::SyntheticSpec;
+use recdb::exec::ResultSet;
+use recdb::ontop::{OnTopDb, PredictionScope};
+
+fn small_spec() -> SyntheticSpec {
+    SyntheticSpec::movielens().scaled(0.02)
+}
+
+fn loaded_db() -> RecDb {
+    let mut db = RecDb::new();
+    recdb::datasets::generate(&small_spec())
+        .load_into(&mut db)
+        .unwrap();
+    db
+}
+
+fn sorted_pairs(r: &ResultSet) -> Vec<(i64, i64, i64)> {
+    // (uid, iid, score in milli-units) for order-insensitive comparison.
+    let mut v: Vec<(i64, i64, i64)> = r
+        .rows()
+        .iter()
+        .map(|t| {
+            (
+                t.get(0).unwrap().as_int().unwrap(),
+                t.get(1).unwrap().as_int().unwrap(),
+                (t.get(2).unwrap().as_f64().unwrap() * 1000.0).round() as i64,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// RecDB and OnTopDB must produce identical prediction sets for every
+/// algorithm — the paper's comparison is about *performance*, not answers.
+#[test]
+fn recdb_and_ontop_agree_for_every_algorithm() {
+    for algo in Algorithm::ALL {
+        let mut db = loaded_db();
+        db.execute(&format!(
+            "CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid \
+             RATINGS FROM ratingval USING {algo}"
+        ))
+        .unwrap();
+        let native = db
+            .query(&format!(
+                "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+                 RECOMMEND R.iid TO R.uid ON R.ratingval USING {algo} \
+                 WHERE R.uid IN (1, 2, 3)"
+            ))
+            .unwrap();
+
+        let mut ontop = OnTopDb::new(loaded_db()).unwrap();
+        ontop
+            .create_recommender("ratings", "uid", "iid", "ratingval", algo)
+            .unwrap();
+        let baseline = ontop
+            .run(
+                "ratings",
+                algo,
+                PredictionScope::AllUsers,
+                "SELECT P.uid, P.iid, P.ratingval FROM _ontop_predictions AS P \
+                 WHERE P.uid IN (1, 2, 3)",
+            )
+            .unwrap();
+        assert_eq!(
+            sorted_pairs(&native),
+            sorted_pairs(&baseline),
+            "{algo}: native and on-top answers diverge"
+        );
+        assert!(!native.is_empty(), "{algo}: no recommendations at all");
+    }
+}
+
+/// The materialized index path must return exactly what the online path
+/// returns, for every algorithm.
+#[test]
+fn index_and_online_paths_agree() {
+    for algo in [Algorithm::ItemCosCF, Algorithm::UserCosCF, Algorithm::Svd] {
+        let mut db = loaded_db();
+        db.execute(&format!(
+            "CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid \
+             RATINGS FROM ratingval USING {algo}"
+        ))
+        .unwrap();
+        let sql = format!(
+            "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING {algo} \
+             WHERE R.uid = 2"
+        );
+        let online = db.query(&sql).unwrap();
+        db.materialize("r").unwrap();
+        let indexed = db.query(&sql).unwrap();
+        assert_eq!(
+            sorted_pairs(&online),
+            sorted_pairs(&indexed),
+            "{algo}: index path diverged from online path"
+        );
+    }
+}
+
+/// New ratings flow through maintenance into both the model and the
+/// materialized index.
+#[test]
+fn maintenance_keeps_index_fresh() {
+    let mut db = RecDb::with_config(RecDbConfig {
+        maintenance_threshold_pct: 0.0, // rebuild on every insert
+        ..RecDbConfig::default()
+    });
+    recdb::datasets::generate(&small_spec())
+        .load_into(&mut db)
+        .unwrap();
+    db.execute(
+        "CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid \
+         RATINGS FROM ratingval USING ItemCosCF",
+    )
+    .unwrap();
+    db.materialize("r").unwrap();
+
+    // Find an unseen pair for user 1 that is currently in the index.
+    let rec = db.recommender("r").unwrap();
+    let idx = rec.index().unwrap();
+    let (item, _) = idx.iter_desc(1, None, None).next().expect("entry for user 1");
+
+    // User 1 rates it → maintenance fires → it must leave the index.
+    db.execute(&format!("INSERT INTO ratings VALUES (1, {item}, 5.0)"))
+        .unwrap();
+    let rec = db.recommender("r").unwrap();
+    assert_eq!(rec.pending_updates(), 0, "maintenance ran");
+    let idx = rec.index().unwrap();
+    assert_eq!(idx.get(1, item), None, "now-rated pair dematerialized");
+    assert!(idx.is_complete(1), "user list re-materialized in full");
+    // And the query no longer recommends the rated item.
+    let rows = db
+        .query(
+            "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             WHERE R.uid = 1",
+        )
+        .unwrap();
+    assert!(rows
+        .rows()
+        .iter()
+        .all(|t| t.get(1).unwrap().as_int() != Some(item)));
+}
+
+/// Filters, joins, sorting, and limits compose with the recommendation
+/// operator and agree with manually filtered full output.
+#[test]
+fn composed_query_matches_manual_filtering() {
+    let mut db = loaded_db();
+    db.execute(
+        "CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid \
+         RATINGS FROM ratingval USING ItemCosCF",
+    )
+    .unwrap();
+    let full = db
+        .query(
+            "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             WHERE R.uid = 3",
+        )
+        .unwrap();
+    let filtered = db
+        .query(
+            "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             WHERE R.uid = 3 AND R.ratingval >= 3.0 \
+             ORDER BY R.ratingval DESC LIMIT 5",
+        )
+        .unwrap();
+    let mut expected: Vec<f64> = full
+        .rows()
+        .iter()
+        .map(|t| t.get(2).unwrap().as_f64().unwrap())
+        .filter(|&s| s >= 3.0)
+        .collect();
+    expected.sort_by(|a, b| b.total_cmp(a));
+    expected.truncate(5);
+    let got: Vec<f64> = filtered
+        .rows()
+        .iter()
+        .map(|t| t.get(2).unwrap().as_f64().unwrap())
+        .collect();
+    assert_eq!(got.len(), expected.len());
+    for (g, e) in got.iter().zip(&expected) {
+        assert!((g - e).abs() < 1e-12);
+    }
+}
+
+/// The POI pipeline end to end on the Yelp-like dataset: recommendation +
+/// spatial filter + combined ranking.
+#[test]
+fn poi_pipeline_end_to_end() {
+    let mut db = RecDb::new();
+    let dataset = recdb::datasets::generate(&SyntheticSpec::yelp().scaled(0.05));
+    dataset.load_into(&mut db).unwrap();
+    db.execute(
+        "CREATE RECOMMENDER poi ON ratings USERS FROM uid ITEMS FROM iid \
+         RATINGS FROM ratingval USING ItemCosCF",
+    )
+    .unwrap();
+    let rows = db
+        .query(
+            "SELECT B.name, R.ratingval, \
+                    CScore(R.ratingval, ST_Distance(B.loc, POINT(500, 500))) AS c \
+             FROM ratings AS R, businesses AS B \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             WHERE R.uid = 1 AND R.iid = B.bid \
+             AND ST_DWithin(B.loc, POINT(500, 500), 400) \
+             ORDER BY CScore(R.ratingval, ST_Distance(B.loc, POINT(500, 500))) DESC \
+             LIMIT 5",
+        )
+        .unwrap();
+    assert!(rows.len() <= 5);
+    // Combined scores are within [0, 1] and descending.
+    let scores: Vec<f64> = rows
+        .rows()
+        .iter()
+        .map(|t| t.get(2).unwrap().as_f64().unwrap())
+        .collect();
+    assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+}
+
+/// Page-I/O cost shapes (§IV-A): a selective recommendation query touches
+/// far fewer prediction computations than the all-pairs baseline; visible
+/// through the shared page-read counters on the OnTopDB side.
+#[test]
+fn ontop_pays_data_movement_cost() {
+    let mut ontop = OnTopDb::new(loaded_db()).unwrap();
+    ontop
+        .create_recommender("ratings", "uid", "iid", "ratingval", Algorithm::ItemCosCF)
+        .unwrap();
+    let stats = std::sync::Arc::clone(ontop.db().catalog().stats());
+    stats.reset();
+    ontop
+        .run(
+            "ratings",
+            Algorithm::ItemCosCF,
+            PredictionScope::AllUsers,
+            "SELECT P.iid FROM _ontop_predictions AS P WHERE P.uid = 1",
+        )
+        .unwrap();
+    let writes_all = stats.tuple_writes();
+
+    // The single-user ablation writes far fewer tuples back to the DB.
+    stats.reset();
+    ontop
+        .run(
+            "ratings",
+            Algorithm::ItemCosCF,
+            PredictionScope::SingleUser(1),
+            "SELECT P.iid FROM _ontop_predictions AS P WHERE P.uid = 1",
+        )
+        .unwrap();
+    let writes_one = stats.tuple_writes();
+    assert!(
+        writes_one * 10 < writes_all,
+        "single-user reload ({writes_one}) should be ≪ all-pairs ({writes_all})"
+    );
+}

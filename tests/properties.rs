@@ -1,0 +1,236 @@
+//! Property-based tests over the full stack.
+//!
+//! The central property is **optimizer soundness**: for arbitrary ratings
+//! data and arbitrary pushable predicates, the naive plan (full Recommend,
+//! Filter on top — the paper's Figure 3(a)) and the optimized plan
+//! (FilterRecommend / JoinRecommend) must return exactly the same rows.
+
+use proptest::prelude::*;
+use recdb::core::RecDb;
+use recdb::exec::{build_logical, execute_plan, optimize, ExecContext, ResultSet};
+use recdb::sql::{parse, Statement};
+use recdb::storage::Value;
+
+/// Arbitrary small ratings universe: distinct (user, item) pairs with
+/// half-star ratings.
+fn ratings_strategy() -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
+    proptest::collection::btree_set((1i64..12, 1i64..12), 5..60).prop_flat_map(|pairs| {
+        let pairs: Vec<(i64, i64)> = pairs.into_iter().collect();
+        let n = pairs.len();
+        proptest::collection::vec(2u8..=10, n).prop_map(move |halves| {
+            pairs
+                .iter()
+                .zip(&halves)
+                .map(|(&(u, i), &h)| (u, i, h as f64 / 2.0))
+                .collect()
+        })
+    })
+}
+
+fn db_with(ratings: &[(i64, i64, f64)], algorithm: &str) -> RecDb {
+    let mut db = RecDb::new();
+    db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)")
+        .unwrap();
+    let values: Vec<String> = ratings
+        .iter()
+        .map(|(u, i, r)| format!("({u}, {i}, {r})"))
+        .collect();
+    db.execute(&format!(
+        "INSERT INTO ratings VALUES {}",
+        values.join(", ")
+    ))
+    .unwrap();
+    db.execute(&format!(
+        "CREATE RECOMMENDER prop ON ratings USERS FROM uid ITEMS FROM iid \
+         RATINGS FROM ratingval USING {algorithm}"
+    ))
+    .unwrap();
+    db
+}
+
+fn run_naive_and_optimized(db: &RecDb, sql: &str) -> (ResultSet, ResultSet) {
+    let Statement::Select(select) = parse(sql).unwrap() else {
+        panic!("not a select")
+    };
+    let ctx = ExecContext {
+        catalog: db.catalog(),
+        provider: db,
+    };
+    let naive = build_logical(&select, db.catalog()).unwrap();
+    let optimized = optimize(build_logical(&select, db.catalog()).unwrap());
+    (
+        execute_plan(&naive, &ctx).unwrap(),
+        execute_plan(&optimized, &ctx).unwrap(),
+    )
+}
+
+fn canonical(r: &ResultSet) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = r
+        .rows()
+        .iter()
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(|v| match v {
+                    // Round floats so both plans quantize identically.
+                    Value::Float(f) => format!("{:.9}", f),
+                    other => other.to_string(),
+                })
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Figure 3(a) naive plan ≡ optimized FilterRecommend plan, for
+    /// arbitrary data and arbitrary uid/iid/rating predicates.
+    #[test]
+    fn optimizer_preserves_filter_semantics(
+        ratings in ratings_strategy(),
+        user in 1i64..12,
+        items in proptest::collection::vec(1i64..12, 1..5),
+        min_rating in 0u8..6,
+    ) {
+        let db = db_with(&ratings, "ItemCosCF");
+        let item_list: Vec<String> = items.iter().map(i64::to_string).collect();
+        let sql = format!(
+            "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             WHERE R.uid = {user} AND R.iid IN ({}) AND R.ratingval >= {}",
+            item_list.join(", "),
+            min_rating,
+        );
+        let (naive, optimized) = run_naive_and_optimized(&db, &sql);
+        prop_assert_eq!(canonical(&naive), canonical(&optimized));
+    }
+
+    /// Naive join plan ≡ JoinRecommend plan, for arbitrary data.
+    #[test]
+    fn optimizer_preserves_join_semantics(
+        ratings in ratings_strategy(),
+        user in 1i64..12,
+    ) {
+        let mut db = db_with(&ratings, "ItemCosCF");
+        db.execute("CREATE TABLE movies (mid INT, genre TEXT)").unwrap();
+        let rows: Vec<String> = (1..12)
+            .map(|m| format!("({m}, '{}')", if m % 2 == 0 { "Action" } else { "Drama" }))
+            .collect();
+        db.execute(&format!("INSERT INTO movies VALUES {}", rows.join(", ")))
+            .unwrap();
+        let sql = format!(
+            "SELECT R.uid, R.iid, R.ratingval, M.genre \
+             FROM ratings AS R, movies AS M \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             WHERE R.uid = {user} AND M.mid = R.iid AND M.genre = 'Action'"
+        );
+        let (naive, optimized) = run_naive_and_optimized(&db, &sql);
+        prop_assert_eq!(canonical(&naive), canonical(&optimized));
+    }
+
+    /// The materialized-index path returns the same rows as the online
+    /// path for arbitrary data.
+    #[test]
+    fn index_path_equals_online_path(
+        ratings in ratings_strategy(),
+        user in 1i64..12,
+    ) {
+        let mut db = db_with(&ratings, "ItemCosCF");
+        let sql = format!(
+            "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             WHERE R.uid = {user}"
+        );
+        let online = db.query(&sql).unwrap();
+        db.materialize("prop").unwrap();
+        let indexed = db.query(&sql).unwrap();
+        prop_assert_eq!(canonical(&online), canonical(&indexed));
+    }
+
+    /// Recommendations never include pairs the user already rated, and
+    /// every score is finite — for every algorithm.
+    #[test]
+    fn no_rated_pairs_and_finite_scores(
+        ratings in ratings_strategy(),
+        algo_idx in 0usize..6,
+    ) {
+        let algorithm = recdb::algo::Algorithm::ALL[algo_idx];
+        let mut db = db_with(&ratings, algorithm.name());
+        let rows = db.query(&format!(
+            "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING {algorithm}"
+        )).unwrap();
+        let rated: std::collections::HashSet<(i64, i64)> =
+            ratings.iter().map(|&(u, i, _)| (u, i)).collect();
+        for t in rows.rows() {
+            let u = t.get(0).unwrap().as_int().unwrap();
+            let i = t.get(1).unwrap().as_int().unwrap();
+            let s = t.get(2).unwrap().as_f64().unwrap();
+            prop_assert!(!rated.contains(&(u, i)), "({u},{i}) was already rated");
+            prop_assert!(s.is_finite(), "score {s} not finite");
+        }
+    }
+
+    /// INSERT → SELECT roundtrip: arbitrary values survive the slotted
+    /// page encoding and come back unchanged through SQL.
+    #[test]
+    fn sql_value_roundtrip(
+        a in any::<i64>(),
+        b in -1e6f64..1e6,
+        s in "[a-zA-Z0-9 ]{0,24}",
+        flag in any::<bool>(),
+        x in -1e3f64..1e3,
+        y in -1e3f64..1e3,
+    ) {
+        let mut db = RecDb::new();
+        db.execute("CREATE TABLE t (a INT, b FLOAT, s TEXT, f BOOL, p POINT)").unwrap();
+        db.execute(&format!(
+            "INSERT INTO t VALUES ({a}, {b:?}, '{s}', {flag}, POINT({x:?}, {y:?}))"
+        )).unwrap();
+        let rows = db.query("SELECT * FROM t").unwrap();
+        prop_assert_eq!(rows.len(), 1);
+        prop_assert_eq!(rows.value(0, "a").unwrap(), &Value::Int(a));
+        prop_assert_eq!(rows.value(0, "b").unwrap(), &Value::Float(b));
+        prop_assert_eq!(rows.value(0, "s").unwrap(), &Value::Text(s));
+        prop_assert_eq!(rows.value(0, "f").unwrap(), &Value::Bool(flag));
+        prop_assert_eq!(rows.value(0, "p").unwrap(), &Value::Point(x, y));
+    }
+
+    /// ORDER BY ... DESC LIMIT k returns the k largest values in order,
+    /// whatever the data.
+    #[test]
+    fn order_by_limit_is_topk(
+        ratings in ratings_strategy(),
+        k in 1usize..8,
+    ) {
+        let mut db = db_with(&ratings, "ItemCosCF");
+        let all = db.query(
+            "SELECT R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF",
+        ).unwrap();
+        let mut scores: Vec<f64> = all
+            .rows()
+            .iter()
+            .map(|t| t.get(0).unwrap().as_f64().unwrap())
+            .collect();
+        scores.sort_by(|a, b| b.total_cmp(a));
+        scores.truncate(k);
+        let top = db.query(&format!(
+            "SELECT R.ratingval FROM ratings AS R \
+             RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+             ORDER BY R.ratingval DESC LIMIT {k}"
+        )).unwrap();
+        let got: Vec<f64> = top
+            .rows()
+            .iter()
+            .map(|t| t.get(0).unwrap().as_f64().unwrap())
+            .collect();
+        prop_assert_eq!(got.len(), scores.len());
+        for (g, e) in got.iter().zip(&scores) {
+            prop_assert!((g - e).abs() < 1e-12, "{:?} vs {:?}", got, scores);
+        }
+    }
+}
