@@ -25,11 +25,7 @@ pub struct Accuracy {
 
 /// Split ratings into `(train, test)` with `test_fraction` of observations
 /// held out, deterministically for a given `seed`.
-pub fn split(
-    ratings: &[Rating],
-    test_fraction: f64,
-    seed: u64,
-) -> (Vec<Rating>, Vec<Rating>) {
+pub fn split(ratings: &[Rating], test_fraction: f64, seed: u64) -> (Vec<Rating>, Vec<Rating>) {
     assert!(
         (0.0..1.0).contains(&test_fraction),
         "test_fraction must be in [0, 1)"
@@ -42,8 +38,7 @@ pub fn split(
         state ^= state >> 12;
         state ^= state << 25;
         state ^= state >> 27;
-        let roll =
-            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let roll = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
         if roll < test_fraction {
             test.push(r);
         } else {
@@ -142,12 +137,7 @@ mod tests {
     fn itemcf_beats_trivial_error_on_structured_data() {
         let data = structured(30, 30);
         let (train, test) = split(&data, 0.2, 7);
-        let acc = evaluate(
-            Algorithm::ItemCosCF,
-            train,
-            &test,
-            &TrainConfig::default(),
-        );
+        let acc = evaluate(Algorithm::ItemCosCF, train, &test, &TrainConfig::default());
         assert!(acc.coverage > 0.9, "coverage {}", acc.coverage);
         // Ratings span [1, 5]; random guessing RMSE ≈ 1.6. The pattern is
         // learnable, so CF should do much better.
@@ -179,12 +169,7 @@ mod tests {
     #[test]
     fn empty_test_set_yields_nan_metrics() {
         let data = structured(5, 5);
-        let acc = evaluate(
-            Algorithm::ItemCosCF,
-            data,
-            &[],
-            &TrainConfig::default(),
-        );
+        let acc = evaluate(Algorithm::ItemCosCF, data, &[], &TrainConfig::default());
         assert!(acc.rmse.is_nan());
         assert_eq!(acc.coverage, 0.0);
         assert_eq!(acc.n_test, 0);

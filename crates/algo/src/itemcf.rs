@@ -95,8 +95,7 @@ impl ItemCfModel {
     ///
     /// Unknown users or items score 0 (nothing is known about them).
     pub fn score(&self, user: i64, item: i64) -> f64 {
-        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item))
-        else {
+        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item)) else {
             return 0.0;
         };
         if let Some(r) = self.matrix.rating_at(u, i) {
@@ -175,10 +174,7 @@ mod tests {
     fn no_overlap_scores_zero() {
         // Two disconnected bipartite components.
         let m = ItemCfModel::train(
-            RatingsMatrix::from_ratings(vec![
-                Rating::new(1, 10, 5.0),
-                Rating::new(2, 20, 4.0),
-            ]),
+            RatingsMatrix::from_ratings(vec![Rating::new(1, 10, 5.0), Rating::new(2, 20, 4.0)]),
             NeighborhoodParams::cosine(),
         );
         assert_eq!(m.score(1, 20), 0.0, "Algorithm 1 line 14");
@@ -197,7 +193,10 @@ mod tests {
                 continue;
             }
             let lo = row.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
-            let hi = row.iter().map(|&(_, r)| r).fold(f64::NEG_INFINITY, f64::max);
+            let hi = row
+                .iter()
+                .map(|&(_, r)| r)
+                .fold(f64::NEG_INFINITY, f64::max);
             for &i in m.matrix().item_ids() {
                 if let Some(p) = m.predict(u, i) {
                     assert!(

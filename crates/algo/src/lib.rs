@@ -15,23 +15,29 @@
 //!   names used in SQL (`USING ItemCosCF`, …),
 //! * [`eval`] — RMSE / MAE hold-out evaluation (an extension; the paper
 //!   reports performance only, but a credible release needs accuracy
-//!   checks to show the predictors are implemented correctly).
+//!   checks to show the predictors are implemented correctly),
+//! * [`parallel`] / [`topk`] — scoped-thread scheduling and stable bounded
+//!   top-k selection shared by the model builders and the executor.
 
 pub mod eval;
 pub mod itemcf;
 pub mod model;
 pub mod neighborhood;
+pub mod parallel;
 pub mod popularity;
 pub mod ratings;
 pub mod similarity;
 pub mod svd;
+pub mod topk;
 pub mod usercf;
 
 pub use itemcf::ItemCfModel;
 pub use model::{Algorithm, RecModel};
 pub use neighborhood::NeighborhoodParams;
+pub use parallel::effective_threads;
 pub use popularity::PopularityModel;
 pub use ratings::{Rating, RatingsMatrix};
 pub use similarity::Similarity;
 pub use svd::{SvdModel, SvdParams};
+pub use topk::top_k_by;
 pub use usercf::UserCfModel;

@@ -104,6 +104,10 @@ pub struct NeighborhoodKnobs {
     pub max_neighbors: Option<usize>,
     /// Minimum |sim| to keep an edge.
     pub min_abs_sim: f64,
+    /// Build threads (`0` = all cores; output is bit-identical for every
+    /// setting — see [`crate::neighborhood`]). The `Default` of `0` makes
+    /// model building parallel out of the box.
+    pub threads: usize,
 }
 
 impl NeighborhoodKnobs {
@@ -112,6 +116,7 @@ impl NeighborhoodKnobs {
             measure,
             max_neighbors: self.max_neighbors,
             min_abs_sim: self.min_abs_sim,
+            threads: self.threads,
         }
     }
 }

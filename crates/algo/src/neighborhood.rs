@@ -11,9 +11,30 @@
 //! [`NeighborhoodParams::max_neighbors`] optionally truncates each list to
 //! the strongest `k` neighbors (by `|sim|`), the standard space/accuracy
 //! knob; the paper keeps full lists, so the default is no truncation.
+//!
+//! # Parallel building & determinism
+//!
+//! The pairwise build parallelizes over the outer entity with
+//! [`crate::parallel::for_each_chunk`]; [`NeighborhoodParams::threads`]
+//! controls the worker count (default `0` = all cores). The output is
+//! **bit-identical** for every thread count, including the serial build,
+//! because the table is fully canonicalized after the similarity pass:
+//!
+//! 1. each `(a, b)` pair is computed by exactly one worker, and its
+//!    similarity depends only on the two input vectors;
+//! 2. truncation keeps the top `k` under a *total* order
+//!    (`|sim|` descending, then neighbor index ascending), so the kept set
+//!    is independent of the order edges were discovered in;
+//! 3. each final list is sorted by neighbor index, which is unique.
+//!
+//! Hence nondeterministic chunk→worker scheduling can never leak into the
+//! result, and the cheap dynamic load balancing (row `a` costs `O(n − a)`)
+//! comes for free.
 
+use crate::parallel::{effective_threads, for_each_chunk};
 use crate::ratings::RatingsMatrix;
 use crate::similarity::{co_rated_sums, Similarity};
+use crate::topk::top_k_by;
 
 /// Tuning knobs for neighborhood model building.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +47,10 @@ pub struct NeighborhoodParams {
     /// Drop neighbors whose |sim| is at or below this floor (default 0:
     /// zero-similarity neighbors carry no signal in Eq. 2).
     pub min_abs_sim: f64,
+    /// Worker threads for the pairwise build: `0` (the default) uses all
+    /// available cores, `1` forces the serial path. Every setting produces
+    /// a bit-identical table (see the module docs).
+    pub threads: usize,
 }
 
 impl Default for NeighborhoodParams {
@@ -34,6 +59,7 @@ impl Default for NeighborhoodParams {
             measure: Similarity::Cosine,
             max_neighbors: None,
             min_abs_sim: 0.0,
+            threads: 0,
         }
     }
 }
@@ -55,7 +81,7 @@ impl NeighborhoodParams {
 
 /// A similarity-list table over `n` entities: `lists[e]` holds sorted
 /// `(neighbor_idx, sim)` pairs (sorted by neighbor index for merge joins).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NeighborhoodTable {
     lists: Vec<Vec<(usize, f64)>>,
 }
@@ -111,33 +137,56 @@ pub fn build_user_neighborhood(
 
 fn build_pairwise<'a, F>(n: usize, vector: F, params: &NeighborhoodParams) -> NeighborhoodTable
 where
-    F: Fn(usize) -> &'a [(usize, f64)],
+    F: Fn(usize) -> &'a [(usize, f64)] + Sync,
 {
-    let mut lists: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for a in 0..n {
-        let va = vector(a);
-        if va.is_empty() {
-            continue;
-        }
-        for b in (a + 1)..n {
-            let vb = vector(b);
-            if vb.is_empty() {
-                continue;
-            }
-            let sums = co_rated_sums(va, vb);
-            if let Some(sim) = sums.score(params.measure) {
-                if sim.abs() > params.min_abs_sim {
-                    lists[a].push((b, sim));
-                    lists[b].push((a, sim));
+    let threads = effective_threads(params.threads);
+    // Row `a` scans `n − a` partners, so early rows are the heavy ones;
+    // smallish dynamic chunks keep workers balanced without measurable
+    // scheduling overhead (one atomic fetch_add per chunk).
+    let chunk = (n / (threads * 8).max(1)).clamp(1, 256);
+    let worker_edges = for_each_chunk(
+        n,
+        threads,
+        chunk,
+        Vec::new,
+        |edges: &mut Vec<(usize, usize, f64)>, range| {
+            for a in range {
+                let va = vector(a);
+                if va.is_empty() {
+                    continue;
+                }
+                for b in (a + 1)..n {
+                    let vb = vector(b);
+                    if vb.is_empty() {
+                        continue;
+                    }
+                    let sums = co_rated_sums(va, vb);
+                    if let Some(sim) = sums.score(params.measure) {
+                        if sim.abs() > params.min_abs_sim {
+                            edges.push((a, b, sim));
+                        }
+                    }
                 }
             }
+        },
+    );
+    let mut lists: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for edges in worker_edges {
+        for (a, b, sim) in edges {
+            lists[a].push((b, sim));
+            lists[b].push((a, sim));
         }
     }
+    // Canonicalization: both steps below are insensitive to the order the
+    // edges above arrived in, which is what makes the parallel build
+    // bit-identical to the serial one (module docs).
     if let Some(k) = params.max_neighbors {
         for list in &mut lists {
             if list.len() > k {
-                list.sort_unstable_by(|x, y| y.1.abs().total_cmp(&x.1.abs()));
-                list.truncate(k);
+                let taken = std::mem::take(list);
+                *list = top_k_by(taken, k, |x, y| {
+                    y.1.abs().total_cmp(&x.1.abs()).then(x.0.cmp(&y.0))
+                });
             }
         }
     }
@@ -194,10 +243,7 @@ mod tests {
     #[test]
     fn no_corated_users_means_no_edge() {
         // Items 10 and 20 share no raters.
-        let m = RatingsMatrix::from_ratings(vec![
-            Rating::new(1, 10, 5.0),
-            Rating::new(2, 20, 4.0),
-        ]);
+        let m = RatingsMatrix::from_ratings(vec![Rating::new(1, 10, 5.0), Rating::new(2, 20, 4.0)]);
         let t = build_item_neighborhood(&m, &NeighborhoodParams::cosine());
         assert_eq!(t.total_pairs(), 0);
     }
@@ -305,5 +351,139 @@ mod tests {
         let t = build_item_neighborhood(&m, &NeighborhoodParams::cosine());
         assert!(t.is_empty());
         assert_eq!(t.total_pairs(), 0);
+    }
+
+    /// A mid-sized pseudo-random matrix with varied overlap patterns.
+    fn random_matrix(seed: u64, n_users: i64, n_items: i64) -> RatingsMatrix {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut ratings = Vec::new();
+        for u in 0..n_users {
+            for i in 0..n_items {
+                // ~35% density, ratings in 1.0..=5.0 (half-star steps).
+                if next() % 100 < 35 {
+                    let r = 1.0 + (next() % 9) as f64 * 0.5;
+                    ratings.push(Rating::new(u, i, r));
+                }
+            }
+        }
+        RatingsMatrix::from_ratings(ratings)
+    }
+
+    #[test]
+    fn parallel_build_bit_identical_to_serial() {
+        let m = random_matrix(42, 40, 30);
+        for measure in [Similarity::Cosine, Similarity::Pearson] {
+            for max_neighbors in [None, Some(3), Some(7)] {
+                let base = NeighborhoodParams {
+                    measure,
+                    max_neighbors,
+                    min_abs_sim: 0.0,
+                    threads: 1,
+                };
+                let serial = build_item_neighborhood(&m, &base);
+                for threads in [2, 3, 8] {
+                    let par = build_item_neighborhood(&m, &NeighborhoodParams { threads, ..base });
+                    assert_eq!(
+                        par, serial,
+                        "measure {measure:?}, k {max_neighbors:?}, t {threads}"
+                    );
+                }
+                let auto = build_item_neighborhood(&m, &NeighborhoodParams { threads: 0, ..base });
+                assert_eq!(auto, serial);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_user_build_matches_serial() {
+        let m = random_matrix(7, 25, 20);
+        let serial = build_user_neighborhood(
+            &m,
+            &NeighborhoodParams {
+                threads: 1,
+                ..NeighborhoodParams::pearson()
+            },
+        );
+        let par = build_user_neighborhood(
+            &m,
+            &NeighborhoodParams {
+                threads: 4,
+                ..NeighborhoodParams::pearson()
+            },
+        );
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn more_threads_than_entities() {
+        // n = 3 items with 16 workers: shard boundaries degenerate.
+        let m = figure1();
+        let serial = build_item_neighborhood(
+            &m,
+            &NeighborhoodParams {
+                threads: 1,
+                ..NeighborhoodParams::cosine()
+            },
+        );
+        let par = build_item_neighborhood(
+            &m,
+            &NeighborhoodParams {
+                threads: 16,
+                ..NeighborhoodParams::cosine()
+            },
+        );
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn empty_matrix_with_many_threads() {
+        let m = RatingsMatrix::default();
+        let t = build_item_neighborhood(
+            &m,
+            &NeighborhoodParams {
+                threads: 8,
+                ..NeighborhoodParams::cosine()
+            },
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn truncation_tie_break_prefers_lower_neighbor_index() {
+        // Items 1, 2, 3 all tie at |sim| = 1 against item 0 (single
+        // co-rater each with identical ratings); k = 2 must keep the two
+        // lowest indices regardless of build order.
+        let ratings = vec![
+            Rating::new(1, 0, 2.0),
+            Rating::new(1, 1, 2.0),
+            Rating::new(2, 0, 3.0),
+            Rating::new(2, 2, 3.0),
+            Rating::new(3, 0, 4.0),
+            Rating::new(3, 3, 4.0),
+        ];
+        let m = RatingsMatrix::from_ratings(ratings);
+        let i0 = m.item_idx(0).unwrap();
+        for threads in [1, 2, 8] {
+            let t = build_item_neighborhood(
+                &m,
+                &NeighborhoodParams {
+                    max_neighbors: Some(2),
+                    threads,
+                    ..NeighborhoodParams::cosine()
+                },
+            );
+            let kept: Vec<usize> = t.neighbors(i0).iter().map(|&(n, _)| n).collect();
+            assert_eq!(
+                kept,
+                vec![m.item_idx(1).unwrap(), m.item_idx(2).unwrap()],
+                "threads {threads}"
+            );
+        }
     }
 }

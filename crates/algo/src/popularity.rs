@@ -89,8 +89,7 @@ impl PopularityModel {
     /// ids score 0, unseen items get the item's damped mean (identical for
     /// every user).
     pub fn score(&self, user: i64, item: i64) -> f64 {
-        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item))
-        else {
+        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item)) else {
             return 0.0;
         };
         if let Some(r) = self.matrix.rating_at(u, i) {

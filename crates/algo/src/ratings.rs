@@ -210,18 +210,10 @@ mod tests {
     fn row_and_column_views_agree() {
         let m = small();
         let u2 = m.user_idx(2).unwrap();
-        let rated: Vec<i64> = m
-            .user_row(u2)
-            .iter()
-            .map(|&(i, _)| m.item_id(i))
-            .collect();
+        let rated: Vec<i64> = m.user_row(u2).iter().map(|&(i, _)| m.item_id(i)).collect();
         assert_eq!(rated, vec![1, 2, 3]); // sorted by dense idx = first-seen
         let i1 = m.item_idx(1).unwrap();
-        let raters: Vec<i64> = m
-            .item_col(i1)
-            .iter()
-            .map(|&(u, _)| m.user_id(u))
-            .collect();
+        let raters: Vec<i64> = m.item_col(i1).iter().map(|&(u, _)| m.user_id(u)).collect();
         assert_eq!(raters, vec![1, 2, 3]);
     }
 
@@ -236,10 +228,7 @@ mod tests {
 
     #[test]
     fn duplicate_pair_last_wins() {
-        let m = RatingsMatrix::from_ratings(vec![
-            Rating::new(1, 1, 2.0),
-            Rating::new(1, 1, 5.0),
-        ]);
+        let m = RatingsMatrix::from_ratings(vec![Rating::new(1, 1, 2.0), Rating::new(1, 1, 5.0)]);
         assert_eq!(m.n_ratings(), 1);
         assert_eq!(m.rating_of(1, 1), Some(5.0));
     }

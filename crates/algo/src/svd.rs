@@ -14,7 +14,33 @@
 //!
 //! A small deterministic xorshift PRNG seeds the factors so training is
 //! reproducible for a given [`SvdParams::seed`].
+//!
+//! # Parallel training & determinism
+//!
+//! SGD is inherently sequential — every update reads the factors the
+//! previous update wrote — so parallelizing it changes the update stream.
+//! The contract here:
+//!
+//! * [`SvdParams::threads`] `= 1` (the **default**) runs the exact
+//!   sequential SGD above, bit-reproducible against earlier releases.
+//! * `threads > 1` (or `0` = all cores) opts into *block-partitioned* SGD:
+//!   each epoch splits users into contiguous disjoint shards, one worker
+//!   per shard. A worker updates its own users' `p_u` in place (no other
+//!   worker touches them) while reading an epoch-start snapshot of the
+//!   item factors; its `q_i` gradient contributions accumulate in a
+//!   private delta buffer. After the epoch barrier the deltas are folded
+//!   into the item factors in fixed shard order, and the training RMSE is
+//!   measured by a parallel end-of-epoch pass (partial sums combined in
+//!   slice order). The result is **deterministic for a fixed
+//!   `(seed, threads)` pair** — no locks, no atomics, no data races — but
+//!   it is a different (Jacobi-style delayed-update) stream than serial
+//!   SGD, so models trained at different thread counts differ slightly.
+//!
+//! Note the serial path reports the paper-era RMSE (pre-update error
+//! accumulated *during* the epoch) while the parallel path evaluates at
+//! epoch end; both converge to the same notion as training settles.
 
+use crate::parallel::effective_threads;
 use crate::ratings::RatingsMatrix;
 
 /// Hyper-parameters for SGD matrix factorization.
@@ -31,6 +57,11 @@ pub struct SvdParams {
     pub epochs: usize,
     /// PRNG seed for factor initialization.
     pub seed: u64,
+    /// SGD worker threads. `1` (the default) is the exact sequential
+    /// update stream; `> 1` (or `0` = all cores) opts into deterministic
+    /// block-partitioned parallel SGD — see the module docs for the
+    /// reproducibility contract.
+    pub threads: usize,
 }
 
 impl Default for SvdParams {
@@ -41,6 +72,7 @@ impl Default for SvdParams {
             lambda: 0.05,
             epochs: 30,
             seed: 0x5EED_CAFE,
+            threads: 1,
         }
     }
 }
@@ -53,9 +85,7 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> Self {
-        XorShift64 {
-            state: seed.max(1),
-        }
+        XorShift64 { state: seed.max(1) }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -97,7 +127,11 @@ impl SvdModel {
         // Initialize around sqrt(mean/f) so initial dot products land near
         // the rating scale, a standard Funk-SVD warm start.
         let mean = matrix.global_mean();
-        let scale = if mean > 0.0 { (mean / f as f64).sqrt() } else { 0.1 };
+        let scale = if mean > 0.0 {
+            (mean / f as f64).sqrt()
+        } else {
+            0.1
+        };
         let mut user_factors: Vec<f64> = (0..n_users * f)
             .map(|_| scale * (0.5 + 0.5 * rng.next_f64()))
             .collect();
@@ -105,41 +139,26 @@ impl SvdModel {
             .map(|_| scale * (0.5 + 0.5 * rng.next_f64()))
             .collect();
 
-        let triples: Vec<(usize, usize, f64)> = matrix.iter_dense().collect();
-        let mut order: Vec<usize> = (0..triples.len()).collect();
-        let mut final_rmse = 0.0;
-        for _epoch in 0..params.epochs {
-            // Fisher-Yates shuffle of the visit order each epoch.
-            for k in (1..order.len()).rev() {
-                let j = (rng.next_u64() % (k as u64 + 1)) as usize;
-                order.swap(k, j);
-            }
-            let mut sq_err = 0.0;
-            for &t in &order {
-                let (u, i, r) = triples[t];
-                let pu = u * f;
-                let qi = i * f;
-                let mut dot = 0.0;
-                for k in 0..f {
-                    dot += user_factors[pu + k] * item_factors[qi + k];
-                }
-                let err = r - dot;
-                sq_err += err * err;
-                for k in 0..f {
-                    let puk = user_factors[pu + k];
-                    let qik = item_factors[qi + k];
-                    user_factors[pu + k] +=
-                        params.learning_rate * (err * qik - params.lambda * puk);
-                    item_factors[qi + k] +=
-                        params.learning_rate * (err * puk - params.lambda * qik);
-                }
-            }
-            final_rmse = if triples.is_empty() {
-                0.0
-            } else {
-                (sq_err / triples.len() as f64).sqrt()
-            };
-        }
+        let threads = effective_threads(params.threads).min(n_users.max(1));
+        let final_rmse = if threads <= 1 {
+            sgd_serial(
+                &matrix,
+                &params,
+                f,
+                &mut rng,
+                &mut user_factors,
+                &mut item_factors,
+            )
+        } else {
+            sgd_block_parallel(
+                &matrix,
+                &params,
+                f,
+                threads,
+                &mut user_factors,
+                &mut item_factors,
+            )
+        };
         SvdModel {
             matrix,
             user_factors,
@@ -188,8 +207,7 @@ impl SvdModel {
     /// Algorithm 2's per-pair score: dot product of the factor vectors;
     /// already-rated pairs return the user's own rating; unknown ids → 0.
     pub fn score(&self, user: i64, item: i64) -> f64 {
-        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item))
-        else {
+        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item)) else {
             return 0.0;
         };
         if let Some(r) = self.matrix.rating_at(u, i) {
@@ -214,6 +232,174 @@ impl SvdModel {
             .map(|(a, b)| a * b)
             .sum()
     }
+}
+
+/// The exact sequential SGD loop (the historical update stream — `rng`
+/// continues the initialization generator, so results are bit-identical to
+/// pre-parallel releases). Returns the during-epoch training RMSE of the
+/// final epoch.
+fn sgd_serial(
+    matrix: &RatingsMatrix,
+    params: &SvdParams,
+    f: usize,
+    rng: &mut XorShift64,
+    user_factors: &mut [f64],
+    item_factors: &mut [f64],
+) -> f64 {
+    let triples: Vec<(usize, usize, f64)> = matrix.iter_dense().collect();
+    let mut order: Vec<usize> = (0..triples.len()).collect();
+    let mut final_rmse = 0.0;
+    for _epoch in 0..params.epochs {
+        // Fisher-Yates shuffle of the visit order each epoch.
+        for k in (1..order.len()).rev() {
+            let j = (rng.next_u64() % (k as u64 + 1)) as usize;
+            order.swap(k, j);
+        }
+        let mut sq_err = 0.0;
+        for &t in &order {
+            let (u, i, r) = triples[t];
+            let pu = u * f;
+            let qi = i * f;
+            let mut dot = 0.0;
+            for k in 0..f {
+                dot += user_factors[pu + k] * item_factors[qi + k];
+            }
+            let err = r - dot;
+            sq_err += err * err;
+            for k in 0..f {
+                let puk = user_factors[pu + k];
+                let qik = item_factors[qi + k];
+                user_factors[pu + k] += params.learning_rate * (err * qik - params.lambda * puk);
+                item_factors[qi + k] += params.learning_rate * (err * puk - params.lambda * qik);
+            }
+        }
+        final_rmse = if triples.is_empty() {
+            0.0
+        } else {
+            (sq_err / triples.len() as f64).sqrt()
+        };
+    }
+    final_rmse
+}
+
+/// Block-partitioned parallel SGD (module docs): contiguous user shards,
+/// one worker each, frozen item factors per epoch, per-shard item-delta
+/// accumulation merged in shard order. Deterministic for a fixed
+/// `(seed, threads)` pair. Returns the end-of-epoch training RMSE after
+/// the final epoch, measured by a parallel pass.
+fn sgd_block_parallel(
+    matrix: &RatingsMatrix,
+    params: &SvdParams,
+    f: usize,
+    threads: usize,
+    user_factors: &mut [f64],
+    item_factors: &mut Vec<f64>,
+) -> f64 {
+    let n_users = matrix.n_users();
+    let per = n_users.div_ceil(threads);
+    let lr = params.learning_rate;
+    let lambda = params.lambda;
+    for epoch in 0..params.epochs {
+        let frozen_items = item_factors.clone();
+        let deltas: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = user_factors
+                .chunks_mut(per * f)
+                .enumerate()
+                .map(|(shard, chunk)| {
+                    let frozen = &frozen_items;
+                    s.spawn(move || {
+                        let first_user = shard * per;
+                        let shard_users = chunk.len() / f;
+                        // Per-(epoch, shard) visit order: stochastic like
+                        // serial SGD, but derived only from values fixed
+                        // before the epoch starts, hence deterministic.
+                        let mut rng = XorShift64::new(
+                            params.seed
+                                ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ ((shard as u64 + 1) << 32),
+                        );
+                        let mut order: Vec<usize> = (0..shard_users).collect();
+                        for k in (1..order.len()).rev() {
+                            let j = (rng.next_u64() % (k as u64 + 1)) as usize;
+                            order.swap(k, j);
+                        }
+                        let mut delta = vec![0.0f64; frozen.len()];
+                        for &local in &order {
+                            let pu = local * f;
+                            for &(i, r) in matrix.user_row(first_user + local) {
+                                let qi = i * f;
+                                let mut dot = 0.0;
+                                for k in 0..f {
+                                    dot += chunk[pu + k] * frozen[qi + k];
+                                }
+                                let err = r - dot;
+                                for k in 0..f {
+                                    let puk = chunk[pu + k];
+                                    let qik = frozen[qi + k];
+                                    chunk[pu + k] += lr * (err * qik - lambda * puk);
+                                    delta[qi + k] += lr * (err * puk - lambda * qik);
+                                }
+                            }
+                        }
+                        delta
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("SGD shard worker panicked"))
+                .collect()
+        });
+        // Fold item deltas in fixed shard order — float addition is not
+        // associative, so the order must not depend on thread timing.
+        for delta in &deltas {
+            for (q, d) in item_factors.iter_mut().zip(delta) {
+                *q += *d;
+            }
+        }
+    }
+    let triples: Vec<(usize, usize, f64)> = matrix.iter_dense().collect();
+    parallel_rmse(&triples, user_factors, item_factors, f, threads)
+}
+
+/// RMSE over `triples` with the given factor tables, computed by `threads`
+/// workers over contiguous slices; partial sums are combined in slice
+/// order, so the result is deterministic for a fixed thread count.
+fn parallel_rmse(
+    triples: &[(usize, usize, f64)],
+    user_factors: &[f64],
+    item_factors: &[f64],
+    f: usize,
+    threads: usize,
+) -> f64 {
+    if triples.is_empty() {
+        return 0.0;
+    }
+    let per = triples.len().div_ceil(threads.max(1));
+    let partials: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = triples
+            .chunks(per)
+            .map(|slice| {
+                s.spawn(move || {
+                    let mut sq = 0.0;
+                    for &(u, i, r) in slice {
+                        let mut dot = 0.0;
+                        for k in 0..f {
+                            dot += user_factors[u * f + k] * item_factors[i * f + k];
+                        }
+                        let err = r - dot;
+                        sq += err * err;
+                    }
+                    sq
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("RMSE worker panicked"))
+            .collect()
+    });
+    (partials.iter().sum::<f64>() / triples.len() as f64).sqrt()
 }
 
 #[cfg(test)]
@@ -322,6 +508,93 @@ mod tests {
         let model = SvdModel::train(RatingsMatrix::default(), SvdParams::default());
         assert_eq!(model.final_rmse(), 0.0);
         assert_eq!(model.score(1, 1), 0.0);
+    }
+
+    #[test]
+    fn parallel_training_is_deterministic() {
+        let params = SvdParams {
+            factors: 8,
+            epochs: 40,
+            threads: 3,
+            ..Default::default()
+        };
+        let a = SvdModel::train(dense_block(), params);
+        let b = SvdModel::train(dense_block(), params);
+        for u in 0..6 {
+            assert_eq!(a.user_vector(u), b.user_vector(u), "user {u}");
+        }
+        for i in 0..6 {
+            assert_eq!(a.item_vector(i), b.item_vector(i), "item {i}");
+        }
+        assert_eq!(a.final_rmse(), b.final_rmse());
+    }
+
+    #[test]
+    fn parallel_training_converges() {
+        let model = SvdModel::train(
+            dense_block(),
+            SvdParams {
+                factors: 8,
+                epochs: 300,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert!(
+            model.final_rmse() < 0.5,
+            "parallel training RMSE {} too high",
+            model.final_rmse()
+        );
+        let p = model.predict(0, 5).unwrap();
+        assert!(
+            (p - 1.5).abs() < 0.8,
+            "held-out prediction {p} too far from 1.5"
+        );
+    }
+
+    #[test]
+    fn auto_threads_trains_without_panic() {
+        let model = SvdModel::train(
+            dense_block(),
+            SvdParams {
+                epochs: 10,
+                threads: 0,
+                ..Default::default()
+            },
+        );
+        assert!(model.final_rmse().is_finite());
+        for u in 0..6 {
+            for i in 0..6 {
+                assert!(model.score(u, i).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_clamps_to_user_count() {
+        // 6 users, 32 requested workers: shards degenerate to ≤ 1 user.
+        let params = SvdParams {
+            factors: 4,
+            epochs: 20,
+            threads: 32,
+            ..Default::default()
+        };
+        let a = SvdModel::train(dense_block(), params);
+        let b = SvdModel::train(dense_block(), params);
+        assert_eq!(a.user_vector(0), b.user_vector(0));
+        assert!(a.final_rmse().is_finite());
+    }
+
+    #[test]
+    fn empty_matrix_parallel_trains_without_panic() {
+        let model = SvdModel::train(
+            RatingsMatrix::default(),
+            SvdParams {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(model.final_rmse(), 0.0);
     }
 
     #[test]

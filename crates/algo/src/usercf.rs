@@ -84,8 +84,7 @@ impl UserCfModel {
     /// Operator-facing score (same conventions as
     /// [`crate::itemcf::ItemCfModel::score`]).
     pub fn score(&self, user: i64, item: i64) -> f64 {
-        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item))
-        else {
+        let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item)) else {
             return 0.0;
         };
         if let Some(r) = self.matrix.rating_at(u, i) {
@@ -143,10 +142,7 @@ mod tests {
     #[test]
     fn user_without_similar_raters_gets_none() {
         let m = UserCfModel::train(
-            RatingsMatrix::from_ratings(vec![
-                Rating::new(1, 10, 5.0),
-                Rating::new(2, 20, 4.0),
-            ]),
+            RatingsMatrix::from_ratings(vec![Rating::new(1, 10, 5.0), Rating::new(2, 20, 4.0)]),
             NeighborhoodParams::cosine(),
         );
         assert_eq!(m.predict(1, 20), None);
@@ -182,10 +178,7 @@ mod tests {
 
     #[test]
     fn pearson_variant_trains() {
-        let m = UserCfModel::train(
-            figure1().matrix().clone(),
-            NeighborhoodParams::pearson(),
-        );
+        let m = UserCfModel::train(figure1().matrix().clone(), NeighborhoodParams::pearson());
         // Pearson needs ≥2 co-rated dims; users 2 and 3 share items 1,2.
         let u2 = m.matrix().user_idx(2).unwrap();
         let u3 = m.matrix().user_idx(3).unwrap();

@@ -18,10 +18,7 @@ fn bench_topk(c: &mut Criterion) {
         .warm_up_time(Duration::from_secs(1));
     for algo in algos {
         for k in [10usize, 100] {
-            let sqls: Vec<String> = users
-                .iter()
-                .map(|&u| recdb_topk_sql(algo, u, k))
-                .collect();
+            let sqls: Vec<String> = users.iter().map(|&u| recdb_topk_sql(algo, u, k)).collect();
             group.bench_function(BenchmarkId::new(format!("RecDB/{algo}"), k), |b| {
                 let mut i = 0;
                 b.iter(|| {
@@ -30,8 +27,7 @@ fn bench_topk(c: &mut Criterion) {
                     world.run_recdb(sql)
                 })
             });
-            let osqls: Vec<String> =
-                users.iter().map(|&u| ontop_topk_sql(u, k)).collect();
+            let osqls: Vec<String> = users.iter().map(|&u| ontop_topk_sql(u, k)).collect();
             group.bench_function(BenchmarkId::new(format!("OnTopDB/{algo}"), k), |b| {
                 let mut i = 0;
                 b.iter(|| {

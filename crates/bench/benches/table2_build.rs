@@ -1,5 +1,8 @@
 //! Table II — recommender model building time: ItemCosCF / ItemPearCF /
-//! SVD on MovieLens, LDOS-CoMoDa, and Yelp.
+//! SVD on MovieLens, LDOS-CoMoDa, and Yelp — plus a serial-vs-parallel
+//! build-scaling group (`table2_build_threads`). Neighborhood builds are
+//! bit-identical at every thread count; parallel SVD is the deterministic
+//! block-partitioned variant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_algo::model::{RecModel, TrainConfig};
@@ -42,5 +45,37 @@ fn bench_table2(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table2);
+/// Serial vs parallel build wall time, LDOS (small, fast to sweep).
+fn bench_build_threads(c: &mut Criterion) {
+    let dataset = recdb_datasets::generate(&SyntheticSpec::ldos_comoda());
+    let ratings = dataset.algo_ratings();
+    let mut group = c.benchmark_group("table2_build_threads");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for algo in [Algorithm::ItemCosCF, Algorithm::Svd] {
+        for threads in [1usize, 2, 4, 8] {
+            let mut config: TrainConfig = bench_config().train;
+            config.neighborhood.threads = threads;
+            config.svd.threads = threads;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo}"), format!("t{threads}")),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        RecModel::train(
+                            algo,
+                            RatingsMatrix::from_ratings(ratings.iter().copied()),
+                            config,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_build_threads);
 criterion_main!(benches);

@@ -3,8 +3,11 @@
 //! reports.
 //!
 //! ```text
-//! experiments [table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|all]
+//! experiments [table2|build|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|all]
 //! ```
+//!
+//! `build` measures serial-vs-parallel model-build wall time and writes
+//! the machine-readable `BENCH_build.json` at the repository root.
 //!
 //! Absolute numbers will differ from the paper (the substrate is this
 //! repository's storage engine, not PostgreSQL 9.2 on the authors'
@@ -26,6 +29,10 @@ fn main() {
     let mut ran = false;
     if run_all || arg == "table2" {
         table2();
+        ran = true;
+    }
+    if run_all || arg == "build" {
+        build_scaling();
         ran = true;
     }
     if run_all || arg == "fig6" {
@@ -63,7 +70,8 @@ fn main() {
     }
     if !ran {
         eprintln!(
-            "unknown experiment `{arg}`; expected table2, fig6..fig12, ablations, or all"
+            "unknown experiment `{arg}`; expected table2, build, fig6..fig12, \
+             ablations, or all"
         );
         std::process::exit(2);
     }
@@ -111,6 +119,80 @@ fn table2() {
     }
 }
 
+/// Serial-vs-parallel model build scaling, plus the `BENCH_build.json`
+/// artifact (dataset, threads, build_ms, speedup per row).
+fn build_scaling() {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    header(
+        "Build scaling: model build wall time vs threads",
+        "neighborhood builds are bit-identical at every thread count; \
+         SVD >1 thread is the deterministic block-partitioned variant",
+    );
+    println!("host parallelism: {host_threads} (speedups are bounded by this)");
+    println!(
+        "{:<14} {:<11} {:>8} {:>12} {:>9}",
+        "dataset", "algo", "threads", "build", "speedup"
+    );
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    for spec in [
+        SyntheticSpec::ldos_comoda(),
+        SyntheticSpec::movielens(),
+        SyntheticSpec::yelp(),
+    ] {
+        let dataset = recdb_datasets::generate(&spec);
+        let ratings = dataset.algo_ratings();
+        for algo in [Algorithm::ItemCosCF, Algorithm::Svd] {
+            let mut serial_ms = 0.0;
+            for &threads in &thread_counts {
+                let mut config: TrainConfig = bench_config().train;
+                config.neighborhood.threads = threads;
+                config.svd.threads = threads;
+                let t = time_median(REPS, || {
+                    RecModel::train(
+                        algo,
+                        RatingsMatrix::from_ratings(ratings.iter().copied()),
+                        &config,
+                    )
+                });
+                let ms = t.as_secs_f64() * 1e3;
+                if threads == 1 {
+                    serial_ms = ms;
+                }
+                let speedup = serial_ms / ms.max(1e-9);
+                println!(
+                    "{:<14} {:<11} {:>8} {:>12} {:>8.2}x",
+                    spec.name,
+                    algo.to_string(),
+                    threads,
+                    secs(t),
+                    speedup
+                );
+                rows.push(format!(
+                    "    {{\"dataset\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \
+                     \"build_ms\": {:.3}, \"speedup\": {:.3}}}",
+                    spec.name, algo, threads, ms, speedup
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"model_build_scaling\",\n  \"host_threads\": {},\n  \
+         \"reps\": {},\n  \"note\": \"speedup = serial build_ms / build_ms at this \
+         thread count, measured on this host\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        host_threads,
+        REPS,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_build.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 /// Figs. 6–7: query time vs selectivity factor.
 fn selectivity_figure(figure: &str, spec: &SyntheticSpec) {
     header(
@@ -150,7 +232,10 @@ fn selectivity_figure(figure: &str, spec: &SyntheticSpec) {
 /// Figs. 8–9: join + recommendation query time.
 fn join_figure(figure: &str, spec: &SyntheticSpec) {
     header(
-        &format!("{figure}: join query time ({}, RecDB vs OnTopDB)", spec.name),
+        &format!(
+            "{figure}: join query time ({}, RecDB vs OnTopDB)",
+            spec.name
+        ),
         "paper shape: RecDB up to 2 orders of magnitude faster; the gain \
          persists for two-way joins (JoinRecommend scores only joined tuples)",
     );
@@ -192,7 +277,10 @@ fn join_figure(figure: &str, spec: &SyntheticSpec) {
 /// Figs. 10–12: top-K recommendation query time.
 fn topk_figure(figure: &str, spec: &SyntheticSpec) {
     header(
-        &format!("{figure}: top-K query time ({}, RecDB vs OnTopDB)", spec.name),
+        &format!(
+            "{figure}: top-K query time ({}, RecDB vs OnTopDB)",
+            spec.name
+        ),
         "paper shape: RecDB ~2 orders of magnitude faster via the \
          pre-computed RecScoreIndex; roughly flat in K",
     );
@@ -263,14 +351,12 @@ fn ablation_neighbors() {
         };
         let items: Vec<i64> = model.matrix().item_ids().to_vec();
         let predict = time_median(REPS, || {
-            items
-                .iter()
-                .map(|&i| model.score(1, i))
-                .sum::<f64>()
+            items.iter().map(|&i| model.score(1, i)).sum::<f64>()
         });
         println!(
             "{:<14} {:>12} {:>14} {:>16}",
-            max.map(|m| m.to_string()).unwrap_or_else(|| "unbounded".into()),
+            max.map(|m| m.to_string())
+                .unwrap_or_else(|| "unbounded".into()),
             secs(build),
             pairs,
             secs(predict)

@@ -21,8 +21,8 @@ use recdb_algo::model::{NeighborhoodKnobs, TrainConfig};
 use recdb_algo::Algorithm;
 use recdb_core::{RecDb, RecDbConfig};
 use recdb_datasets::{Dataset, SyntheticSpec};
-use recdb_ontop::{OnTopDb, PredictionScope};
 use recdb_exec::ResultSet;
+use recdb_ontop::{OnTopDb, PredictionScope};
 use std::time::{Duration, Instant};
 
 /// Number of users pre-materialized ("hot" users) for top-k experiments.
@@ -53,6 +53,7 @@ pub fn bench_config() -> RecDbConfig {
             neighborhood: NeighborhoodKnobs {
                 max_neighbors: Some(64),
                 min_abs_sim: 0.0,
+                ..Default::default()
             },
             // A production-grade SGD budget (the paper's SVD builds are
             // ~7x slower than its neighborhood builds — Table II).
@@ -145,7 +146,12 @@ impl World {
     /// predictions table, then run the residual SQL.
     pub fn run_ontop(&mut self, algorithm: Algorithm, residual_sql: &str) -> ResultSet {
         self.ontop
-            .run("ratings", algorithm, PredictionScope::AllUsers, residual_sql)
+            .run(
+                "ratings",
+                algorithm,
+                PredictionScope::AllUsers,
+                residual_sql,
+            )
             .expect("ontop query")
     }
 }

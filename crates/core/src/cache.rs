@@ -249,7 +249,10 @@ mod tests {
         // ≥ 0.5; every other pair is evicted.
         assert_eq!(decision.admitted, vec![(1, 101)]);
         assert_eq!(decision.evicted.len(), 5);
-        assert!(decision.evicted.contains(&(2, 102)), "Bob/Inception ≈ 0.001");
+        assert!(
+            decision.evicted.contains(&(2, 102)),
+            "Bob/Inception ≈ 0.001"
+        );
     }
 
     #[test]

@@ -5,11 +5,11 @@ use crate::error::{EngineError, EngineResult};
 use crate::recommender::Recommender;
 use recdb_algo::model::TrainConfig;
 use recdb_algo::Algorithm;
+use recdb_exec::expr::{bind, literal_value};
 use recdb_exec::{
     build_logical, execute_plan, optimize, ExecContext, LogicalPlan, RecScoreIndex,
     RecommenderProvider, ResultSet,
 };
-use recdb_exec::expr::{bind, literal_value};
 use recdb_sql::{parse, parse_many, Expr, SelectStatement, Statement};
 use recdb_storage::{Catalog, DataType, Schema, Tuple};
 use std::sync::Arc;
@@ -28,6 +28,12 @@ pub struct RecDbConfig {
     /// Whether inserts trigger the N% rule automatically (the paper's
     /// behaviour). Disable for benches that want explicit control.
     pub auto_maintenance: bool,
+    /// Worker threads for score-index materialization (`0` = all cores).
+    /// Materialization is a pure fan-out, so the index is identical for
+    /// every setting. Model-*training* threads live in
+    /// [`RecDbConfig::train`] (`train.neighborhood.threads`,
+    /// `train.svd.threads`).
+    pub build_threads: usize,
 }
 
 impl Default for RecDbConfig {
@@ -37,6 +43,7 @@ impl Default for RecDbConfig {
             hotness_threshold: 0.5,
             train: TrainConfig::default(),
             auto_maintenance: true,
+            build_threads: 0,
         }
     }
 }
@@ -311,11 +318,7 @@ impl RecDb {
 
     /// Delete rows matching `filter` (all rows when `None`), updating
     /// recommender statistics and running the N% rule.
-    fn apply_delete(
-        &mut self,
-        table: &str,
-        filter: Option<&Expr>,
-    ) -> EngineResult<usize> {
+    fn apply_delete(&mut self, table: &str, filter: Option<&Expr>) -> EngineResult<usize> {
         let (rids, touched_items) = {
             let t = self.catalog.table(table)?;
             let schema = t.schema().clone();
@@ -331,9 +334,7 @@ impl RecDb {
                 if keep {
                     rids.push(rid);
                     for &(k, ord) in &item_ordinals {
-                        if let Some(item) =
-                            tuple.get(ord).and_then(recdb_storage::Value::as_int)
-                        {
+                        if let Some(item) = tuple.get(ord).and_then(recdb_storage::Value::as_int) {
                             touched.push((k, item));
                         }
                     }
@@ -388,9 +389,7 @@ impl RecDb {
                 }
                 let new_tuple = Tuple::new(values);
                 for &(k, ord) in &item_ordinals {
-                    if let Some(item) =
-                        new_tuple.get(ord).and_then(recdb_storage::Value::as_int)
-                    {
+                    if let Some(item) = new_tuple.get(ord).and_then(recdb_storage::Value::as_int) {
                         touched.push((k, item));
                     }
                 }
@@ -476,10 +475,11 @@ impl RecDb {
     /// Pre-compute the full RecScoreIndex for every user of a recommender
     /// (§IV-C pre-computation).
     pub fn materialize(&mut self, recommender: &str) -> EngineResult<()> {
+        let threads = self.config.build_threads;
         let rec = self
             .recommender_mut(recommender)
             .ok_or_else(|| EngineError::RecommenderNotFound(recommender.to_owned()))?;
-        rec.materialize_all();
+        rec.materialize_all_with(threads);
         Ok(())
     }
 
@@ -536,8 +536,7 @@ impl RecommenderProvider for RecDb {
         self.recommenders
             .iter()
             .find(|r| {
-                r.ratings_table().eq_ignore_ascii_case(ratings_table)
-                    && r.algorithm() == algorithm
+                r.ratings_table().eq_ignore_ascii_case(ratings_table) && r.algorithm() == algorithm
             })
             .map(|r| r.model())
     }
@@ -546,8 +545,7 @@ impl RecommenderProvider for RecDb {
         self.recommenders
             .iter()
             .find(|r| {
-                r.ratings_table().eq_ignore_ascii_case(ratings_table)
-                    && r.algorithm() == algorithm
+                r.ratings_table().eq_ignore_ascii_case(ratings_table) && r.algorithm() == algorithm
             })
             .and_then(|r| r.index())
     }
@@ -593,8 +591,8 @@ fn const_tuple(row: &Vec<Expr>) -> EngineResult<Tuple> {
             values.push(literal_value(lit));
             continue;
         }
-        let bound = bind(expr, &empty_schema)
-            .map_err(|e| EngineError::NonConstantInsert(e.to_string()))?;
+        let bound =
+            bind(expr, &empty_schema).map_err(|e| EngineError::NonConstantInsert(e.to_string()))?;
         let value = bound
             .eval(&empty_tuple)
             .map_err(|e| EngineError::NonConstantInsert(e.to_string()))?;
@@ -715,9 +713,13 @@ mod tests {
     #[test]
     fn insert_triggers_n_percent_maintenance() {
         let mut db = with_recommender();
-        assert_eq!(db.recommender("GeneralRec").unwrap().model().trained_on(), 7);
+        assert_eq!(
+            db.recommender("GeneralRec").unwrap().model().trained_on(),
+            7
+        );
         // 10% of 7 ratings → a single insert triggers a rebuild.
-        db.execute("INSERT INTO ratings VALUES (4, 3, 5.0)").unwrap();
+        db.execute("INSERT INTO ratings VALUES (4, 3, 5.0)")
+            .unwrap();
         let rec = db.recommender("GeneralRec").unwrap();
         assert_eq!(rec.model().trained_on(), 8, "model rebuilt");
         assert_eq!(rec.pending_updates(), 0);
@@ -799,7 +801,8 @@ mod tests {
     #[test]
     fn insert_constant_expressions() {
         let mut db = RecDb::new();
-        db.execute("CREATE TABLE t (a INT, p POINT, r RECT)").unwrap();
+        db.execute("CREATE TABLE t (a INT, p POINT, r RECT)")
+            .unwrap();
         db.execute("INSERT INTO t VALUES (1 + 2, POINT(1, 2), RECT(0, 0, 5, 5))")
             .unwrap();
         let rows = db.query("SELECT * FROM t").unwrap();
@@ -807,7 +810,10 @@ mod tests {
         assert_eq!(rows.value(0, "p").unwrap(), &Value::Point(1.0, 2.0));
         // Non-constant rows are rejected.
         let err = db.execute("INSERT INTO t VALUES (x, POINT(1,2), RECT(0,0,1,1))");
-        assert!(matches!(err.unwrap_err(), EngineError::NonConstantInsert(_)));
+        assert!(matches!(
+            err.unwrap_err(),
+            EngineError::NonConstantInsert(_)
+        ));
     }
 
     #[test]
@@ -827,7 +833,8 @@ mod tests {
     fn create_and_drop_index_via_sql() {
         let mut db = figure1_db();
         assert!(matches!(
-            db.execute("CREATE INDEX movies_mid ON movies (mid)").unwrap(),
+            db.execute("CREATE INDEX movies_mid ON movies (mid)")
+                .unwrap(),
             QueryResult::IndexCreated(_)
         ));
         assert!(db
@@ -859,7 +866,10 @@ mod tests {
             .iter()
             .map(|v| v.to_string())
             .collect();
-        assert!(text.iter().any(|l| l.contains("FilterRecommend")), "{text:?}");
+        assert!(
+            text.iter().any(|l| l.contains("FilterRecommend")),
+            "{text:?}"
+        );
     }
 
     #[test]
@@ -902,9 +912,13 @@ mod tests {
     #[test]
     fn update_with_expression_and_no_filter() {
         let mut db = figure1_db();
-        let result = db.execute("UPDATE ratings SET ratingval = ratingval + 1").unwrap();
+        let result = db
+            .execute("UPDATE ratings SET ratingval = ratingval + 1")
+            .unwrap();
         assert!(matches!(result, QueryResult::Updated(7)));
-        let rows = db.query("SELECT ratingval FROM ratings WHERE uid = 2 AND iid = 1").unwrap();
+        let rows = db
+            .query("SELECT ratingval FROM ratings WHERE uid = 2 AND iid = 1")
+            .unwrap();
         assert_eq!(rows.value(0, "ratingval").unwrap(), &Value::Float(5.5));
     }
 

@@ -4,8 +4,9 @@
 use crate::cache::{CacheDecision, CacheManager, UsageStats};
 use crate::error::{EngineError, EngineResult};
 use parking_lot::Mutex;
-use recdb_algo::{Algorithm, Rating, RatingsMatrix, RecModel};
 use recdb_algo::model::TrainConfig;
+use recdb_algo::parallel::for_each_chunk;
+use recdb_algo::{Algorithm, Rating, RatingsMatrix, RecModel};
 use recdb_exec::RecScoreIndex;
 use recdb_storage::Catalog;
 use std::sync::Arc;
@@ -207,14 +208,53 @@ impl Recommender {
         self.index = Some(Arc::new(index));
     }
 
-    /// Pre-compute score lists for every user known to the model.
+    /// Pre-compute score lists for every user known to the model, using
+    /// all available cores.
     pub fn materialize_all(&mut self) {
+        self.materialize_all_with(0)
+    }
+
+    /// As [`Recommender::materialize_all`], with an explicit worker-thread
+    /// count (`0` = all cores). Each score is a pure function of the
+    /// already-trained model, so the resulting index is identical for
+    /// every thread count: workers only fan out the per-user scoring; the
+    /// merge into the index happens on the calling thread in user order.
+    pub fn materialize_all_with(&mut self, threads: usize) {
+        let users = self.model.matrix().user_ids();
+        let model = &self.model;
+        let threads = recdb_algo::effective_threads(threads);
+        let mut per_user: Vec<(usize, Vec<(i64, f64)>)> = for_each_chunk(
+            users.len(),
+            threads,
+            8,
+            Vec::new,
+            |out: &mut Vec<(usize, Vec<(i64, f64)>)>, range| {
+                for pos in range {
+                    let user = users[pos];
+                    let mut entries = Vec::new();
+                    for &item in model.matrix().item_ids() {
+                        if model.matrix().rating_of(user, item).is_none() {
+                            entries.push((item, model.predict(user, item).unwrap_or(0.0)));
+                        }
+                    }
+                    out.push((pos, entries));
+                }
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+        per_user.sort_unstable_by_key(|&(pos, _)| pos);
         let mut index = match self.index.take() {
             Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
             None => RecScoreIndex::new(),
         };
-        for &user in self.model.matrix().user_ids() {
-            materialize_user_into(&mut index, &self.model, user);
+        for (pos, entries) in per_user {
+            let user = users[pos];
+            for (item, score) in entries {
+                index.insert(user, item, score);
+            }
+            index.mark_complete(user);
         }
         self.index = Some(Arc::new(index));
     }
@@ -420,6 +460,27 @@ mod tests {
     }
 
     #[test]
+    fn materialize_all_parallel_matches_serial() {
+        let cat = catalog_with_ratings(&figure1_rows());
+        let mut serial = make(&cat);
+        serial.materialize_all_with(1);
+        let serial_idx = serial.index().unwrap();
+        for threads in [2, 4, 0] {
+            let mut par = make(&cat);
+            par.materialize_all_with(threads);
+            let idx = par.index().unwrap();
+            assert_eq!(idx.len(), serial_idx.len(), "threads {threads}");
+            assert_eq!(idx.user_count(), serial_idx.user_count());
+            for u in 1..=4 {
+                assert_eq!(idx.is_complete(u), serial_idx.is_complete(u));
+                let a: Vec<_> = idx.iter_desc(u, None, None).collect();
+                let b: Vec<_> = serial_idx.iter_desc(u, None, None).collect();
+                assert_eq!(a, b, "user {u}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
     fn maintain_refreshes_materialized_entries() {
         let mut cat = catalog_with_ratings(&figure1_rows());
         let mut rec = make(&cat);
@@ -465,7 +526,7 @@ mod tests {
         let cat = catalog_with_ratings(&figure1_rows());
         let mut rec = make(&cat);
         rec.materialize_user(4); // contains (4, 1) and (4, 3)
-        // Heat: user 1 hot, user 4 cold; item 1 hot, item 3 cold-ish.
+                                 // Heat: user 1 hot, user 4 cold; item 1 hot, item 3 cold-ish.
         for _ in 0..100 {
             rec.record_query(1, 5);
         }

@@ -69,9 +69,24 @@ pub struct Dataset {
 }
 
 const GENRES: [&str; 18] = [
-    "Action", "Adventure", "Animation", "Comedy", "Crime", "Documentary", "Drama", "Fantasy",
-    "Film-Noir", "Horror", "Musical", "Mystery", "Romance", "Sci-Fi", "Suspense", "Thriller",
-    "War", "Western",
+    "Action",
+    "Adventure",
+    "Animation",
+    "Comedy",
+    "Crime",
+    "Documentary",
+    "Drama",
+    "Fantasy",
+    "Film-Noir",
+    "Horror",
+    "Musical",
+    "Mystery",
+    "Romance",
+    "Sci-Fi",
+    "Suspense",
+    "Thriller",
+    "War",
+    "Western",
 ];
 
 const CITY_NAMES: [&str; 16] = [
@@ -191,7 +206,11 @@ pub fn generate(spec: &SyntheticSpec) -> Dataset {
     }
 
     // Users / items / cities.
-    let kind = if spec.with_locations { "Business" } else { "Movie" };
+    let kind = if spec.with_locations {
+        "Business"
+    } else {
+        "Movie"
+    };
     let cities: Vec<CityRow> = if spec.with_locations {
         // 4 × 4 grid of city rectangles tiling the world.
         let cell = WORLD / 4.0;
@@ -320,16 +339,12 @@ mod tests {
     fn ratings_have_learnable_structure() {
         // ItemCosCF on a train split should beat global-mean guessing.
         use recdb_algo::eval::{evaluate, split};
-        use recdb_algo::{Algorithm, model::TrainConfig};
+        use recdb_algo::{model::TrainConfig, Algorithm};
         let d = generate(&SyntheticSpec::movielens().scaled(0.1));
         let (train, test) = split(&d.algo_ratings(), 0.2, 7);
         let mean = train.iter().map(|r| r.value).sum::<f64>() / train.len() as f64;
-        let baseline_rmse = (test
-            .iter()
-            .map(|r| (r.value - mean).powi(2))
-            .sum::<f64>()
-            / test.len() as f64)
-            .sqrt();
+        let baseline_rmse =
+            (test.iter().map(|r| (r.value - mean).powi(2)).sum::<f64>() / test.len() as f64).sqrt();
         let acc = evaluate(Algorithm::ItemCosCF, train, &test, &TrainConfig::default());
         assert!(
             acc.rmse < baseline_rmse,

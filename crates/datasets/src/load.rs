@@ -129,9 +129,7 @@ impl Dataset {
         let rating_rows: Vec<Tuple> = self
             .ratings
             .iter()
-            .map(|&(u, i, r)| {
-                Tuple::new(vec![Value::Int(u), Value::Int(i), Value::Float(r)])
-            })
+            .map(|&(u, i, r)| Tuple::new(vec![Value::Int(u), Value::Int(i), Value::Float(r)]))
             .collect();
         db.insert_tuples("ratings", rating_rows)?;
 

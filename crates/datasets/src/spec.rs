@@ -90,8 +90,8 @@ impl SyntheticSpec {
         let scale = |n: usize| (((n as f64) * dim).round() as usize).max(2);
         let n_users = scale(self.n_users);
         let n_items = scale(self.n_items);
-        let n_ratings = (((self.n_ratings as f64) * factor).round() as usize)
-            .clamp(1, n_users * n_items);
+        let n_ratings =
+            (((self.n_ratings as f64) * factor).round() as usize).clamp(1, n_users * n_items);
         SyntheticSpec {
             name: format!("{}-x{factor}", self.name),
             n_users,
@@ -111,7 +111,10 @@ mod tests {
         let ml = SyntheticSpec::movielens();
         assert_eq!((ml.n_users, ml.n_items, ml.n_ratings), (943, 1682, 100_000));
         let ldos = SyntheticSpec::ldos_comoda();
-        assert_eq!((ldos.n_users, ldos.n_items, ldos.n_ratings), (185, 785, 2_297));
+        assert_eq!(
+            (ldos.n_users, ldos.n_items, ldos.n_ratings),
+            (185, 785, 2_297)
+        );
         let yelp = SyntheticSpec::yelp();
         assert_eq!(
             (yelp.n_users, yelp.n_items, yelp.n_ratings),

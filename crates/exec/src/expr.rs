@@ -157,7 +157,9 @@ pub fn bind(expr: &Expr, schema: &Schema) -> ExecResult<BoundExpr> {
                 let mut set = std::collections::HashSet::with_capacity(list.len());
                 let mut has_null = false;
                 for e in list {
-                    let Expr::Literal(lit) = e else { unreachable!() };
+                    let Expr::Literal(lit) = e else {
+                        unreachable!()
+                    };
                     let v = literal_value(lit);
                     if v.is_null() {
                         has_null = true;
@@ -434,7 +436,10 @@ fn eval_function(func: BuiltinFunc, args: &[BoundExpr], tuple: &Tuple) -> ExecRe
     match func {
         BuiltinFunc::StContains => {
             let (a, b, c, d) = vals[0].as_rect().ok_or_else(|| {
-                ExecError::Type(format!("ST_Contains expects a RECT region, got {}", vals[0]))
+                ExecError::Type(format!(
+                    "ST_Contains expects a RECT region, got {}",
+                    vals[0]
+                ))
             })?;
             let region = Polygon::from_rect(Rect::new(Point::new(a, b), Point::new(c, d)));
             let p = point(&vals[1], "ST_Contains")?;
@@ -471,7 +476,9 @@ fn eval_function(func: BuiltinFunc, args: &[BoundExpr], tuple: &Tuple) -> ExecRe
         BuiltinFunc::Abs => match &vals[0] {
             Value::Int(v) => Ok(Value::Int(v.abs())),
             Value::Float(v) => Ok(Value::Float(v.abs())),
-            other => Err(ExecError::Type(format!("ABS expects a number, got {other}"))),
+            other => Err(ExecError::Type(format!(
+                "ABS expects a number, got {other}"
+            ))),
         },
     }
 }

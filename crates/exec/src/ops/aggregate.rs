@@ -74,7 +74,10 @@ impl Accum {
     fn new(func: AggFunc) -> Accum {
         match func {
             AggFunc::Count => Accum::Count(0),
-            AggFunc::Sum => Accum::Sum { sum: 0.0, any: false },
+            AggFunc::Sum => Accum::Sum {
+                sum: 0.0,
+                any: false,
+            },
             AggFunc::Avg => Accum::Avg { sum: 0.0, n: 0 },
             AggFunc::Min => Accum::Min(None),
             AggFunc::Max => Accum::Max(None),
@@ -341,8 +344,16 @@ mod tests {
         assert_eq!(got.len(), 2);
         // First-seen order: Action first.
         assert_eq!(got[0].get(0).unwrap().as_text(), Some("Action"));
-        assert_eq!(got[0].get(1).unwrap(), &Value::Int(3), "COUNT(*) counts NULL row");
-        assert_eq!(got[0].get(2).unwrap(), &Value::Int(2), "COUNT(col) skips NULL");
+        assert_eq!(
+            got[0].get(1).unwrap(),
+            &Value::Int(3),
+            "COUNT(*) counts NULL row"
+        );
+        assert_eq!(
+            got[0].get(2).unwrap(),
+            &Value::Int(2),
+            "COUNT(col) skips NULL"
+        );
         assert_eq!(got[0].get(3).unwrap(), &Value::Float(9.0));
         assert_eq!(got[0].get(4).unwrap(), &Value::Float(4.5));
         assert_eq!(got[1].get(0).unwrap().as_text(), Some("Drama"));

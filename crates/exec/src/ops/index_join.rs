@@ -202,7 +202,10 @@ mod tests {
         assert_eq!(got.len(), 1);
         let reads = cat.stats().page_reads();
         assert!(reads >= 1, "index descent + fetch must be charged");
-        assert!(reads <= 4, "one probe must not scan the table ({reads} reads)");
+        assert!(
+            reads <= 4,
+            "one probe must not scan the table ({reads} reads)"
+        );
         assert_eq!(cat.stats().tuple_reads(), 1, "exactly one tuple fetched");
     }
 }

@@ -61,7 +61,10 @@ impl<'a> JoinOp<'a> {
                 let key = tuple.get(r_ord).cloned().unwrap_or(Value::Null);
                 // NULL keys never match in SQL equality; skip them.
                 if !key.is_null() {
-                    self.hash.entry(key).or_default().push(self.right_rows.len());
+                    self.hash
+                        .entry(key)
+                        .or_default()
+                        .push(self.right_rows.len());
                 }
             }
             self.right_rows.push(tuple);
@@ -189,9 +192,7 @@ mod tests {
     fn null_keys_never_match() {
         let mut op = make(Some((1, 0)), None);
         let got = drain(&mut op).unwrap();
-        assert!(got
-            .iter()
-            .all(|t| t.get(0).unwrap() != &Value::Int(3)));
+        assert!(got.iter().all(|t| t.get(0).unwrap() != &Value::Int(3)));
     }
 
     #[test]

@@ -156,10 +156,19 @@ impl PhysicalOp for ProjectOp<'_> {
 // ------------------------------------------------------------------- Sort
 
 /// Blocking sort. Materializes its input on first `next()`.
+///
+/// With [`SortOp::with_limit`] the operator becomes a bounded top-k: only
+/// the best `k` rows are kept during materialization (`O(n log k)` heap
+/// selection instead of an `O(n log n)` full sort). Selection is stable —
+/// rows that tie on every key keep input order — so the output is exactly
+/// the full sort truncated to `k`; the planner uses this to fuse
+/// `LIMIT k` over `ORDER BY` (the `RECOMMEND … LIMIT k` fast path).
 pub struct SortOp<'a> {
     input: Box<dyn PhysicalOp + 'a>,
     /// `(key expression, descending?)` in priority order.
     keys: Vec<(BoundExpr, bool)>,
+    /// Keep only the best `k` rows (fused `LIMIT`).
+    limit: Option<usize>,
     sorted: Option<std::vec::IntoIter<Tuple>>,
     error: Option<crate::error::ExecError>,
 }
@@ -170,6 +179,23 @@ impl<'a> SortOp<'a> {
         SortOp {
             input,
             keys,
+            limit: None,
+            sorted: None,
+            error: None,
+        }
+    }
+
+    /// A sort that only ever emits the best `limit` rows, selected with a
+    /// bounded heap.
+    pub fn with_limit(
+        input: Box<dyn PhysicalOp + 'a>,
+        keys: Vec<(BoundExpr, bool)>,
+        limit: usize,
+    ) -> Self {
+        SortOp {
+            input,
+            keys,
+            limit: Some(limit),
             sorted: None,
             error: None,
         }
@@ -198,7 +224,7 @@ impl<'a> SortOp<'a> {
             rows.push((key, tuple));
         }
         let keys = &self.keys;
-        rows.sort_by(|a, b| {
+        let cmp = |a: &(Vec<Value>, Tuple), b: &(Vec<Value>, Tuple)| {
             for (i, (_, desc)) in keys.iter().enumerate() {
                 let ord = a.0[i].total_cmp(&b.0[i]);
                 let ord = if *desc { ord.reverse() } else { ord };
@@ -207,7 +233,13 @@ impl<'a> SortOp<'a> {
                 }
             }
             std::cmp::Ordering::Equal
-        });
+        };
+        match self.limit {
+            // Bounded top-k: stable heap selection, identical output to
+            // the stable full sort below truncated to `k`.
+            Some(k) => rows = recdb_algo::top_k_by(rows, k, cmp),
+            None => rows.sort_by(cmp),
+        }
         self.sorted = Some(
             rows.into_iter()
                 .map(|(_, t)| t)
@@ -355,9 +387,7 @@ mod tests {
 
     #[test]
     fn project_computes_expressions() {
-        let recdb_sql::Statement::Select(s) =
-            parse("SELECT uid * 2 AS d FROM t").unwrap()
-        else {
+        let recdb_sql::Statement::Select(s) = parse("SELECT uid * 2 AS d FROM t").unwrap() else {
             panic!()
         };
         let recdb_sql::SelectItem::Expr { expr, .. } = &s.items[0] else {
@@ -394,6 +424,47 @@ mod tests {
 
     fn predicate_expr(col: &str) -> BoundExpr {
         bind(&recdb_sql::Expr::col(col), &schema()).unwrap()
+    }
+
+    #[test]
+    fn bounded_topk_matches_full_sort_truncated() {
+        // ratingval has duplicates ((i*7)%10)/2 cycles every 10 rows, so
+        // stability under ties is exercised.
+        let keys = || {
+            vec![
+                (predicate_expr("ratingval"), true),
+                (predicate_expr("uid"), false),
+            ]
+        };
+        for n in [0i64, 1, 5, 37] {
+            for k in [0usize, 1, 3, 10, 50] {
+                let mut full = SortOp::new(values(n), keys());
+                let mut want = drain(&mut full).unwrap();
+                want.truncate(k);
+                let mut topk = SortOp::with_limit(values(n), keys(), k);
+                let got = drain(&mut topk).unwrap();
+                assert_eq!(got, want, "n {n}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_topk_single_key_ties_keep_input_order() {
+        // All rows tie on the (constant) key: top-k must keep the first k
+        // rows in input order, like a stable sort + truncate.
+        let keys = vec![(predicate_expr("ratingval"), false)];
+        let schema = schema();
+        let tuples: Vec<Tuple> = (0..8)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Float(1.0)]))
+            .collect();
+        let input = Box::new(ValuesOp::new(schema, tuples));
+        let mut op = SortOp::with_limit(input, keys, 3);
+        let got = drain(&mut op).unwrap();
+        let ids: Vec<i64> = got
+            .iter()
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
     }
 
     #[test]

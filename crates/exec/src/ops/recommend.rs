@@ -328,7 +328,10 @@ mod tests {
         for t in &got {
             let u = t.get(0).unwrap().as_int().unwrap();
             let i = t.get(1).unwrap().as_int().unwrap();
-            assert!(model().matrix().rating_of(u, i).is_none(), "({u},{i}) rated");
+            assert!(
+                model().matrix().rating_of(u, i).is_none(),
+                "({u},{i}) rated"
+            );
         }
     }
 
@@ -338,9 +341,7 @@ mod tests {
         let got = drain(&mut op).unwrap();
         // User 1 rated item 1 only → items 2, 3 unseen.
         assert_eq!(got.len(), 2);
-        assert!(got
-            .iter()
-            .all(|t| t.get(0).unwrap() == &Value::Int(1)));
+        assert!(got.iter().all(|t| t.get(0).unwrap() == &Value::Int(1)));
     }
 
     #[test]
@@ -363,14 +364,7 @@ mod tests {
 
     #[test]
     fn rating_bounds_prune_output() {
-        let mut op = RecommendOp::new(
-            model(),
-            rec_schema(),
-            None,
-            None,
-            Some(0.5),
-            None,
-        );
+        let mut op = RecommendOp::new(model(), rec_schema(), None, None, Some(0.5), None);
         let got = drain(&mut op).unwrap();
         assert!(got
             .iter()
@@ -424,15 +418,8 @@ mod tests {
                 Tuple::new(vec![Value::Null, Value::Text("ghost".into())]),
             ],
         ));
-        let mut op = JoinRecommendOp::new(
-            model(),
-            rec_schema(),
-            outer,
-            0,
-            Some(vec![1]),
-            None,
-            None,
-        );
+        let mut op =
+            JoinRecommendOp::new(model(), rec_schema(), outer, 0, Some(vec![1]), None, None);
         let got = drain(&mut op).unwrap();
         // User 1: items 2 and 3 are unseen → two joined tuples.
         assert_eq!(got.len(), 2);
@@ -450,15 +437,8 @@ mod tests {
             outer_schema,
             vec![Tuple::new(vec![Value::Int(1)])], // user 1 already rated item 1
         ));
-        let mut op = JoinRecommendOp::new(
-            model(),
-            rec_schema(),
-            outer,
-            0,
-            Some(vec![1]),
-            None,
-            None,
-        );
+        let mut op =
+            JoinRecommendOp::new(model(), rec_schema(), outer, 0, Some(vec![1]), None, None);
         assert!(drain(&mut op).unwrap().is_empty());
     }
 
@@ -475,14 +455,7 @@ mod tests {
 
     #[test]
     fn index_recommend_emits_descending() {
-        let mut op = IndexRecommendOp::new(
-            sample_index(),
-            rec_schema(),
-            vec![1],
-            None,
-            None,
-            None,
-        );
+        let mut op = IndexRecommendOp::new(sample_index(), rec_schema(), vec![1], None, None, None);
         let got = drain(&mut op).unwrap();
         let items: Vec<i64> = got
             .iter()
@@ -523,14 +496,8 @@ mod tests {
 
     #[test]
     fn index_recommend_unknown_user_is_empty() {
-        let mut op = IndexRecommendOp::new(
-            sample_index(),
-            rec_schema(),
-            vec![42],
-            None,
-            None,
-            None,
-        );
+        let mut op =
+            IndexRecommendOp::new(sample_index(), rec_schema(), vec![42], None, None, None);
         assert!(drain(&mut op).unwrap().is_empty());
     }
 

@@ -42,9 +42,7 @@ pub fn optimize_pushdown_only(plan: LogicalPlan) -> LogicalPlan {
 fn binds_in(expr: &Expr, schema: &Schema) -> bool {
     match expr {
         Expr::Literal(_) => true,
-        Expr::Column { .. } => schema
-            .resolve(&expr.column_ref().expect("column"))
-            .is_ok(),
+        Expr::Column { .. } => schema.resolve(&expr.column_ref().expect("column")).is_ok(),
         Expr::Unary { expr, .. } => binds_in(expr, schema),
         Expr::Binary { left, right, .. } => binds_in(left, schema) && binds_in(right, schema),
         Expr::InList { expr, list, .. } => {
@@ -336,11 +334,7 @@ fn rewrite_rec_joins(plan: LogicalPlan) -> LogicalPlan {
 /// Recommend leaf must be the *left* input (FROM lists the ratings table
 /// first in every paper query); otherwise the join is left untouched so
 /// column order is preserved.
-fn try_rec_join(
-    left: LogicalPlan,
-    right: LogicalPlan,
-    predicate: Option<Expr>,
-) -> LogicalPlan {
+fn try_rec_join(left: LogicalPlan, right: LogicalPlan, predicate: Option<Expr>) -> LogicalPlan {
     let LogicalPlan::Recommend(rec) = left else {
         return LogicalPlan::Join {
             left: Box::new(left),
@@ -393,11 +387,7 @@ fn try_rec_join(
 
 /// Match `rec.item = outer.X` (either orientation); returns the outer
 /// column reference.
-fn match_item_equality(
-    expr: &Expr,
-    rec_schema: &Schema,
-    outer_schema: &Schema,
-) -> Option<String> {
+fn match_item_equality(expr: &Expr, rec_schema: &Schema, outer_schema: &Schema) -> Option<String> {
     let Expr::Binary {
         op: BinaryOp::Eq,
         left,

@@ -72,7 +72,9 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
             let l = build(left, ctx)?;
             // Access-path choice: probe a B-tree index on the inner table
             // when the join is an equi-join on an indexed leading column.
-            if let Some(built) = try_index_join(l.op.schema().clone(), right, predicate.as_ref(), ctx)? {
+            if let Some(built) =
+                try_index_join(l.op.schema().clone(), right, predicate.as_ref(), ctx)?
+            {
                 let (inner_table, index, inner_schema, residual, l_ord) = built;
                 return Ok(Built {
                     op: Box::new(IndexJoinOp::new(
@@ -123,7 +125,8 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
                 None => Box::new(op),
                 Some(items) => {
                     let schema = op.schema().clone();
-                    let pred = item_in_list_predicate(&schema, &rec.binding, &rec.item_column, items)?;
+                    let pred =
+                        item_in_list_predicate(&schema, &rec.binding, &rec.item_column, items)?;
                     Box::new(FilterOp::new(Box::new(op), pred))
                 }
             };
@@ -182,6 +185,32 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
             })
         }
         LogicalPlan::Limit { input, limit } => {
+            // Fuse `LIMIT k` over `ORDER BY` into a bounded top-k sort:
+            // the sort then keeps only `k` rows (stable heap selection)
+            // instead of fully sorting its input.
+            if let LogicalPlan::Sort {
+                input: sort_input,
+                keys,
+            } = &**input
+            {
+                let child = build(sort_input, ctx)?;
+                if sort_is_redundant(keys, child.sorted_desc.as_deref(), child.op.schema()) {
+                    return Ok(Built {
+                        sorted_desc: child.sorted_desc,
+                        op: Box::new(LimitOp::new(child.op, *limit)),
+                    });
+                }
+                let bound: Vec<(BoundExpr, bool)> = keys
+                    .iter()
+                    .map(|k| Ok((bind(&k.expr, child.op.schema())?, k.desc)))
+                    .collect::<ExecResult<_>>()?;
+                let sorted_desc = single_desc_column(keys);
+                let k = usize::try_from(*limit).unwrap_or(usize::MAX);
+                return Ok(Built {
+                    op: Box::new(SortOp::with_limit(child.op, bound, k)),
+                    sorted_desc,
+                });
+            }
             let child = build(input, ctx)?;
             Ok(Built {
                 sorted_desc: child.sorted_desc,
@@ -216,9 +245,8 @@ fn build_recommend<'a>(node: &RecommendNode, ctx: &ExecContext<'a>) -> ExecResul
         if !users.is_empty() {
             if let Some(index) = ctx.provider.rec_index(&node.ratings_table, node.algorithm) {
                 if users.iter().all(|&u| index.is_complete(u)) {
-                    let sorted_desc = (users.len() == 1).then(|| {
-                        format!("{}.{}", node.binding, node.rating_column)
-                    });
+                    let sorted_desc = (users.len() == 1)
+                        .then(|| format!("{}.{}", node.binding, node.rating_column));
                     return Ok(Built {
                         op: Box::new(IndexRecommendOp::new(
                             index,
@@ -317,9 +345,7 @@ fn match_equi(expr: &Expr, left: &Schema, right: &Schema) -> Option<(usize, usiz
     else {
         return None;
     };
-    let resolve = |e: &Expr, s: &Schema| -> Option<usize> {
-        s.resolve(&e.column_ref()?).ok()
-    };
+    let resolve = |e: &Expr, s: &Schema| -> Option<usize> { s.resolve(&e.column_ref()?).ok() };
     if let (Some(l), Some(r)) = (resolve(a, left), resolve(b, right)) {
         return Some((l, r));
     }
@@ -367,11 +393,7 @@ fn try_index_join<'a>(
     for c in predicate.conjuncts() {
         if chosen.is_none() {
             if let Some((l_ord, r_ord)) = match_equi(c, &left_schema, &inner_schema) {
-                if let Some(index) = table
-                    .indexes()
-                    .iter()
-                    .find(|i| i.key_columns() == [r_ord])
-                {
+                if let Some(index) = table.indexes().iter().find(|i| i.key_columns() == [r_ord]) {
                     chosen = Some((l_ord, index));
                     continue;
                 }
@@ -476,9 +498,7 @@ mod tests {
         }
         let model = RecModel::train(
             Algorithm::ItemCosCF,
-            RatingsMatrix::from_ratings(
-                data.iter().map(|&(u, i, r)| Rating::new(u, i, r)),
-            ),
+            RatingsMatrix::from_ratings(data.iter().map(|&(u, i, r)| Rating::new(u, i, r))),
             &Default::default(),
         );
         let provider = SingleRecommender::new("ratings", Algorithm::ItemCosCF, model);
@@ -527,6 +547,30 @@ mod tests {
             .map(|t| t.get(2).unwrap().as_f64().unwrap())
             .collect();
         assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn limit_over_sort_fuses_into_bounded_topk() {
+        let (cat, provider) = setup();
+        // All rows, fully sorted (no LIMIT → plain SortOp)...
+        let full = run(
+            "SELECT uid, iid, ratingval FROM ratings ORDER BY ratingval DESC, uid, iid",
+            &cat,
+            &provider,
+        );
+        assert_eq!(full.len(), 7);
+        // ...must be the exact prefix of the fused top-k plan's output.
+        for k in [0usize, 1, 3, 7, 20] {
+            let topk = run(
+                &format!(
+                    "SELECT uid, iid, ratingval FROM ratings \
+                     ORDER BY ratingval DESC, uid, iid LIMIT {k}"
+                ),
+                &cat,
+                &provider,
+            );
+            assert_eq!(topk.rows(), &full.rows()[..k.min(7)], "k {k}");
+        }
     }
 
     #[test]

@@ -179,21 +179,21 @@ impl LogicalPlan {
                                 // `ORDER BY M.genre` still binds above the
                                 // aggregate.
                                 let expr = &group_by[*index];
-                                let from_input = expr
-                                    .column_ref()
-                                    .and_then(|r| input_schema.resolve_column(&r).ok().map(
-                                        |(_, c)| (c.relation.clone(), c.data_type),
-                                    ));
+                                let from_input = expr.column_ref().and_then(|r| {
+                                    input_schema
+                                        .resolve_column(&r)
+                                        .ok()
+                                        .map(|(_, c)| (c.relation.clone(), c.data_type))
+                                });
                                 match from_input {
                                     Some((relation, data_type)) => Column {
                                         relation,
                                         name: name.clone(),
                                         data_type,
                                     },
-                                    None => Column::new(
-                                        name.clone(),
-                                        infer_type(expr, &input_schema),
-                                    ),
+                                    None => {
+                                        Column::new(name.clone(), infer_type(expr, &input_schema))
+                                    }
                                 }
                             }
                             AggregateOutput::Agg { func, arg, name } => {
@@ -306,9 +306,7 @@ impl LogicalPlan {
                 out.push('\n');
                 outer.explain_into(out, depth + 1);
             }
-            LogicalPlan::Aggregate {
-                input, outputs, ..
-            } => {
+            LogicalPlan::Aggregate { input, outputs, .. } => {
                 out.push_str(&format!(
                     "{pad}HashAggregate [{}]\n",
                     outputs
@@ -401,10 +399,7 @@ pub fn build_logical(select: &SelectStatement, catalog: &Catalog) -> ExecResult<
 
     // Which FROM entry is the recommender's ratings table?
     let rec_binding = select.recommend.as_ref().map(|rec| {
-        let qualifier = rec
-            .item_column
-            .split_once('.')
-            .map(|(q, _)| q.to_owned());
+        let qualifier = rec.item_column.split_once('.').map(|(q, _)| q.to_owned());
         // Unqualified RECOMMEND columns bind to the first FROM entry.
         qualifier.unwrap_or_else(|| select.from[0].binding().to_owned())
     });
@@ -416,7 +411,10 @@ pub fn build_logical(select: &SelectStatement, catalog: &Catalog) -> ExecResult<
             .as_deref()
             .is_some_and(|b| b.eq_ignore_ascii_case(binding));
         if is_rec {
-            let rec = select.recommend.as_ref().expect("rec_binding implies clause");
+            let rec = select
+                .recommend
+                .as_ref()
+                .expect("rec_binding implies clause");
             let algorithm: Algorithm = rec
                 .algorithm
                 .parse()
@@ -517,11 +515,7 @@ pub fn build_logical(select: &SelectStatement, catalog: &Catalog) -> ExecResult<
             SelectItem::Expr { expr, alias } => {
                 let name = alias.clone().unwrap_or_else(|| {
                     expr.column_ref()
-                        .map(|r| {
-                            r.split_once('.')
-                                .map(|(_, c)| c.to_owned())
-                                .unwrap_or(r)
-                        })
+                        .map(|r| r.split_once('.').map(|(_, c)| c.to_owned()).unwrap_or(r))
                         .unwrap_or_else(|| format!("col{}", i + 1))
                 });
                 exprs.push((expr.clone(), name));
@@ -555,9 +549,7 @@ fn contains_aggregate(expr: &Expr) -> bool {
     match expr {
         Expr::Literal(_) | Expr::Column { .. } => false,
         Expr::Unary { expr, .. } => contains_aggregate(expr),
-        Expr::Binary { left, right, .. } => {
-            contains_aggregate(left) || contains_aggregate(right)
-        }
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
         Expr::InList { expr, list, .. } => {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
         }
@@ -600,11 +592,7 @@ fn build_aggregate(select: &SelectStatement, input: LogicalPlan) -> ExecResult<L
             Expr::Function { name, .. } => name.to_ascii_lowercase(),
             _ => expr
                 .column_ref()
-                .map(|r| {
-                    r.split_once('.')
-                        .map(|(_, c)| c.to_owned())
-                        .unwrap_or(r)
-                })
+                .map(|r| r.split_once('.').map(|(_, c)| c.to_owned()).unwrap_or(r))
                 .unwrap_or_else(|| format!("col{}", i + 1)),
         });
         if let Some((func, arg)) = aggregate_call(expr) {
@@ -613,8 +601,7 @@ fn build_aggregate(select: &SelectStatement, input: LogicalPlan) -> ExecResult<L
         }
         if contains_aggregate(expr) {
             return Err(ExecError::Unsupported(
-                "aggregates must be top-level select items (e.g. AVG(x), not AVG(x) + 1)"
-                    .into(),
+                "aggregates must be top-level select items (e.g. AVG(x), not AVG(x) + 1)".into(),
             ));
         }
         let index = select
@@ -673,11 +660,8 @@ mod tests {
 
     #[test]
     fn plain_select_builds_scan_filter_project() {
-        let plan = build_logical(
-            &select("SELECT uid FROM ratings WHERE uid = 1"),
-            &catalog(),
-        )
-        .unwrap();
+        let plan =
+            build_logical(&select("SELECT uid FROM ratings WHERE uid = 1"), &catalog()).unwrap();
         let LogicalPlan::Project { input, exprs } = &plan else {
             panic!()
         };
@@ -851,11 +835,8 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ExecError::Bind(m) if m.contains("GROUP BY")));
-        let err = build_logical(
-            &select("SELECT * FROM movies GROUP BY genre"),
-            &catalog(),
-        )
-        .unwrap_err();
+        let err =
+            build_logical(&select("SELECT * FROM movies GROUP BY genre"), &catalog()).unwrap_err();
         assert!(matches!(err, ExecError::Unsupported(_)));
     }
 
@@ -872,7 +853,9 @@ mod tests {
     #[test]
     fn projected_type_inference() {
         let plan = build_logical(
-            &select("SELECT name, mid * 2 AS double_mid, genre = 'Action' AS is_action FROM movies"),
+            &select(
+                "SELECT name, mid * 2 AS double_mid, genre = 'Action' AS is_action FROM movies",
+            ),
             &catalog(),
         )
         .unwrap();

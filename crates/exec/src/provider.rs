@@ -83,7 +83,7 @@ impl RecommenderProvider for SingleRecommender {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use recdb_algo::{RatingsMatrix, Rating};
+    use recdb_algo::{Rating, RatingsMatrix};
 
     fn model() -> RecModel {
         RecModel::train(
@@ -108,10 +108,7 @@ mod tests {
         let mut idx = RecScoreIndex::new();
         idx.insert(1, 3, 4.0);
         let p = SingleRecommender::new("r", Algorithm::ItemCosCF, model()).with_index(idx);
-        assert_eq!(
-            p.rec_index("r", Algorithm::ItemCosCF).unwrap().len(),
-            1
-        );
+        assert_eq!(p.rec_index("r", Algorithm::ItemCosCF).unwrap().len(), 1);
         assert!(p.rec_index("r", Algorithm::Svd).is_none());
     }
 

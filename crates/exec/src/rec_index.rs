@@ -155,10 +155,12 @@ impl RecScoreIndex {
             score: max_score.unwrap_or(f64::INFINITY),
             item: i64::MAX,
         };
-        self.trees
-            .get(&user)
-            .into_iter()
-            .flat_map(move |tree| tree.tree.range(lo..=hi).rev().map(|(k, _)| (k.item, k.score)))
+        self.trees.get(&user).into_iter().flat_map(move |tree| {
+            tree.tree
+                .range(lo..=hi)
+                .rev()
+                .map(|(k, _)| (k.item, k.score))
+        })
     }
 
     /// All materialized users (arbitrary order).

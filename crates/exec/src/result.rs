@@ -82,7 +82,11 @@ impl fmt::Display for ResultSet {
                 if i > 0 {
                     f.write_str(" | ")?;
                 }
-                write!(f, "{cell:<width$}", width = widths.get(i).copied().unwrap_or(0))?;
+                write!(
+                    f,
+                    "{cell:<width$}",
+                    width = widths.get(i).copied().unwrap_or(0)
+                )?;
             }
             writeln!(f)
         };
@@ -130,10 +134,7 @@ mod tests {
         assert_eq!(r.value(1, "R.ratingval"), Some(&Value::Float(3.0)));
         assert_eq!(r.value(2, "uid"), None);
         assert_eq!(r.value(0, "nope"), None);
-        assert_eq!(
-            r.column_values("uid"),
-            vec![Value::Int(1), Value::Int(2)]
-        );
+        assert_eq!(r.column_values("uid"), vec![Value::Int(1), Value::Int(2)]);
         assert!(r.column_values("nope").is_empty());
     }
 

@@ -179,12 +179,7 @@ impl<T: Clone> RTree<T> {
         best
     }
 
-    fn nearest_descend(
-        node: &Node<T>,
-        center: &Point,
-        k: usize,
-        best: &mut Vec<(Point, T, f64)>,
-    ) {
+    fn nearest_descend(node: &Node<T>, center: &Point, k: usize, best: &mut Vec<(Point, T, f64)>) {
         let worst = if best.len() < k {
             f64::INFINITY
         } else {

@@ -77,8 +77,7 @@ pub fn parse(src: &str) -> Result<Statement, ParseError> {
 
 /// Parse a `;`-separated script into statements.
 pub fn parse_many(src: &str) -> Result<Vec<Statement>, ParseError> {
-    let tokens = tokenize(src)
-        .map_err(|e| ParseError::new(e.message.clone(), Some(e.offset)))?;
+    let tokens = tokenize(src).map_err(|e| ParseError::new(e.message.clone(), Some(e.offset)))?;
     let mut p = Parser { tokens, pos: 0 };
     let mut out = Vec::new();
     loop {
@@ -207,9 +206,9 @@ impl Parser {
                 Some(t) if t.is_keyword("RECOMMENDER") => return self.create_recommender(),
                 Some(t) if t.is_keyword("INDEX") => return self.create_index(),
                 _ => {
-                    return Err(self.error_here(
-                        "expected TABLE, INDEX, or RECOMMENDER after CREATE",
-                    ))
+                    return Err(
+                        self.error_here("expected TABLE, INDEX, or RECOMMENDER after CREATE")
+                    )
                 }
             }
         }
@@ -233,9 +232,7 @@ impl Parser {
                     return Ok(Statement::DropIndex { name, table });
                 }
                 _ => {
-                    return Err(
-                        self.error_here("expected TABLE, INDEX, or RECOMMENDER after DROP")
-                    )
+                    return Err(self.error_here("expected TABLE, INDEX, or RECOMMENDER after DROP"))
                 }
             }
         }
@@ -482,7 +479,9 @@ impl Parser {
                 _ => {
                     return Err(ParseError::new(
                         "expected a non-negative integer after LIMIT",
-                        self.tokens.get(self.pos.saturating_sub(1)).map(|t| t.offset),
+                        self.tokens
+                            .get(self.pos.saturating_sub(1))
+                            .map(|t| t.offset),
                     ))
                 }
             }
@@ -722,7 +721,10 @@ impl Parser {
                     {
                         self.pos += 1;
                         self.expect_symbol(&TokenKind::RParen)?;
-                        return Ok(Expr::Function { name, args: Vec::new() });
+                        return Ok(Expr::Function {
+                            name,
+                            args: Vec::new(),
+                        });
                     }
                     let mut args = Vec::new();
                     if self.peek().map(|t| &t.kind) != Some(&TokenKind::RParen) {
@@ -760,8 +762,18 @@ impl Parser {
 /// Fully reserved words that can never appear in expression position.
 fn is_reserved_word(s: &str) -> bool {
     const RESERVED: [&str; 12] = [
-        "SELECT", "FROM", "WHERE", "ORDER", "LIMIT", "RECOMMEND", "AND", "OR", "NOT", "IN",
-        "BETWEEN", "AS",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "ORDER",
+        "LIMIT",
+        "RECOMMEND",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "AS",
     ];
     RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -769,7 +781,15 @@ fn is_reserved_word(s: &str) -> bool {
 /// Identifiers that terminate a bare (AS-less) table alias in FROM.
 fn is_clause_keyword(s: &str) -> bool {
     const CLAUSES: [&str; 9] = [
-        "RECOMMEND", "WHERE", "ORDER", "LIMIT", "GROUP", "HAVING", "UNION", "ON", "USING",
+        "RECOMMEND",
+        "WHERE",
+        "ORDER",
+        "LIMIT",
+        "GROUP",
+        "HAVING",
+        "UNION",
+        "ON",
+        "USING",
     ];
     CLAUSES.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -833,9 +853,7 @@ mod tests {
              Where R.uid=1 And R.iid In (1,2,3,4,5)",
         )
         .unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         let filter = s.filter.unwrap();
         let parts = filter.conjuncts();
         assert_eq!(parts.len(), 2);
@@ -850,9 +868,7 @@ mod tests {
              Where R.uid=1 And M.iid = R.iid And M.genre='Action'",
         )
         .unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.filter.unwrap().conjuncts().len(), 3);
     }
@@ -867,9 +883,7 @@ mod tests {
              Order By R.ratingval Desc Limit 5",
         )
         .unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.from[1].table, "Movies");
         assert_eq!(s.from[1].binding(), "M");
         assert_eq!(s.recommend.unwrap().algorithm, "SVD");
@@ -886,9 +900,7 @@ mod tests {
              AND ST_Contains(C.geom, H.geom)",
         )
         .unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.from.len(), 3);
         let parts_owned = s.filter.unwrap();
         let parts = parts_owned.conjuncts();
@@ -907,9 +919,7 @@ mod tests {
              Order By CScore(R.ratingVal, ST_Distance(V.geom, ULoc)) Desc Limit 3",
         )
         .unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.order_by.len(), 1);
         assert!(s.order_by[0].desc);
         assert!(matches!(
@@ -943,10 +953,8 @@ mod tests {
 
     #[test]
     fn parse_insert_multi_row() {
-        let stmt = parse(
-            "INSERT INTO ratings VALUES (1, 1, 1.5), (2, 1, 4.5), (2, 2, -3.5)",
-        )
-        .unwrap();
+        let stmt =
+            parse("INSERT INTO ratings VALUES (1, 1, 1.5), (2, 1, 4.5), (2, 2, -3.5)").unwrap();
         let Statement::Insert { table, rows } = stmt else {
             panic!()
         };
@@ -992,10 +1000,9 @@ mod tests {
 
     #[test]
     fn between_and_not_variants() {
-        let Statement::Select(s) = parse(
-            "SELECT * FROM t WHERE r BETWEEN 2 AND 4 AND i NOT IN (1, 2) AND NOT b",
-        )
-        .unwrap() else {
+        let Statement::Select(s) =
+            parse("SELECT * FROM t WHERE r BETWEEN 2 AND 4 AND i NOT IN (1, 2) AND NOT b").unwrap()
+        else {
             panic!()
         };
         let filter = s.filter.unwrap();
@@ -1013,9 +1020,7 @@ mod tests {
 
     #[test]
     fn select_star_and_aliases() {
-        let Statement::Select(s) =
-            parse("SELECT *, uid AS user_id FROM ratings").unwrap()
-        else {
+        let Statement::Select(s) = parse("SELECT *, uid AS user_id FROM ratings").unwrap() else {
             panic!()
         };
         assert_eq!(s.items.len(), 2);
@@ -1028,10 +1033,9 @@ mod tests {
 
     #[test]
     fn parse_many_script() {
-        let stmts = parse_many(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_many("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1047,9 +1051,7 @@ mod tests {
 
     #[test]
     fn literal_keywords() {
-        let Statement::Select(s) =
-            parse("SELECT NULL, TRUE, FALSE FROM t").unwrap()
-        else {
+        let Statement::Select(s) = parse("SELECT NULL, TRUE, FALSE FROM t").unwrap() else {
             panic!()
         };
         let exprs: Vec<&Expr> = s
@@ -1103,8 +1105,7 @@ mod tests {
 
     #[test]
     fn group_by_multiple_keys() {
-        let Statement::Select(s) =
-            parse("SELECT a, b, SUM(c) FROM t GROUP BY a, b").unwrap()
+        let Statement::Select(s) = parse("SELECT a, b, SUM(c) FROM t GROUP BY a, b").unwrap()
         else {
             panic!()
         };

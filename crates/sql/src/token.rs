@@ -123,47 +123,80 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' if !bytes.get(i + 1).map(u8::is_ascii_digit).unwrap_or(false) => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Neq, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Neq,
+                    offset: i,
+                });
                 i += 2;
             }
             '<' => {
@@ -214,7 +247,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     offset: start,
                 });
             }
-            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).map(u8::is_ascii_digit).unwrap_or(false)) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).map(u8::is_ascii_digit).unwrap_or(false)) =>
+            {
                 let start = i;
                 let mut saw_dot = false;
                 let mut saw_exp = false;
@@ -253,7 +288,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         offset: start,
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;

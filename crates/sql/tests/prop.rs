@@ -8,9 +8,30 @@ use recdb_sql::{parse, parse_many, tokenize, Expr, SelectItem, Statement};
 fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("not a reserved word", |s| {
         ![
-            "select", "from", "where", "order", "limit", "recommend", "and", "or", "not",
-            "in", "between", "as", "group", "by", "null", "true", "false", "create",
-            "drop", "insert", "delete", "update", "set", "explain",
+            "select",
+            "from",
+            "where",
+            "order",
+            "limit",
+            "recommend",
+            "and",
+            "or",
+            "not",
+            "in",
+            "between",
+            "as",
+            "group",
+            "by",
+            "null",
+            "true",
+            "false",
+            "create",
+            "drop",
+            "insert",
+            "delete",
+            "update",
+            "set",
+            "explain",
         ]
         .contains(&s.to_ascii_lowercase().as_str())
     })

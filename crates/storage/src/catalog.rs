@@ -60,8 +60,8 @@ impl Table {
             .iter()
             .map(|c| self.schema().resolve(c))
             .collect::<StorageResult<_>>()?;
-        let mut idx = BTreeIndex::new(index_name, ordinals)
-            .with_stats(Arc::clone(self.heap.stats()));
+        let mut idx =
+            BTreeIndex::new(index_name, ordinals).with_stats(Arc::clone(self.heap.stats()));
         for (rid, tuple) in self.heap.scan() {
             idx.insert(idx.key_of(&tuple), rid);
         }

@@ -46,7 +46,10 @@ impl fmt::Display for StorageError {
                 write!(f, "column reference `{name}` is ambiguous")
             }
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "tuple has {got} values but the schema has {expected} columns")
+                write!(
+                    f,
+                    "tuple has {got} values but the schema has {expected} columns"
+                )
             }
             StorageError::TypeMismatch {
                 column,
@@ -57,7 +60,10 @@ impl fmt::Display for StorageError {
                 "type mismatch for column `{column}`: expected {expected}, got {got}"
             ),
             StorageError::TupleTooLarge { size, max } => {
-                write!(f, "tuple of {size} bytes exceeds the page capacity of {max} bytes")
+                write!(
+                    f,
+                    "tuple of {size} bytes exceeds the page capacity of {max} bytes"
+                )
             }
             StorageError::InvalidRid { page, slot } => {
                 write!(f, "invalid record id (page {page}, slot {slot})")

@@ -166,10 +166,11 @@ impl HeapTable {
                 page: rid.page,
                 slot: rid.slot,
             })?;
-        page.delete(rid.slot).map_err(|_| StorageError::InvalidRid {
-            page: rid.page,
-            slot: rid.slot,
-        })?;
+        page.delete(rid.slot)
+            .map_err(|_| StorageError::InvalidRid {
+                page: rid.page,
+                slot: rid.slot,
+            })?;
         self.live_tuples -= 1;
         self.stats.record_page_writes(1);
         Ok(())
@@ -249,7 +250,11 @@ mod tests {
     fn int_widens_to_float_column() {
         let mut t = ratings();
         let rid = t
-            .insert(Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(4)]))
+            .insert(Tuple::new(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(4),
+            ]))
             .unwrap();
         let got = t.get(rid).unwrap();
         assert_eq!(got.get(2).unwrap(), &Value::Float(4.0));

@@ -129,9 +129,7 @@ impl Page {
         for (i, s) in self.slots.iter().enumerate() {
             if s.live {
                 let offset = data.len() as u32;
-                data.extend_from_slice(
-                    &self.data[s.offset as usize..(s.offset + s.len) as usize],
-                );
+                data.extend_from_slice(&self.data[s.offset as usize..(s.offset + s.len) as usize]);
                 mapping.push((i as u16, slots.len() as u16));
                 slots.push(Slot {
                     offset,

@@ -161,9 +161,7 @@ impl Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
             (Text(a), Text(b)) => a.cmp(b),
-            (Point(ax, ay), Point(bx, by)) => ax
-                .total_cmp(bx)
-                .then_with(|| ay.total_cmp(by)),
+            (Point(ax, ay), Point(bx, by)) => ax.total_cmp(bx).then_with(|| ay.total_cmp(by)),
             (Rect(a0, a1, a2, a3), Rect(b0, b1, b2, b3)) => a0
                 .total_cmp(b0)
                 .then_with(|| a1.total_cmp(b1))

@@ -3,9 +3,7 @@
 //! checked against simple reference models.
 
 use proptest::prelude::*;
-use recdb_storage::{
-    BTreeIndex, Column, DataType, HeapTable, Page, Rid, Schema, Tuple, Value,
-};
+use recdb_storage::{BTreeIndex, Column, DataType, HeapTable, Page, Rid, Schema, Tuple, Value};
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![

@@ -37,8 +37,11 @@ fn main() {
     // mostly unseen by the hot users, so hot pairs are materialization
     // candidates (Algorithm 4 only considers unseen pairs).
     let n_items = dataset.items.len() as i64;
-    println!("running a skewed workload (hot users 1-5, churning items {}..{})...",
-             n_items - 5, n_items - 1);
+    println!(
+        "running a skewed workload (hot users 1-5, churning items {}..{})...",
+        n_items - 5,
+        n_items - 1
+    );
     for round in 0..60 {
         let user = (round % 5) + 1;
         db.query(&format!(

@@ -69,7 +69,14 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
-        print!("{}", if buffer.is_empty() { "recdb> " } else { "    -> " });
+        print!(
+            "{}",
+            if buffer.is_empty() {
+                "recdb> "
+            } else {
+                "    -> "
+            }
+        );
         std::io::stdout().flush().ok();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {

@@ -126,7 +126,10 @@ fn maintenance_keeps_index_fresh() {
     // Find an unseen pair for user 1 that is currently in the index.
     let rec = db.recommender("r").unwrap();
     let idx = rec.index().unwrap();
-    let (item, _) = idx.iter_desc(1, None, None).next().expect("entry for user 1");
+    let (item, _) = idx
+        .iter_desc(1, None, None)
+        .next()
+        .expect("entry for user 1");
 
     // User 1 rates it → maintenance fires → it must leave the index.
     db.execute(&format!("INSERT INTO ratings VALUES (1, {item}, 5.0)"))

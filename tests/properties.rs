@@ -35,11 +35,8 @@ fn db_with(ratings: &[(i64, i64, f64)], algorithm: &str) -> RecDb {
         .iter()
         .map(|(u, i, r)| format!("({u}, {i}, {r})"))
         .collect();
-    db.execute(&format!(
-        "INSERT INTO ratings VALUES {}",
-        values.join(", ")
-    ))
-    .unwrap();
+    db.execute(&format!("INSERT INTO ratings VALUES {}", values.join(", ")))
+        .unwrap();
     db.execute(&format!(
         "CREATE RECOMMENDER prop ON ratings USERS FROM uid ITEMS FROM iid \
          RATINGS FROM ratingval USING {algorithm}"
@@ -231,6 +228,103 @@ proptest! {
         prop_assert_eq!(got.len(), scores.len());
         for (g, e) in got.iter().zip(&scores) {
             prop_assert!((g - e).abs() < 1e-12, "{:?} vs {:?}", got, scores);
+        }
+    }
+}
+
+/// Possibly-empty ratings universe, small enough that worker shards
+/// regularly degenerate (n = 0, n = 1, n < threads).
+fn sparse_ratings_strategy() -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
+    proptest::collection::btree_set((1i64..10, 1i64..10), 0..40).prop_flat_map(|pairs| {
+        let pairs: Vec<(i64, i64)> = pairs.into_iter().collect();
+        let n = pairs.len();
+        proptest::collection::vec(2u8..=10, n).prop_map(move |halves| {
+            pairs
+                .iter()
+                .zip(&halves)
+                .map(|(&(u, i), &h)| (u, i, h as f64 / 2.0))
+                .collect()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parallel neighborhood build is bit-identical to the serial one
+    /// for arbitrary data, thread counts, and truncation — including the
+    /// shard-boundary edge cases (no ratings at all, single entity, more
+    /// threads than entities, entities with empty vectors).
+    #[test]
+    fn parallel_neighborhood_build_matches_serial(
+        ratings in sparse_ratings_strategy(),
+        threads in 2usize..9,
+        max_neighbors in proptest::option::of(1usize..6),
+    ) {
+        use recdb::algo::neighborhood::{build_item_neighborhood, build_user_neighborhood};
+        use recdb::algo::{NeighborhoodParams, Rating, RatingsMatrix};
+        let m = RatingsMatrix::from_ratings(
+            ratings.iter().map(|&(u, i, r)| Rating::new(u, i, r)),
+        );
+        let serial = NeighborhoodParams {
+            max_neighbors,
+            threads: 1,
+            ..NeighborhoodParams::cosine()
+        };
+        let parallel = NeighborhoodParams { threads, ..serial };
+        prop_assert_eq!(
+            build_item_neighborhood(&m, &parallel),
+            build_item_neighborhood(&m, &serial)
+        );
+        prop_assert_eq!(
+            build_user_neighborhood(&m, &parallel),
+            build_user_neighborhood(&m, &serial)
+        );
+    }
+
+    /// Bounded top-k selection ≡ stable sort + truncate, for arbitrary
+    /// duplicate-heavy keys and any k (0, > len, …).
+    #[test]
+    fn bounded_topk_equals_stable_sort(
+        keys in proptest::collection::vec(0u8..8, 0..100),
+        k in 0usize..120,
+    ) {
+        let items: Vec<(u8, usize)> =
+            keys.into_iter().enumerate().map(|(i, v)| (v, i)).collect();
+        let got = recdb::algo::top_k_by(items.clone(), k, |a, b| a.0.cmp(&b.0));
+        let mut want = items;
+        want.sort_by(|a, b| a.0.cmp(&b.0));
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Block-parallel SVD training is deterministic for a fixed
+    /// (seed, threads) pair, even when shards degenerate to single users.
+    #[test]
+    fn parallel_svd_is_deterministic(
+        ratings in sparse_ratings_strategy(),
+        threads in 2usize..9,
+        seed in 1u64..1000,
+    ) {
+        use recdb::algo::{Rating, RatingsMatrix, SvdModel, SvdParams};
+        let params = SvdParams {
+            factors: 2,
+            epochs: 3,
+            seed,
+            threads,
+            ..Default::default()
+        };
+        let matrix = || RatingsMatrix::from_ratings(
+            ratings.iter().map(|&(u, i, r)| Rating::new(u, i, r)),
+        );
+        let a = SvdModel::train(matrix(), params);
+        let b = SvdModel::train(matrix(), params);
+        prop_assert_eq!(a.final_rmse(), b.final_rmse());
+        for u in 0..matrix().n_users() {
+            prop_assert_eq!(a.user_vector(u), b.user_vector(u));
+        }
+        for i in 0..matrix().n_items() {
+            prop_assert_eq!(a.item_vector(i), b.item_vector(i));
         }
     }
 }

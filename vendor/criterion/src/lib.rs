@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the criterion 0.5 API its benches use:
+//! [`Criterion::benchmark_group`], group knobs (`sample_size`,
+//! `measurement_time`, `warm_up_time`), `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], [`black_box`],
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark
+//! runs a short warm-up, then up to `sample_size` timed samples bounded
+//! by `measurement_time`, and prints min / median / mean wall-clock times
+//! to stdout. No statistics beyond that, no HTML reports, no comparison
+//! with previous runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Parse CLI arguments — accepted for API compatibility; the stub
+    /// ignores filters and always runs every benchmark.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        let id = id.into();
+        group.run(&id.0, &mut f);
+        self
+    }
+}
+
+/// A named benchmark within a group (`BenchmarkId::new("series", param)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose `series/parameter`.
+    pub fn new(series: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", series.into(), parameter))
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Anything usable as a benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchId(String);
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.0)
+    }
+}
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to attempt per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for warm-up iterations.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.0, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing already happened per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                deadline: Instant::now() + self.warm_up_time,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.mode = Mode::Measure {
+            deadline: Instant::now() + self.measurement_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, id);
+    }
+}
+
+enum Mode {
+    WarmUp {
+        deadline: Instant,
+    },
+    Measure {
+        deadline: Instant,
+        target_samples: usize,
+    },
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly under the current phase's budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp { deadline } => {
+                // At least one warm-up run, more while budget remains.
+                loop {
+                    black_box(routine());
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure {
+                deadline,
+                target_samples,
+            } => {
+                for i in 0..target_samples {
+                    let start = Instant::now();
+                    black_box(routine());
+                    self.samples.push(start.elapsed());
+                    // Always collect at least two samples so the median is
+                    // meaningful, then respect the time budget.
+                    if i >= 1 && Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let n = self.samples.len();
+        let median = self.samples[n / 2];
+        let min = self.samples[0];
+        let mean = self.samples.iter().sum::<Duration>() / n as u32;
+        println!("{group}/{id}: median {median:?}, mean {mean:?}, min {min:?} ({n} samples)");
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` from runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0usize;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls >= 2, "warm-up + samples should call the routine");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("series", 10).0, "series/10");
+    }
+}

@@ -1,0 +1,176 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// A target size for a generated collection.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below(self.hi - self.lo + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap` with size drawn from `size` (best-effort when
+/// key collisions make the target unreachable).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        let mut map = BTreeMap::new();
+        let mut tries = 0;
+        while map.len() < n && tries < n * 10 + 16 {
+            tries += 1;
+            map.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        map
+    }
+}
+
+/// Strategy for `BTreeSet` with size drawn from `size` (best-effort when
+/// element collisions make the target unreachable).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut tries = 0;
+        while set.len() < n && tries < n * 10 + 16 {
+            tries += 1;
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let s = vec(0i64..5, 2..7);
+        let mut rng = crate::test_runner::TestRng::for_case("collection", 0);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let s = vec(0i64..5, 4usize);
+        let mut rng = crate::test_runner::TestRng::for_case("collection", 1);
+        assert_eq!(s.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn btree_set_dedups() {
+        let s = btree_set(0i64..3, 1..4);
+        let mut rng = crate::test_runner::TestRng::for_case("collection", 2);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!(!set.is_empty() && set.len() <= 3);
+        }
+    }
+}

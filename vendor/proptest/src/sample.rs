@@ -1,0 +1,19 @@
+//! Collection sampling helpers (`prop::sample`).
+
+/// An index into a collection of not-yet-known length, mirroring
+/// `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(usize);
+
+impl Index {
+    /// Wrap a raw draw.
+    pub fn new(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Resolve against a collection of `len` elements (`len` > 0).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        self.0 % len
+    }
+}

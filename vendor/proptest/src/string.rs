@@ -1,0 +1,194 @@
+//! String generation from a character-class subset of regex syntax.
+//!
+//! Supports exactly the shapes this workspace's tests use: sequences of
+//! literal characters and `[...]` classes (with `a-z` ranges and `\t`,
+//! `\n`, `\\`, `\]`, `\-` escapes), each optionally followed by `{n}` or
+//! `{m,n}` repetition. Anything else is rejected with a panic naming the
+//! unsupported construct, so a new pattern fails loudly rather than
+//! generating garbage.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+struct Element {
+    /// Candidate characters.
+    chars: Vec<char>,
+    /// Repetition bounds (inclusive).
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let mut elements = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut body = Vec::new();
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated [class in pattern `{pattern}`"),
+                        Some(']') => break,
+                        Some('\\') => {
+                            let e = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in `{pattern}`"));
+                            body.push(unescape(e));
+                        }
+                        Some(lo) => {
+                            // `lo-hi` range, unless `-` is the class's last
+                            // character.
+                            if chars.peek() == Some(&'-') {
+                                let mut clone = chars.clone();
+                                clone.next();
+                                match clone.peek() {
+                                    Some(&']') | None => body.push(lo),
+                                    Some(&hi) => {
+                                        chars.next();
+                                        chars.next();
+                                        let hi = if hi == '\\' {
+                                            unescape(chars.next().unwrap_or_else(|| {
+                                                panic!("dangling escape in `{pattern}`")
+                                            }))
+                                        } else {
+                                            hi
+                                        };
+                                        assert!(
+                                            lo <= hi,
+                                            "inverted range {lo}-{hi} in `{pattern}`"
+                                        );
+                                        body.extend(lo..=hi);
+                                    }
+                                }
+                            } else {
+                                body.push(lo);
+                            }
+                        }
+                    }
+                }
+                assert!(!body.is_empty(), "empty [class] in `{pattern}`");
+                body
+            }
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in `{pattern}`"));
+                vec![unescape(e)]
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$' => {
+                panic!("unsupported regex construct `{c}` in `{pattern}` (vendored proptest stub)")
+            }
+            literal => vec![literal],
+        };
+        // Optional {n} / {m,n} repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for r in chars.by_ref() {
+                if r == '}' {
+                    break;
+                }
+                spec.push(r);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {m,n} lower bound"),
+                    hi.trim().parse().expect("bad {m,n} upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad {n} repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in `{pattern}`");
+        elements.push(Element {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    elements
+}
+
+/// Generate one string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for el in parse(pattern) {
+        let n = el.min + rng.below(el.max - el.min + 1);
+        for _ in 0..n {
+            out.push(el.chars[rng.below(el.chars.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string-tests", 0)
+    }
+
+    #[test]
+    fn ident_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z_][a-zA-Z0-9_]{0,10}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_with_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[ -~\\t\\n]{0,200}", &mut r);
+            assert!(s.len() <= 200);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\t' || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn class_with_quote() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z0-9 ']{0,30}", &mut r);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '\''));
+        }
+    }
+
+    #[test]
+    fn literal_characters() {
+        let mut r = rng();
+        assert_eq!(generate_matching("abc", &mut r), "abc");
+        assert_eq!(generate_matching("a{3}", &mut r), "aaa");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn unsupported_construct_panics() {
+        let mut r = rng();
+        let _ = generate_matching("(a|b)+", &mut r);
+    }
+}
