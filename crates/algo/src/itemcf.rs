@@ -14,8 +14,12 @@
 //! [`ItemCfModel::score`]: already-rated items return the user's own rating;
 //! an empty `L` (no overlap) yields 0.
 
-use crate::neighborhood::{build_item_neighborhood, NeighborhoodParams, NeighborhoodTable};
+use crate::model::TrainError;
+use crate::neighborhood::{
+    build_item_neighborhood, build_item_neighborhood_guarded, NeighborhoodParams, NeighborhoodTable,
+};
 use crate::ratings::RatingsMatrix;
+use recdb_guard::QueryGuard;
 
 /// An item–item CF model: the ratings snapshot it was trained on plus the
 /// item neighborhood table.
@@ -35,6 +39,21 @@ impl ItemCfModel {
             neighborhood,
             params,
         }
+    }
+
+    /// [`train`](Self::train) under a resource governor (checked per
+    /// similarity chunk; `algo::neighborhood_build` fault site live).
+    pub fn train_guarded(
+        matrix: RatingsMatrix,
+        params: NeighborhoodParams,
+        guard: &QueryGuard,
+    ) -> Result<Self, TrainError> {
+        let neighborhood = build_item_neighborhood_guarded(&matrix, &params, guard)?;
+        Ok(ItemCfModel {
+            matrix,
+            neighborhood,
+            params,
+        })
     }
 
     /// The training ratings snapshot.

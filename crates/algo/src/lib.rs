@@ -32,7 +32,7 @@ pub mod topk;
 pub mod usercf;
 
 pub use itemcf::ItemCfModel;
-pub use model::{Algorithm, RecModel};
+pub use model::{Algorithm, RecModel, TrainError};
 pub use neighborhood::NeighborhoodParams;
 pub use parallel::effective_threads;
 pub use popularity::PopularityModel;

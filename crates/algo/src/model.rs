@@ -13,8 +13,50 @@ use crate::ratings::RatingsMatrix;
 use crate::similarity::Similarity;
 use crate::svd::{SvdModel, SvdParams};
 use crate::usercf::UserCfModel;
+use recdb_fault::FaultError;
+use recdb_guard::{GuardError, QueryGuard};
 use std::fmt;
 use std::str::FromStr;
+
+/// Why a governed model build stopped early.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The build's [`QueryGuard`] cancelled it (deadline, explicit
+    /// cancel, or budget).
+    Guard(GuardError),
+    /// A deterministic fault-injection site fired inside the build.
+    Fault(FaultError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Guard(e) => write!(f, "model build stopped: {e}"),
+            TrainError::Fault(e) => write!(f, "model build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Guard(e) => Some(e),
+            TrainError::Fault(e) => Some(e),
+        }
+    }
+}
+
+impl From<GuardError> for TrainError {
+    fn from(e: GuardError) -> Self {
+        TrainError::Guard(e)
+    }
+}
+
+impl From<FaultError> for TrainError {
+    fn from(e: FaultError) -> Self {
+        TrainError::Fault(e)
+    }
+}
 
 /// The recommendation algorithms RecDB supports (§III-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,6 +200,49 @@ impl RecModel {
             Algorithm::Svd => RecModel::Factors(SvdModel::train(matrix, config.svd)),
             Algorithm::Popularity => RecModel::Popular(PopularityModel::train(matrix)),
         }
+    }
+
+    /// [`train`](Self::train) under a resource governor: the guard is
+    /// checked at epoch/chunk granularity and the build's fault-injection
+    /// sites (`algo::svd_epoch`, `algo::neighborhood_build`) are live.
+    /// The engine builds every recommender through this path so a
+    /// deadline or injected fault aborts the build instead of wedging it.
+    pub fn train_guarded(
+        algorithm: Algorithm,
+        matrix: RatingsMatrix,
+        config: &TrainConfig,
+        guard: &QueryGuard,
+    ) -> Result<Self, TrainError> {
+        Ok(match algorithm {
+            Algorithm::ItemCosCF => RecModel::Item(ItemCfModel::train_guarded(
+                matrix,
+                config.neighborhood.params(Similarity::Cosine),
+                guard,
+            )?),
+            Algorithm::ItemPearCF => RecModel::Item(ItemCfModel::train_guarded(
+                matrix,
+                config.neighborhood.params(Similarity::Pearson),
+                guard,
+            )?),
+            Algorithm::UserCosCF => RecModel::User(UserCfModel::train_guarded(
+                matrix,
+                config.neighborhood.params(Similarity::Cosine),
+                guard,
+            )?),
+            Algorithm::UserPearCF => RecModel::User(UserCfModel::train_guarded(
+                matrix,
+                config.neighborhood.params(Similarity::Pearson),
+                guard,
+            )?),
+            Algorithm::Svd => {
+                RecModel::Factors(SvdModel::train_guarded(matrix, config.svd, guard)?)
+            }
+            Algorithm::Popularity => {
+                // A single cheap aggregation pass: one check suffices.
+                guard.check()?;
+                RecModel::Popular(PopularityModel::train(matrix))
+            }
+        })
     }
 
     /// The ratings snapshot the model was trained on.

@@ -31,10 +31,14 @@
 //! result, and the cheap dynamic load balancing (row `a` costs `O(n − a)`)
 //! comes for free.
 
+use crate::model::TrainError;
 use crate::parallel::{effective_threads, for_each_chunk};
 use crate::ratings::RatingsMatrix;
 use crate::similarity::{co_rated_sums, Similarity};
 use crate::topk::top_k_by;
+use recdb_guard::QueryGuard;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Tuning knobs for neighborhood model building.
 #[derive(Debug, Clone, Copy)]
@@ -124,7 +128,8 @@ pub fn build_item_neighborhood(
     m: &RatingsMatrix,
     params: &NeighborhoodParams,
 ) -> NeighborhoodTable {
-    build_pairwise(m.n_items(), |i| m.item_col(i), params)
+    build_pairwise(m.n_items(), |i| m.item_col(i), params, None)
+        .expect("ungoverned neighborhood build cannot fail")
 }
 
 /// Build the user–user neighborhood table (rows of the matrix).
@@ -132,10 +137,36 @@ pub fn build_user_neighborhood(
     m: &RatingsMatrix,
     params: &NeighborhoodParams,
 ) -> NeighborhoodTable {
-    build_pairwise(m.n_users(), |u| m.user_row(u), params)
+    build_pairwise(m.n_users(), |u| m.user_row(u), params, None)
+        .expect("ungoverned neighborhood build cannot fail")
 }
 
-fn build_pairwise<'a, F>(n: usize, vector: F, params: &NeighborhoodParams) -> NeighborhoodTable
+/// Governed variant of [`build_item_neighborhood`]: the guard is checked
+/// once per work chunk, and the `algo::neighborhood_build` fault site is
+/// live.
+pub fn build_item_neighborhood_guarded(
+    m: &RatingsMatrix,
+    params: &NeighborhoodParams,
+    guard: &QueryGuard,
+) -> Result<NeighborhoodTable, TrainError> {
+    build_pairwise(m.n_items(), |i| m.item_col(i), params, Some(guard))
+}
+
+/// Governed variant of [`build_user_neighborhood`].
+pub fn build_user_neighborhood_guarded(
+    m: &RatingsMatrix,
+    params: &NeighborhoodParams,
+    guard: &QueryGuard,
+) -> Result<NeighborhoodTable, TrainError> {
+    build_pairwise(m.n_users(), |u| m.user_row(u), params, Some(guard))
+}
+
+fn build_pairwise<'a, F>(
+    n: usize,
+    vector: F,
+    params: &NeighborhoodParams,
+    governor: Option<&QueryGuard>,
+) -> Result<NeighborhoodTable, TrainError>
 where
     F: Fn(usize) -> &'a [(usize, f64)] + Sync,
 {
@@ -144,12 +175,31 @@ where
     // smallish dynamic chunks keep workers balanced without measurable
     // scheduling overhead (one atomic fetch_add per chunk).
     let chunk = (n / (threads * 8).max(1)).clamp(1, 256);
+    // Worker closures cannot return `Err`, so governed aborts park the
+    // error in a shared slot; the flag makes the remaining chunks no-ops
+    // so cancellation latency is one chunk, not the whole build.
+    let abort: Mutex<Option<TrainError>> = Mutex::new(None);
+    let aborted = AtomicBool::new(false);
     let worker_edges = for_each_chunk(
         n,
         threads,
         chunk,
         Vec::new,
         |edges: &mut Vec<(usize, usize, f64)>, range| {
+            if aborted.load(Ordering::Relaxed) {
+                return;
+            }
+            if let Some(guard) = governor {
+                let gate = recdb_fault::fail_point("algo::neighborhood_build")
+                    .map_err(TrainError::from)
+                    .and_then(|()| guard.check().map_err(TrainError::from));
+                if let Err(e) = gate {
+                    aborted.store(true, Ordering::Relaxed);
+                    let mut slot = abort.lock().unwrap_or_else(|p| p.into_inner());
+                    slot.get_or_insert(e);
+                    return;
+                }
+            }
             for a in range {
                 let va = vector(a);
                 if va.is_empty() {
@@ -170,6 +220,9 @@ where
             }
         },
     );
+    if let Some(e) = abort.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
     let mut lists: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     for edges in worker_edges {
         for (a, b, sim) in edges {
@@ -193,7 +246,7 @@ where
     for list in &mut lists {
         list.sort_unstable_by_key(|&(nb, _)| nb);
     }
-    NeighborhoodTable { lists }
+    Ok(NeighborhoodTable { lists })
 }
 
 #[cfg(test)]

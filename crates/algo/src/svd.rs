@@ -40,8 +40,10 @@
 //! accumulated *during* the epoch) while the parallel path evaluates at
 //! epoch end; both converge to the same notion as training settles.
 
+use crate::model::TrainError;
 use crate::parallel::effective_threads;
 use crate::ratings::RatingsMatrix;
+use recdb_guard::QueryGuard;
 
 /// Hyper-parameters for SGD matrix factorization.
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +122,25 @@ pub struct SvdModel {
 impl SvdModel {
     /// Train with SGD on the given ratings snapshot.
     pub fn train(matrix: RatingsMatrix, params: SvdParams) -> Self {
+        Self::train_inner(matrix, params, None).expect("ungoverned SVD training cannot fail")
+    }
+
+    /// [`train`](Self::train) under a resource governor: the guard and
+    /// the `algo::svd_epoch` fault site are evaluated before every epoch,
+    /// so a deadline or injected failure aborts within one epoch.
+    pub fn train_guarded(
+        matrix: RatingsMatrix,
+        params: SvdParams,
+        guard: &QueryGuard,
+    ) -> Result<Self, TrainError> {
+        Self::train_inner(matrix, params, Some(guard))
+    }
+
+    fn train_inner(
+        matrix: RatingsMatrix,
+        params: SvdParams,
+        governor: Option<&QueryGuard>,
+    ) -> Result<Self, TrainError> {
         let f = params.factors.max(1);
         let n_users = matrix.n_users();
         let n_items = matrix.n_items();
@@ -148,7 +169,8 @@ impl SvdModel {
                 &mut rng,
                 &mut user_factors,
                 &mut item_factors,
-            )
+                governor,
+            )?
         } else {
             sgd_block_parallel(
                 &matrix,
@@ -157,16 +179,17 @@ impl SvdModel {
                 threads,
                 &mut user_factors,
                 &mut item_factors,
-            )
+                governor,
+            )?
         };
-        SvdModel {
+        Ok(SvdModel {
             matrix,
             user_factors,
             item_factors,
             factors: f,
             params,
             final_rmse,
-        }
+        })
     }
 
     /// The training ratings snapshot.
@@ -238,6 +261,7 @@ impl SvdModel {
 /// continues the initialization generator, so results are bit-identical to
 /// pre-parallel releases). Returns the during-epoch training RMSE of the
 /// final epoch.
+#[allow(clippy::too_many_arguments)]
 fn sgd_serial(
     matrix: &RatingsMatrix,
     params: &SvdParams,
@@ -245,11 +269,16 @@ fn sgd_serial(
     rng: &mut XorShift64,
     user_factors: &mut [f64],
     item_factors: &mut [f64],
-) -> f64 {
+    governor: Option<&QueryGuard>,
+) -> Result<f64, TrainError> {
     let triples: Vec<(usize, usize, f64)> = matrix.iter_dense().collect();
     let mut order: Vec<usize> = (0..triples.len()).collect();
     let mut final_rmse = 0.0;
     for _epoch in 0..params.epochs {
+        if let Some(guard) = governor {
+            recdb_fault::fail_point("algo::svd_epoch")?;
+            guard.check()?;
+        }
         // Fisher-Yates shuffle of the visit order each epoch.
         for k in (1..order.len()).rev() {
             let j = (rng.next_u64() % (k as u64 + 1)) as usize;
@@ -279,7 +308,7 @@ fn sgd_serial(
             (sq_err / triples.len() as f64).sqrt()
         };
     }
-    final_rmse
+    Ok(final_rmse)
 }
 
 /// Block-partitioned parallel SGD (module docs): contiguous user shards,
@@ -287,20 +316,28 @@ fn sgd_serial(
 /// accumulation merged in shard order. Deterministic for a fixed
 /// `(seed, threads)` pair. Returns the end-of-epoch training RMSE after
 /// the final epoch, measured by a parallel pass.
+#[allow(clippy::too_many_arguments)]
 fn sgd_block_parallel(
     matrix: &RatingsMatrix,
     params: &SvdParams,
     f: usize,
     threads: usize,
     user_factors: &mut [f64],
-    item_factors: &mut Vec<f64>,
-) -> f64 {
+    item_factors: &mut [f64],
+    governor: Option<&QueryGuard>,
+) -> Result<f64, TrainError> {
     let n_users = matrix.n_users();
     let per = n_users.div_ceil(threads);
     let lr = params.learning_rate;
     let lambda = params.lambda;
     for epoch in 0..params.epochs {
-        let frozen_items = item_factors.clone();
+        // Epoch-coordinator check: one guard/fault evaluation per epoch
+        // barrier, so workers stay check-free and lock-free.
+        if let Some(guard) = governor {
+            recdb_fault::fail_point("algo::svd_epoch")?;
+            guard.check()?;
+        }
+        let frozen_items = item_factors.to_owned();
         let deltas: Vec<Vec<f64>> = std::thread::scope(|s| {
             let handles: Vec<_> = user_factors
                 .chunks_mut(per * f)
@@ -359,7 +396,13 @@ fn sgd_block_parallel(
         }
     }
     let triples: Vec<(usize, usize, f64)> = matrix.iter_dense().collect();
-    parallel_rmse(&triples, user_factors, item_factors, f, threads)
+    Ok(parallel_rmse(
+        &triples,
+        user_factors,
+        item_factors,
+        f,
+        threads,
+    ))
 }
 
 /// RMSE over `triples` with the given factor tables, computed by `threads`

@@ -27,7 +27,9 @@ where
     // order total, which is what gives the stable-sort-equivalent
     // tie-break: a later arrival that `cmp`-ties the root compares
     // Greater, so it does not displace it.
-    let mut heap: Vec<(T, usize)> = Vec::with_capacity(k);
+    // `k` is caller-controlled (a SQL `LIMIT` can be u64::MAX); cap the
+    // up-front reservation and let the heap grow to min(k, n) naturally.
+    let mut heap: Vec<(T, usize)> = Vec::with_capacity(k.min(1024));
     for (seq, item) in items.into_iter().enumerate() {
         if heap.len() < k {
             heap.push((item, seq));
@@ -87,7 +89,7 @@ mod tests {
     /// Reference implementation: stable sort + truncate.
     fn reference(items: &[(u64, usize)], k: usize) -> Vec<(u64, usize)> {
         let mut v = items.to_vec();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.sort_by_key(|a| a.0);
         v.truncate(k);
         v
     }
@@ -137,7 +139,7 @@ mod tests {
         let items = lcg_stream(3, 100, 1000);
         let got = top_k_by(items.iter().copied(), 5, |a, b| b.0.cmp(&a.0));
         let mut want = items.clone();
-        want.sort_by(|a, b| b.0.cmp(&a.0));
+        want.sort_by_key(|a| std::cmp::Reverse(a.0));
         want.truncate(5);
         assert_eq!(got, want);
     }

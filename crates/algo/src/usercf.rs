@@ -11,8 +11,12 @@
 //! where `V` is user `u`'s similarity list reduced to the users who rated
 //! item `i`.
 
-use crate::neighborhood::{build_user_neighborhood, NeighborhoodParams, NeighborhoodTable};
+use crate::model::TrainError;
+use crate::neighborhood::{
+    build_user_neighborhood, build_user_neighborhood_guarded, NeighborhoodParams, NeighborhoodTable,
+};
 use crate::ratings::RatingsMatrix;
+use recdb_guard::QueryGuard;
 
 /// A user–user CF model: ratings snapshot plus user neighborhood table.
 #[derive(Debug, Clone)]
@@ -31,6 +35,21 @@ impl UserCfModel {
             neighborhood,
             params,
         }
+    }
+
+    /// [`train`](Self::train) under a resource governor (checked per
+    /// similarity chunk; `algo::neighborhood_build` fault site live).
+    pub fn train_guarded(
+        matrix: RatingsMatrix,
+        params: NeighborhoodParams,
+        guard: &QueryGuard,
+    ) -> Result<Self, TrainError> {
+        let neighborhood = build_user_neighborhood_guarded(&matrix, &params, guard)?;
+        Ok(UserCfModel {
+            matrix,
+            neighborhood,
+            params,
+        })
     }
 
     /// The training ratings snapshot.

@@ -46,6 +46,7 @@ fn bench_ablations(c: &mut Criterion) {
         let ctx = ExecContext {
             catalog: world.db.catalog(),
             provider: &world.db,
+            guard: recdb_core::QueryGuard::unlimited(),
         };
         group.bench_function("pushdown/naive_recommend_then_filter", |b| {
             b.iter(|| execute_plan(&naive, &ctx).unwrap())
@@ -62,6 +63,7 @@ fn bench_ablations(c: &mut Criterion) {
         let ctx = ExecContext {
             catalog: world.db.catalog(),
             provider: &world.db,
+            guard: recdb_core::QueryGuard::unlimited(),
         };
         let pushdown_only =
             optimize_pushdown_only(build_logical(&join_sel, world.db.catalog()).unwrap());

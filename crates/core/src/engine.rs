@@ -10,10 +10,37 @@ use recdb_exec::{
     build_logical, execute_plan, optimize, ExecContext, LogicalPlan, RecScoreIndex,
     RecommenderProvider, ResultSet,
 };
+use recdb_guard::QueryGuard;
 use recdb_sql::{parse, parse_many, Expr, SelectStatement, Statement};
 use recdb_storage::{Catalog, DataType, Schema, Tuple};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default resource limits applied to every statement (and model build)
+/// the engine runs. `None` everywhere means ungoverned — the default.
+/// Per-call overrides go through [`RecDb::execute_with_guard`] /
+/// [`RecDb::query_with_guard`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GovernorConfig {
+    /// Wall-clock deadline per statement.
+    pub deadline: Option<Duration>,
+    /// Maximum rows an operator tree may process per statement.
+    pub row_budget: Option<u64>,
+    /// Maximum bytes blocking operators (sort buffers, join build sides,
+    /// aggregate groups) may retain per statement.
+    pub mem_budget: Option<u64>,
+}
+
+impl GovernorConfig {
+    /// Build a fresh guard enforcing these limits, starting now.
+    pub fn guard(&self) -> QueryGuard {
+        if *self == GovernorConfig::default() {
+            return QueryGuard::unlimited();
+        }
+        QueryGuard::with_limits(self.deadline, self.row_budget, self.mem_budget)
+    }
+}
 
 /// Engine-wide tunables.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +61,9 @@ pub struct RecDbConfig {
     /// [`RecDbConfig::train`] (`train.neighborhood.threads`,
     /// `train.svd.threads`).
     pub build_threads: usize,
+    /// Default per-statement resource limits (deadline, row budget,
+    /// memory budget). Ungoverned by default.
+    pub governor: GovernorConfig,
 }
 
 impl Default for RecDbConfig {
@@ -44,6 +74,7 @@ impl Default for RecDbConfig {
             train: TrainConfig::default(),
             auto_maintenance: true,
             build_threads: 0,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -168,11 +199,32 @@ impl RecDb {
         self.recommenders.iter().map(|r| r.name()).collect()
     }
 
-    /// Execute one SQL statement.
+    /// Execute one SQL statement under the engine's configured resource
+    /// limits ([`RecDbConfig::governor`]).
     pub fn execute(&mut self, sql: &str) -> EngineResult<QueryResult> {
+        let guard = self.config.governor.guard();
+        self.execute_with_guard(sql, guard)
+    }
+
+    /// Execute one SQL statement under an explicit [`QueryGuard`],
+    /// overriding the configured defaults. Keep a
+    /// [`QueryGuard::cancel_handle`] to cancel from another thread.
+    ///
+    /// The statement runs inside a panic boundary: a panicking operator or
+    /// model build surfaces as [`EngineError::Internal`] instead of
+    /// unwinding through the caller, and the engine keeps serving.
+    pub fn execute_with_guard(
+        &mut self,
+        sql: &str,
+        guard: QueryGuard,
+    ) -> EngineResult<QueryResult> {
         let statement = parse(sql)?;
         self.clock += 1;
-        self.apply(statement)
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.apply(statement, &guard)));
+        match outcome {
+            Ok(result) => result.map_err(flatten_guard_error),
+            Err(payload) => Err(EngineError::Internal(panic_message(payload.as_ref()))),
+        }
     }
 
     /// Execute a `;`-separated script.
@@ -181,8 +233,13 @@ impl RecDb {
         statements
             .into_iter()
             .map(|s| {
+                let guard = self.config.governor.guard();
                 self.clock += 1;
-                self.apply(s)
+                let outcome = catch_unwind(AssertUnwindSafe(|| self.apply(s, &guard)));
+                match outcome {
+                    Ok(result) => result.map_err(flatten_guard_error),
+                    Err(payload) => Err(EngineError::Internal(panic_message(payload.as_ref()))),
+                }
             })
             .collect()
     }
@@ -190,6 +247,17 @@ impl RecDb {
     /// Execute a SELECT and return its rows (convenience).
     pub fn query(&mut self, sql: &str) -> EngineResult<ResultSet> {
         match self.execute(sql)? {
+            QueryResult::Rows(r) => Ok(r),
+            _ => Err(EngineError::Exec(recdb_exec::ExecError::Unsupported(
+                "statement did not produce rows".into(),
+            ))),
+        }
+    }
+
+    /// Execute a SELECT under an explicit [`QueryGuard`] and return its
+    /// rows.
+    pub fn query_with_guard(&mut self, sql: &str, guard: QueryGuard) -> EngineResult<ResultSet> {
+        match self.execute_with_guard(sql, guard)? {
             QueryResult::Rows(r) => Ok(r),
             _ => Err(EngineError::Exec(recdb_exec::ExecError::Unsupported(
                 "statement did not produce rows".into(),
@@ -208,7 +276,7 @@ impl RecDb {
         Ok(plan.explain())
     }
 
-    fn apply(&mut self, statement: Statement) -> EngineResult<QueryResult> {
+    fn apply(&mut self, statement: Statement, guard: &QueryGuard) -> EngineResult<QueryResult> {
         match statement {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::from_pairs(
@@ -232,7 +300,7 @@ impl RecDb {
                     .iter()
                     .map(const_tuple)
                     .collect::<EngineResult<Vec<Tuple>>>()?;
-                let n = self.insert_tuples(&table, tuples)?;
+                let n = self.insert_tuples_governed(&table, tuples, guard)?;
                 Ok(QueryResult::Inserted(n))
             }
             Statement::CreateRecommender {
@@ -249,7 +317,7 @@ impl RecDb {
                 let algorithm: Algorithm = algorithm
                     .parse()
                     .map_err(|_| recdb_exec::ExecError::UnknownAlgorithm(algorithm.clone()))?;
-                let rec = Recommender::create(
+                let rec = Recommender::create_governed(
                     &name,
                     &self.catalog,
                     &ratings_table,
@@ -260,6 +328,7 @@ impl RecDb {
                     self.config.train,
                     self.config.hotness_threshold,
                     self.clock,
+                    Some(guard),
                 )?;
                 let build_time = rec.build_time();
                 self.recommenders.push(rec);
@@ -298,7 +367,7 @@ impl RecDb {
                 Ok(QueryResult::Rows(ResultSet::new(schema, rows)))
             }
             Statement::Delete { table, filter } => {
-                let n = self.apply_delete(&table, filter.as_ref())?;
+                let n = self.apply_delete(&table, filter.as_ref(), guard)?;
                 Ok(QueryResult::Deleted(n))
             }
             Statement::Update {
@@ -306,11 +375,11 @@ impl RecDb {
                 assignments,
                 filter,
             } => {
-                let n = self.apply_update(&table, &assignments, filter.as_ref())?;
+                let n = self.apply_update(&table, &assignments, filter.as_ref(), guard)?;
                 Ok(QueryResult::Updated(n))
             }
             Statement::Select(select) => {
-                let rows = self.run_select(&select)?;
+                let rows = self.run_select(&select, guard)?;
                 Ok(QueryResult::Rows(rows))
             }
         }
@@ -318,7 +387,12 @@ impl RecDb {
 
     /// Delete rows matching `filter` (all rows when `None`), updating
     /// recommender statistics and running the N% rule.
-    fn apply_delete(&mut self, table: &str, filter: Option<&Expr>) -> EngineResult<usize> {
+    fn apply_delete(
+        &mut self,
+        table: &str,
+        filter: Option<&Expr>,
+        guard: &QueryGuard,
+    ) -> EngineResult<usize> {
         let (rids, touched_items) = {
             let t = self.catalog.table(table)?;
             let schema = t.schema().clone();
@@ -352,7 +426,7 @@ impl RecDb {
         for (k, item) in touched_items {
             self.recommenders[k].record_insert(item, now);
         }
-        self.run_auto_maintenance(table)?;
+        self.run_auto_maintenance(table, guard)?;
         Ok(rids.len())
     }
 
@@ -362,6 +436,7 @@ impl RecDb {
         table: &str,
         assignments: &[(String, Expr)],
         filter: Option<&Expr>,
+        guard: &QueryGuard,
     ) -> EngineResult<usize> {
         let (rids, new_tuples, touched_items) = {
             let t = self.catalog.table(table)?;
@@ -409,7 +484,7 @@ impl RecDb {
         for (k, item) in touched_items {
             self.recommenders[k].record_insert(item, now);
         }
-        self.run_auto_maintenance(table)?;
+        self.run_auto_maintenance(table, guard)?;
         Ok(rids.len())
     }
 
@@ -426,8 +501,10 @@ impl RecDb {
             .collect()
     }
 
-    /// Run the N% rule for every recommender on `table`.
-    fn run_auto_maintenance(&mut self, table: &str) -> EngineResult<()> {
+    /// Run the N% rule for every recommender on `table`. A cancelled or
+    /// faulted rebuild leaves the previous model serving (the swap in
+    /// [`Recommender::maintain_governed`] is atomic).
+    fn run_auto_maintenance(&mut self, table: &str, guard: &QueryGuard) -> EngineResult<()> {
         if !self.config.auto_maintenance {
             return Ok(());
         }
@@ -442,7 +519,7 @@ impl RecDb {
             if rec.ratings_table() == table_key
                 && rec.needs_maintenance(config.maintenance_threshold_pct)
             {
-                rec.maintain(catalog)?;
+                rec.maintain_governed(catalog, Some(guard))?;
             }
         }
         Ok(())
@@ -452,6 +529,16 @@ impl RecDb {
     /// statistics and running the N% maintenance rule. This is also the
     /// bulk-loading path used by the dataset loaders.
     pub fn insert_tuples(&mut self, table: &str, tuples: Vec<Tuple>) -> EngineResult<usize> {
+        let guard = self.config.governor.guard();
+        self.insert_tuples_governed(table, tuples, &guard)
+    }
+
+    fn insert_tuples_governed(
+        &mut self,
+        table: &str,
+        tuples: Vec<Tuple>,
+        guard: &QueryGuard,
+    ) -> EngineResult<usize> {
         let n = tuples.len();
         // Pre-resolve, per recommender on this table, the item-column
         // ordinal in the table schema.
@@ -468,7 +555,7 @@ impl RecDb {
                 t.insert(tuple.clone())?;
             }
         }
-        self.run_auto_maintenance(table)?;
+        self.run_auto_maintenance(table, guard)?;
         Ok(n)
     }
 
@@ -476,11 +563,12 @@ impl RecDb {
     /// (§IV-C pre-computation).
     pub fn materialize(&mut self, recommender: &str) -> EngineResult<()> {
         let threads = self.config.build_threads;
+        let guard = self.config.governor.guard();
         let rec = self
             .recommender_mut(recommender)
             .ok_or_else(|| EngineError::RecommenderNotFound(recommender.to_owned()))?;
-        rec.materialize_all_with(threads);
-        Ok(())
+        rec.materialize_all_governed(threads, Some(&guard))
+            .map_err(flatten_guard_error)
     }
 
     /// Run one cache-manager pass (Algorithm 4) for a recommender at the
@@ -496,12 +584,13 @@ impl RecDb {
         Ok(rec.run_cache_manager(now))
     }
 
-    fn run_select(&self, select: &SelectStatement) -> EngineResult<ResultSet> {
+    fn run_select(&self, select: &SelectStatement, guard: &QueryGuard) -> EngineResult<ResultSet> {
         let plan = optimize(build_logical(select, &self.catalog)?);
         self.record_query_stats(&plan);
         let ctx = ExecContext {
             catalog: &self.catalog,
             provider: self,
+            guard: guard.clone(),
         };
         Ok(execute_plan(&plan, &ctx)?)
     }
@@ -548,6 +637,26 @@ impl RecommenderProvider for RecDb {
                 r.ratings_table().eq_ignore_ascii_case(ratings_table) && r.algorithm() == algorithm
             })
             .and_then(|r| r.index())
+    }
+}
+
+/// Lift governor verdicts buried in the executor layer to first-class
+/// engine errors (`Cancelled` / `ResourceExhausted`).
+fn flatten_guard_error(e: EngineError) -> EngineError {
+    match e {
+        EngineError::Exec(recdb_exec::ExecError::Guard(g)) => g.into(),
+        other => other,
+    }
+}
+
+/// Best-effort extraction of a caught panic's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "statement panicked".to_owned()
     }
 }
 

@@ -1,9 +1,11 @@
 //! Engine-level errors.
 
 use recdb_exec::ExecError;
+use recdb_guard::GuardError;
 use recdb_sql::ParseError;
 use recdb_storage::StorageError;
 use std::fmt;
+use std::time::Duration;
 
 /// Result alias for the engine.
 pub type EngineResult<T> = Result<T, EngineError>;
@@ -25,6 +27,23 @@ pub enum EngineError {
     UnknownType(String),
     /// INSERT rows must be constant expressions.
     NonConstantInsert(String),
+    /// The statement was cancelled (explicitly, or by its deadline).
+    Cancelled {
+        /// Wall-clock time the statement had run when it was stopped.
+        elapsed: Duration,
+    },
+    /// The statement exceeded a row or memory budget.
+    ResourceExhausted {
+        /// Which budget was exhausted (`"rows"` or `"memory"`).
+        resource: &'static str,
+        /// The configured budget.
+        budget: u64,
+        /// Usage at the moment the budget tripped.
+        used: u64,
+    },
+    /// A panic was caught at the engine boundary; the statement failed
+    /// but the engine itself keeps serving.
+    Internal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -46,11 +65,32 @@ impl fmt::Display for EngineError {
             EngineError::NonConstantInsert(msg) => {
                 write!(f, "INSERT values must be constants: {msg}")
             }
+            EngineError::Cancelled { elapsed } => {
+                write!(f, "statement cancelled after {:.3}s", elapsed.as_secs_f64())
+            }
+            EngineError::ResourceExhausted {
+                resource,
+                budget,
+                used,
+            } => write!(
+                f,
+                "statement exceeded its {resource} budget: used {used} of {budget}"
+            ),
+            EngineError::Internal(msg) => write!(f, "internal error (panic contained): {msg}"),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Exec(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ParseError> for EngineError {
     fn from(e: ParseError) -> Self {
@@ -70,9 +110,76 @@ impl From<StorageError> for EngineError {
     }
 }
 
+/// Governor verdicts flatten into first-class engine errors so callers can
+/// match on `Cancelled`/`ResourceExhausted` without digging through the
+/// executor layer.
+impl From<GuardError> for EngineError {
+    fn from(e: GuardError) -> Self {
+        match e {
+            GuardError::Cancelled { elapsed } => EngineError::Cancelled { elapsed },
+            GuardError::ResourceExhausted {
+                resource,
+                budget,
+                used,
+            } => EngineError::ResourceExhausted {
+                resource,
+                budget,
+                used,
+            },
+        }
+    }
+}
+
+impl From<recdb_fault::FaultError> for EngineError {
+    fn from(e: recdb_fault::FaultError) -> Self {
+        EngineError::Exec(ExecError::FaultInjected(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_and_source_round_trip() {
+        // Every wrapping variant must expose its cause via `source()` and
+        // render it in `Display`, so the chain can be walked end to end.
+        let exec_err = ExecError::Storage(StorageError::TableNotFound("t".into()));
+        let e = EngineError::Exec(exec_err);
+        let msg = e.to_string();
+        let src = std::error::Error::source(&e).expect("Exec wraps a cause");
+        assert!(msg.contains(&src.to_string()), "{msg} vs {src}");
+        let inner = src.source().expect("ExecError::Storage chains further");
+        assert!(inner.to_string().contains("`t`"));
+
+        let e: EngineError = GuardError::Cancelled {
+            elapsed: Duration::from_millis(1500),
+        }
+        .into();
+        assert!(matches!(e, EngineError::Cancelled { .. }));
+        assert!(e.to_string().contains("1.500"));
+
+        let e: EngineError = GuardError::ResourceExhausted {
+            resource: "rows",
+            budget: 10,
+            used: 11,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            EngineError::ResourceExhausted {
+                resource: "rows",
+                budget: 10,
+                used: 11
+            }
+        ));
+        let msg = e.to_string();
+        assert!(msg.contains("rows") && msg.contains("10") && msg.contains("11"));
+
+        let e = EngineError::Internal("operator panicked".into());
+        assert!(e.to_string().contains("panic"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
 
     #[test]
     fn conversions_and_display() {

@@ -32,6 +32,9 @@ pub mod error;
 pub mod recommender;
 
 pub use cache::{CacheDecision, CacheManager, UsageStats};
-pub use engine::{QueryResult, RecDb, RecDbConfig};
+pub use engine::{GovernorConfig, QueryResult, RecDb, RecDbConfig};
 pub use error::{EngineError, EngineResult};
 pub use recommender::Recommender;
+// Re-export the guard types so engine callers can build per-call limits
+// and cancel handles without depending on the guard crate directly.
+pub use recdb_guard::{GuardError, QueryGuard};

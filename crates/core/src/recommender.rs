@@ -6,9 +6,11 @@ use crate::error::{EngineError, EngineResult};
 use parking_lot::Mutex;
 use recdb_algo::model::TrainConfig;
 use recdb_algo::parallel::for_each_chunk;
-use recdb_algo::{Algorithm, Rating, RatingsMatrix, RecModel};
+use recdb_algo::{Algorithm, Rating, RatingsMatrix, RecModel, TrainError};
 use recdb_exec::RecScoreIndex;
+use recdb_guard::QueryGuard;
 use recdb_storage::Catalog;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,6 +68,39 @@ impl Recommender {
         hotness_threshold: f64,
         now: u64,
     ) -> EngineResult<Self> {
+        Self::create_governed(
+            name,
+            catalog,
+            ratings_table,
+            users_column,
+            items_column,
+            ratings_column,
+            algorithm,
+            train_config,
+            hotness_threshold,
+            now,
+            None,
+        )
+    }
+
+    /// As [`Recommender::create`], under an optional resource governor:
+    /// the model build observes cancellation/deadlines and the
+    /// `core::materialize_worker` fault site. On error nothing is
+    /// constructed — the caller's catalog state is untouched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_governed(
+        name: &str,
+        catalog: &Catalog,
+        ratings_table: &str,
+        users_column: &str,
+        items_column: &str,
+        ratings_column: &str,
+        algorithm: Algorithm,
+        train_config: TrainConfig,
+        hotness_threshold: f64,
+        now: u64,
+        governor: Option<&QueryGuard>,
+    ) -> EngineResult<Self> {
         let matrix = load_matrix(
             catalog,
             ratings_table,
@@ -74,7 +109,11 @@ impl Recommender {
             ratings_column,
         )?;
         let started = Instant::now();
-        let model = RecModel::train(algorithm, matrix, &train_config);
+        let model = build_model(algorithm, matrix, &train_config, governor)?;
+        // The materialization stage of the build pipeline: nothing exists
+        // to refresh on create, but the stage (and its fault site) still
+        // runs so injected failures cover the whole CREATE path.
+        let index = refresh_index(None, &model, governor)?;
         let build_time = started.elapsed();
         Ok(Recommender {
             name: name.to_ascii_lowercase(),
@@ -87,7 +126,7 @@ impl Recommender {
             model: Arc::new(model),
             build_time,
             pending_updates: 0,
-            index: None,
+            index,
             stats: Mutex::new(UsageStats::new(now)),
             cache_manager: Mutex::new(CacheManager::new(hotness_threshold)),
         })
@@ -167,6 +206,20 @@ impl Recommender {
     /// materialized entry ("RECDB maintains the recommendation score for
     /// all materialized entries", §IV-D).
     pub fn maintain(&mut self, catalog: &Catalog) -> EngineResult<()> {
+        self.maintain_governed(catalog, None)
+    }
+
+    /// As [`Recommender::maintain`], under an optional resource governor.
+    ///
+    /// The rebuild is staged: the new model and the refreshed index are
+    /// computed fully before anything is published, so a cancelled or
+    /// faulted rebuild returns `Err` with the previous model (and index)
+    /// still serving, and a later retry starts from a consistent state.
+    pub fn maintain_governed(
+        &mut self,
+        catalog: &Catalog,
+        governor: Option<&QueryGuard>,
+    ) -> EngineResult<()> {
         let matrix = load_matrix(
             catalog,
             &self.ratings_table,
@@ -175,25 +228,19 @@ impl Recommender {
             &self.ratings_column,
         )?;
         let started = Instant::now();
-        self.model = Arc::new(RecModel::train(self.algorithm, matrix, &self.train_config));
-        self.build_time = started.elapsed();
+        let model = Arc::new(build_model(
+            self.algorithm,
+            matrix,
+            &self.train_config,
+            governor,
+        )?);
+        let index = refresh_index(self.index.as_deref(), &model, governor)?;
+        let build_time = started.elapsed();
+        // All fallible work is done — publish the staged artifacts.
+        self.model = model;
+        self.build_time = build_time;
         self.pending_updates = 0;
-        if let Some(old) = self.index.take() {
-            let mut fresh = RecScoreIndex::new();
-            // Re-materialize complete users in full; re-score partial pairs.
-            for user in old.users() {
-                if old.is_complete(user) {
-                    materialize_user_into(&mut fresh, &self.model, user);
-                } else {
-                    for (item, _) in old.iter_desc(user, None, None) {
-                        if self.model.matrix().rating_of(user, item).is_none() {
-                            fresh.insert(user, item, self.model.predict(user, item).unwrap_or(0.0));
-                        }
-                    }
-                }
-            }
-            self.index = Some(Arc::new(fresh));
-        }
+        self.index = index;
         Ok(())
     }
 
@@ -220,15 +267,47 @@ impl Recommender {
     /// every thread count: workers only fan out the per-user scoring; the
     /// merge into the index happens on the calling thread in user order.
     pub fn materialize_all_with(&mut self, threads: usize) {
+        self.materialize_all_governed(threads, None)
+            .expect("ungoverned materialization cannot fail")
+    }
+
+    /// As [`Recommender::materialize_all_with`], under an optional
+    /// resource governor. Each worker chunk evaluates the
+    /// `core::materialize_worker` fault site and the guard before scoring;
+    /// on any failure the existing index is left exactly as it was (the
+    /// merge-and-swap only happens after every worker succeeded).
+    pub fn materialize_all_governed(
+        &mut self,
+        threads: usize,
+        governor: Option<&QueryGuard>,
+    ) -> EngineResult<()> {
         let users = self.model.matrix().user_ids();
         let model = &self.model;
         let threads = recdb_algo::effective_threads(threads);
+        // Workers cannot return `Err` through the fan-out, so the first
+        // failure lands in a shared slot and flips a flag that makes the
+        // remaining chunks bail out immediately.
+        let aborted = AtomicBool::new(false);
+        let abort: Mutex<Option<EngineError>> = Mutex::new(None);
         let mut per_user: Vec<(usize, Vec<(i64, f64)>)> = for_each_chunk(
             users.len(),
             threads,
             8,
             Vec::new,
             |out: &mut Vec<(usize, Vec<(i64, f64)>)>, range| {
+                if aborted.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(guard) = governor {
+                    let gate = recdb_fault::fail_point("core::materialize_worker")
+                        .map_err(EngineError::from)
+                        .and_then(|()| guard.check().map_err(EngineError::from));
+                    if let Err(e) = gate {
+                        aborted.store(true, Ordering::Relaxed);
+                        abort.lock().get_or_insert(e);
+                        return;
+                    }
+                }
                 for pos in range {
                     let user = users[pos];
                     let mut entries = Vec::new();
@@ -244,6 +323,9 @@ impl Recommender {
         .into_iter()
         .flatten()
         .collect();
+        if let Some(e) = abort.into_inner() {
+            return Err(e);
+        }
         per_user.sort_unstable_by_key(|&(pos, _)| pos);
         let mut index = match self.index.take() {
             Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
@@ -257,6 +339,7 @@ impl Recommender {
             index.mark_complete(user);
         }
         self.index = Some(Arc::new(index));
+        Ok(())
     }
 
     /// Run the Algorithm 4 cache manager at tick `now`: refresh rates,
@@ -292,6 +375,64 @@ impl Recommender {
     pub fn with_stats<R>(&self, f: impl FnOnce(&UsageStats) -> R) -> R {
         f(&self.stats.lock())
     }
+}
+
+/// Train a model, routing through the guard-aware path when governed.
+/// The ungoverned path is byte-for-byte the legacy one: no fail points,
+/// no checks, infallible.
+fn build_model(
+    algorithm: Algorithm,
+    matrix: RatingsMatrix,
+    config: &TrainConfig,
+    governor: Option<&QueryGuard>,
+) -> EngineResult<RecModel> {
+    match governor {
+        Some(guard) => {
+            RecModel::train_guarded(algorithm, matrix, config, guard).map_err(train_to_engine)
+        }
+        None => Ok(RecModel::train(algorithm, matrix, config)),
+    }
+}
+
+fn train_to_engine(e: TrainError) -> EngineError {
+    match e {
+        TrainError::Guard(g) => g.into(),
+        TrainError::Fault(f) => f.into(),
+    }
+}
+
+/// The build pipeline's materialization stage: rebuild the score index
+/// against a freshly trained model. Complete users re-materialize in
+/// full; partial (cache-admitted) pairs re-score individually. The
+/// `core::materialize_worker` fault site is evaluated even when there is
+/// nothing to refresh, so injected failures cover create as well as
+/// maintain.
+fn refresh_index(
+    old: Option<&RecScoreIndex>,
+    model: &RecModel,
+    governor: Option<&QueryGuard>,
+) -> EngineResult<Option<Arc<RecScoreIndex>>> {
+    if let Some(guard) = governor {
+        recdb_fault::fail_point("core::materialize_worker")?;
+        guard.check().map_err(EngineError::from)?;
+    }
+    let Some(old) = old else { return Ok(None) };
+    let mut fresh = RecScoreIndex::new();
+    for user in old.users() {
+        if let Some(guard) = governor {
+            guard.check().map_err(EngineError::from)?;
+        }
+        if old.is_complete(user) {
+            materialize_user_into(&mut fresh, model, user);
+        } else {
+            for (item, _) in old.iter_desc(user, None, None) {
+                if model.matrix().rating_of(user, item).is_none() {
+                    fresh.insert(user, item, model.predict(user, item).unwrap_or(0.0));
+                }
+            }
+        }
+    }
+    Ok(Some(Arc::new(fresh)))
 }
 
 fn materialize_user_into(index: &mut RecScoreIndex, model: &RecModel, user: i64) {

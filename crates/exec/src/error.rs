@@ -1,5 +1,7 @@
 //! Execution-layer errors.
 
+use recdb_fault::FaultError;
+use recdb_guard::GuardError;
 use recdb_storage::StorageError;
 use std::fmt;
 
@@ -29,6 +31,11 @@ pub enum ExecError {
     UnknownAlgorithm(String),
     /// A feature the engine does not implement.
     Unsupported(String),
+    /// The query's resource governor stopped execution (cancellation,
+    /// deadline, or a row/memory budget).
+    Guard(GuardError),
+    /// A deterministic fault-injection site fired (tests only).
+    FaultInjected(FaultError),
 }
 
 impl fmt::Display for ExecError {
@@ -47,6 +54,8 @@ impl fmt::Display for ExecError {
                 write!(f, "unknown recommendation algorithm `{name}`")
             }
             ExecError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            ExecError::Guard(e) => write!(f, "query stopped: {e}"),
+            ExecError::FaultInjected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -55,6 +64,8 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Storage(e) => Some(e),
+            ExecError::Guard(e) => Some(e),
+            ExecError::FaultInjected(e) => Some(e),
             _ => None,
         }
     }
@@ -63,6 +74,18 @@ impl std::error::Error for ExecError {
 impl From<StorageError> for ExecError {
     fn from(e: StorageError) -> Self {
         ExecError::Storage(e)
+    }
+}
+
+impl From<GuardError> for ExecError {
+    fn from(e: GuardError) -> Self {
+        ExecError::Guard(e)
+    }
+}
+
+impl From<FaultError> for ExecError {
+    fn from(e: FaultError) -> Self {
+        ExecError::FaultInjected(e)
     }
 }
 

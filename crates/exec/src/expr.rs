@@ -133,7 +133,9 @@ pub fn bind(expr: &Expr, schema: &Schema) -> ExecResult<BoundExpr> {
     match expr {
         Expr::Literal(lit) => Ok(BoundExpr::Literal(literal_value(lit))),
         Expr::Column { .. } => {
-            let reference = expr.column_ref().expect("column expr");
+            let reference = expr
+                .column_ref()
+                .ok_or_else(|| ExecError::Bind("column expression has no reference".into()))?;
             let ordinal = schema.resolve(&reference)?;
             Ok(BoundExpr::Column(ordinal))
         }
@@ -359,9 +361,15 @@ fn eval_binary(
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
+    // Both operands are non-null here, so `sql_eq` is total; treat a None
+    // defensively as NULL rather than panicking.
+    let eq = |l: &Value, r: &Value| l.sql_eq(r).map(Value::Bool).unwrap_or(Value::Null);
     match op {
-        BinaryOp::Eq => Ok(Value::Bool(l.sql_eq(&r).unwrap())),
-        BinaryOp::Neq => Ok(Value::Bool(!l.sql_eq(&r).unwrap())),
+        BinaryOp::Eq => Ok(eq(&l, &r)),
+        BinaryOp::Neq => Ok(match eq(&l, &r) {
+            Value::Bool(b) => Value::Bool(!b),
+            other => other,
+        }),
         BinaryOp::Lt => Ok(Value::Bool(l.total_cmp(&r) == std::cmp::Ordering::Less)),
         BinaryOp::Le => Ok(Value::Bool(l.total_cmp(&r) != std::cmp::Ordering::Greater)),
         BinaryOp::Gt => Ok(Value::Bool(l.total_cmp(&r) == std::cmp::Ordering::Greater)),

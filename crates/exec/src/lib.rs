@@ -18,6 +18,10 @@
 //! IndexRecommend access-path choice when a materialized score index covers
 //! the querying users.
 
+// Engine-reachable code must surface errors, not panic; tests are exempt
+// via `allow-unwrap-in-tests` in the workspace clippy.toml.
+#![warn(clippy::unwrap_used)]
+
 pub mod error;
 pub mod expr;
 pub mod ops;

@@ -10,6 +10,7 @@
 use super::PhysicalOp;
 use crate::error::{ExecError, ExecResult};
 use crate::expr::BoundExpr;
+use recdb_guard::QueryGuard;
 use recdb_storage::{Schema, Tuple, Value};
 use std::collections::HashMap;
 
@@ -173,6 +174,7 @@ pub struct HashAggregateOp<'a> {
     schema: Schema,
     result: Option<std::vec::IntoIter<Tuple>>,
     error: Option<ExecError>,
+    guard: QueryGuard,
 }
 
 impl<'a> HashAggregateOp<'a> {
@@ -192,7 +194,16 @@ impl<'a> HashAggregateOp<'a> {
             schema,
             result: None,
             error: None,
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor: the blocking aggregation drain ticks
+    /// per input row and charges each new group's key size against the
+    /// memory budget.
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 
     fn aggregate_all(&mut self) -> ExecResult<Vec<Tuple>> {
@@ -205,6 +216,7 @@ impl<'a> HashAggregateOp<'a> {
         let mut states: Vec<(Vec<Value>, Vec<Accum>)> = Vec::new();
         while let Some(t) = self.input.next() {
             let tuple = t?;
+            self.guard.tick()?;
             let key: Vec<Value> = self
                 .keys
                 .iter()
@@ -213,6 +225,10 @@ impl<'a> HashAggregateOp<'a> {
             let slot = match groups.get(&key) {
                 Some(&s) => s,
                 None => {
+                    // New-group state is what a hash aggregate actually
+                    // retains, so only that is charged to the budget.
+                    self.guard
+                        .charge_mem(Tuple::new(key.clone()).encoded_size() as u64)?;
                     let accums: Vec<Accum> = self
                         .outputs
                         .iter()

@@ -11,6 +11,7 @@
 use super::PhysicalOp;
 use crate::error::ExecResult;
 use crate::expr::BoundExpr;
+use recdb_guard::QueryGuard;
 use recdb_storage::{BTreeIndex, Schema, Table, Tuple, Value};
 use std::collections::VecDeque;
 
@@ -26,6 +27,7 @@ pub struct IndexJoinOp<'a> {
     /// inner side plus non-equi join conjuncts).
     residual: Option<BoundExpr>,
     pending: VecDeque<Tuple>,
+    guard: QueryGuard,
 }
 
 impl<'a> IndexJoinOp<'a> {
@@ -48,7 +50,14 @@ impl<'a> IndexJoinOp<'a> {
             outer_ordinal,
             residual,
             pending: VecDeque::new(),
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor (checked once per probe).
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -59,6 +68,9 @@ impl PhysicalOp for IndexJoinOp<'_> {
 
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
         loop {
+            if let Err(e) = self.guard.tick() {
+                return Some(Err(e.into()));
+            }
             if let Some(t) = self.pending.pop_front() {
                 return Some(Ok(t));
             }

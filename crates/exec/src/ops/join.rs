@@ -4,6 +4,7 @@
 use super::PhysicalOp;
 use crate::error::ExecResult;
 use crate::expr::BoundExpr;
+use recdb_guard::QueryGuard;
 use recdb_storage::{Schema, Tuple, Value};
 use std::collections::HashMap;
 
@@ -26,6 +27,7 @@ pub struct JoinOp<'a> {
     /// `right_rows`), consumed in order.
     match_queue: std::vec::IntoIter<usize>,
     right_source: Option<Box<dyn PhysicalOp + 'a>>,
+    guard: QueryGuard,
 }
 
 impl<'a> JoinOp<'a> {
@@ -50,13 +52,24 @@ impl<'a> JoinOp<'a> {
             current_left: None,
             match_queue: Vec::new().into_iter(),
             right_source: Some(right),
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor: the build-side drain ticks per row
+    /// and charges each buffered row's encoded size against the memory
+    /// budget; the probe loop ticks per probe tuple.
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 
     fn build(&mut self) -> ExecResult<()> {
         let mut right = self.right_source.take().expect("build runs once");
         while let Some(t) = right.next() {
             let tuple = t?;
+            self.guard.tick()?;
+            self.guard.charge_mem(tuple.encoded_size() as u64)?;
             if let Some((_, r_ord)) = self.equi {
                 let key = tuple.get(r_ord).cloned().unwrap_or(Value::Null);
                 // NULL keys never match in SQL equality; skip them.
@@ -99,6 +112,9 @@ impl PhysicalOp for JoinOp<'_> {
             }
         }
         loop {
+            if let Err(e) = self.guard.tick() {
+                return Some(Err(e.into()));
+            }
             if let Some(left) = &self.current_left {
                 for idx in self.match_queue.by_ref() {
                     let joined = left.join(&self.right_rows[idx]);

@@ -12,6 +12,7 @@ pub mod recommend;
 
 use crate::error::ExecResult;
 use crate::expr::BoundExpr;
+use recdb_guard::QueryGuard;
 use recdb_storage::{HeapTable, Rid, Schema, Tuple, Value};
 
 pub use aggregate::{AggFunc, AggOutput, HashAggregateOp};
@@ -44,6 +45,7 @@ pub struct ScanOp<'a> {
     schema: Schema,
     page: u32,
     buffer: std::vec::IntoIter<(Rid, Tuple)>,
+    guard: QueryGuard,
 }
 
 impl<'a> ScanOp<'a> {
@@ -55,7 +57,14 @@ impl<'a> ScanOp<'a> {
             schema,
             page: 0,
             buffer: Vec::new().into_iter(),
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor (checked once per emitted tuple).
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -65,6 +74,9 @@ impl PhysicalOp for ScanOp<'_> {
     }
 
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        if let Err(e) = self.guard.tick() {
+            return Some(Err(e.into()));
+        }
         loop {
             if let Some((_, tuple)) = self.buffer.next() {
                 return Some(Ok(tuple));
@@ -82,12 +94,24 @@ impl PhysicalOp for ScanOp<'_> {
 pub struct FilterOp<'a> {
     input: Box<dyn PhysicalOp + 'a>,
     predicate: BoundExpr,
+    guard: QueryGuard,
 }
 
 impl<'a> FilterOp<'a> {
     /// Wrap `input` with a bound predicate.
     pub fn new(input: Box<dyn PhysicalOp + 'a>, predicate: BoundExpr) -> Self {
-        FilterOp { input, predicate }
+        FilterOp {
+            input,
+            predicate,
+            guard: QueryGuard::unlimited(),
+        }
+    }
+
+    /// Attach a resource governor (checked once per input tuple, so
+    /// long runs of filtered-out rows stay cancellable).
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -98,6 +122,9 @@ impl PhysicalOp for FilterOp<'_> {
 
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
         loop {
+            if let Err(e) = self.guard.tick() {
+                return Some(Err(e.into()));
+            }
             let tuple = match self.input.next()? {
                 Ok(t) => t,
                 Err(e) => return Some(Err(e)),
@@ -118,6 +145,7 @@ pub struct ProjectOp<'a> {
     input: Box<dyn PhysicalOp + 'a>,
     exprs: Vec<BoundExpr>,
     schema: Schema,
+    guard: QueryGuard,
 }
 
 impl<'a> ProjectOp<'a> {
@@ -128,7 +156,14 @@ impl<'a> ProjectOp<'a> {
             input,
             exprs,
             schema,
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor (checked once per emitted tuple).
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -138,6 +173,9 @@ impl PhysicalOp for ProjectOp<'_> {
     }
 
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        if let Err(e) = self.guard.tick() {
+            return Some(Err(e.into()));
+        }
         let tuple = match self.input.next()? {
             Ok(t) => t,
             Err(e) => return Some(Err(e)),
@@ -171,6 +209,7 @@ pub struct SortOp<'a> {
     limit: Option<usize>,
     sorted: Option<std::vec::IntoIter<Tuple>>,
     error: Option<crate::error::ExecError>,
+    guard: QueryGuard,
 }
 
 impl<'a> SortOp<'a> {
@@ -182,6 +221,7 @@ impl<'a> SortOp<'a> {
             limit: None,
             sorted: None,
             error: None,
+            guard: QueryGuard::unlimited(),
         }
     }
 
@@ -198,10 +238,24 @@ impl<'a> SortOp<'a> {
             limit: Some(limit),
             sorted: None,
             error: None,
+            guard: QueryGuard::unlimited(),
         }
     }
 
+    /// Attach a resource governor. The blocking materialize drain ticks
+    /// per buffered row and charges each row's encoded size against the
+    /// memory budget, so a runaway sort is stopped while buffering, not
+    /// after.
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+
     fn materialize(&mut self) {
+        if let Err(e) = recdb_fault::fail_point("exec::sort_materialize") {
+            self.error = Some(e.into());
+            return;
+        }
         let mut rows: Vec<(Vec<Value>, Tuple)> = Vec::new();
         while let Some(t) = self.input.next() {
             let tuple = match t {
@@ -211,6 +265,14 @@ impl<'a> SortOp<'a> {
                     return;
                 }
             };
+            let governed = self
+                .guard
+                .tick()
+                .and_then(|()| self.guard.charge_mem(tuple.encoded_size() as u64));
+            if let Err(e) = governed {
+                self.error = Some(e.into());
+                return;
+            }
             let mut key = Vec::with_capacity(self.keys.len());
             for (expr, _) in &self.keys {
                 match expr.eval(&tuple) {
@@ -271,6 +333,7 @@ impl PhysicalOp for SortOp<'_> {
 pub struct LimitOp<'a> {
     input: Box<dyn PhysicalOp + 'a>,
     remaining: u64,
+    guard: QueryGuard,
 }
 
 impl<'a> LimitOp<'a> {
@@ -279,7 +342,15 @@ impl<'a> LimitOp<'a> {
         LimitOp {
             input,
             remaining: limit,
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor (pass-through check per call; the
+    /// wrapped input does its own row accounting).
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -291,6 +362,9 @@ impl PhysicalOp for LimitOp<'_> {
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
         if self.remaining == 0 {
             return None;
+        }
+        if let Err(e) = self.guard.check() {
+            return Some(Err(e.into()));
         }
         let t = self.input.next()?;
         if t.is_ok() {
@@ -306,6 +380,7 @@ impl PhysicalOp for LimitOp<'_> {
 pub struct ValuesOp {
     schema: Schema,
     rows: std::vec::IntoIter<Tuple>,
+    guard: QueryGuard,
 }
 
 impl ValuesOp {
@@ -314,7 +389,14 @@ impl ValuesOp {
         ValuesOp {
             schema,
             rows: rows.into_iter(),
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor (checked once per emitted tuple).
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -324,6 +406,9 @@ impl PhysicalOp for ValuesOp {
     }
 
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        if let Err(e) = self.guard.tick() {
+            return Some(Err(e.into()));
+        }
         self.rows.next().map(Ok)
     }
 }

@@ -21,6 +21,7 @@ use super::PhysicalOp;
 use crate::error::ExecResult;
 use crate::rec_index::RecScoreIndex;
 use recdb_algo::RecModel;
+use recdb_guard::QueryGuard;
 use recdb_storage::{Schema, Tuple, Value};
 use std::collections::HashSet;
 use std::collections::VecDeque;
@@ -51,6 +52,7 @@ pub struct RecommendOp {
     max_rating: Option<f64>,
     u_cursor: usize,
     i_cursor: usize,
+    guard: QueryGuard,
 }
 
 impl RecommendOp {
@@ -86,7 +88,16 @@ impl RecommendOp {
             max_rating,
             u_cursor: 0,
             i_cursor: 0,
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor. The `U × I` scoring loop ticks every
+    /// iteration — including pairs skipped as already-rated or
+    /// out-of-bounds — so a runaway RECOMMEND is cancellable mid-scan.
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -97,6 +108,9 @@ impl PhysicalOp for RecommendOp {
 
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
         loop {
+            if let Err(e) = self.guard.tick() {
+                return Some(Err(e.into()));
+            }
             if self.u_cursor >= self.users.len() {
                 return None;
             }
@@ -139,6 +153,7 @@ pub struct JoinRecommendOp<'a> {
     min_rating: Option<f64>,
     max_rating: Option<f64>,
     pending: VecDeque<Tuple>,
+    guard: QueryGuard,
 }
 
 impl<'a> JoinRecommendOp<'a> {
@@ -167,7 +182,15 @@ impl<'a> JoinRecommendOp<'a> {
             min_rating,
             max_rating,
             pending: VecDeque::new(),
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor (checked once per outer tuple /
+    /// emitted tuple).
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -178,6 +201,9 @@ impl PhysicalOp for JoinRecommendOp<'_> {
 
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
         loop {
+            if let Err(e) = self.guard.tick() {
+                return Some(Err(e.into()));
+            }
             if let Some(t) = self.pending.pop_front() {
                 return Some(Ok(t));
             }
@@ -226,6 +252,7 @@ pub struct IndexRecommendOp {
     u_cursor: usize,
     /// Per-user buffered descending entries (Phase II output).
     buffer: VecDeque<(i64, i64, f64)>,
+    guard: QueryGuard,
 }
 
 impl IndexRecommendOp {
@@ -249,7 +276,15 @@ impl IndexRecommendOp {
             max_rating,
             u_cursor: 0,
             buffer: VecDeque::new(),
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attach a resource governor (checked once per emitted tuple /
+    /// per-user index traversal).
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 }
 
@@ -260,6 +295,9 @@ impl PhysicalOp for IndexRecommendOp {
 
     fn next(&mut self) -> Option<ExecResult<Tuple>> {
         loop {
+            if let Err(e) = self.guard.tick() {
+                return Some(Err(e.into()));
+            }
             if let Some((user, item, score)) = self.buffer.pop_front() {
                 return Some(Ok(Tuple::new(vec![
                     Value::Int(user),

@@ -21,6 +21,7 @@ use crate::ops::{
 use crate::plan::{AggregateOutput, LogicalPlan, RecommendNode};
 use crate::provider::RecommenderProvider;
 use crate::result::ResultSet;
+use recdb_guard::QueryGuard;
 use recdb_sql::{BinaryOp, Expr, OrderKey};
 use recdb_storage::{Catalog, Schema};
 
@@ -30,6 +31,8 @@ pub struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     /// The recommender catalog.
     pub provider: &'a dyn RecommenderProvider,
+    /// Resource governor propagated into every operator of the built tree.
+    pub guard: QueryGuard,
 }
 
 /// A built operator plus the column reference (if any) by which its output
@@ -40,7 +43,13 @@ struct Built<'a> {
 }
 
 /// Execute a logical plan to a materialized result.
+///
+/// The guard is checked once before any operator runs, so an
+/// already-expired deadline (or a cancelled handle) fails fast without
+/// touching storage, and then cooperatively inside every operator's
+/// `next()` loop.
 pub fn execute_plan(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> ExecResult<ResultSet> {
+    ctx.guard.check()?;
     let mut built = build(plan, ctx)?;
     let rows = drain(built.op.as_mut())?;
     Ok(ResultSet::new(plan.schema(), rows))
@@ -51,7 +60,7 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
         LogicalPlan::Scan { table, schema, .. } => {
             let t = ctx.catalog.table(table)?;
             Ok(Built {
-                op: Box::new(ScanOp::new(t.heap(), schema.clone())),
+                op: Box::new(ScanOp::new(t.heap(), schema.clone()).with_guard(ctx.guard.clone())),
                 sorted_desc: None,
             })
         }
@@ -61,7 +70,7 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
             let bound = bind(predicate, child.op.schema())?;
             Ok(Built {
                 sorted_desc: child.sorted_desc,
-                op: Box::new(FilterOp::new(child.op, bound)),
+                op: Box::new(FilterOp::new(child.op, bound).with_guard(ctx.guard.clone())),
             })
         }
         LogicalPlan::Join {
@@ -77,14 +86,10 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
             {
                 let (inner_table, index, inner_schema, residual, l_ord) = built;
                 return Ok(Built {
-                    op: Box::new(IndexJoinOp::new(
-                        l.op,
-                        inner_table,
-                        index,
-                        &inner_schema,
-                        l_ord,
-                        residual,
-                    )),
+                    op: Box::new(
+                        IndexJoinOp::new(l.op, inner_table, index, &inner_schema, l_ord, residual)
+                            .with_guard(ctx.guard.clone()),
+                    ),
                     sorted_desc: None,
                 });
             }
@@ -92,7 +97,7 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
             let (equi, residual) =
                 split_join_predicate(predicate.as_ref(), l.op.schema(), r.op.schema())?;
             Ok(Built {
-                op: Box::new(JoinOp::new(l.op, r.op, equi, residual)),
+                op: Box::new(JoinOp::new(l.op, r.op, equi, residual).with_guard(ctx.guard.clone())),
                 sorted_desc: None,
             })
         }
@@ -120,14 +125,15 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
                 rec.user_ids.clone(),
                 rec.min_rating,
                 rec.max_rating,
-            );
+            )
+            .with_guard(ctx.guard.clone());
             let op: Box<dyn PhysicalOp + 'a> = match &rec.item_ids {
                 None => Box::new(op),
                 Some(items) => {
                     let schema = op.schema().clone();
                     let pred =
                         item_in_list_predicate(&schema, &rec.binding, &rec.item_column, items)?;
-                    Box::new(FilterOp::new(Box::new(op), pred))
+                    Box::new(FilterOp::new(Box::new(op), pred).with_guard(ctx.guard.clone()))
                 }
             };
             Ok(Built {
@@ -160,12 +166,10 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
                 })
                 .collect::<ExecResult<_>>()?;
             Ok(Built {
-                op: Box::new(HashAggregateOp::new(
-                    child.op,
-                    keys,
-                    bound_outputs,
-                    plan.schema(),
-                )),
+                op: Box::new(
+                    HashAggregateOp::new(child.op, keys, bound_outputs, plan.schema())
+                        .with_guard(ctx.guard.clone()),
+                ),
                 sorted_desc: None,
             })
         }
@@ -180,7 +184,7 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
                 .collect::<ExecResult<_>>()?;
             let sorted_desc = single_desc_column(keys);
             Ok(Built {
-                op: Box::new(SortOp::new(child.op, bound)),
+                op: Box::new(SortOp::new(child.op, bound).with_guard(ctx.guard.clone())),
                 sorted_desc,
             })
         }
@@ -197,7 +201,7 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
                 if sort_is_redundant(keys, child.sorted_desc.as_deref(), child.op.schema()) {
                     return Ok(Built {
                         sorted_desc: child.sorted_desc,
-                        op: Box::new(LimitOp::new(child.op, *limit)),
+                        op: Box::new(LimitOp::new(child.op, *limit).with_guard(ctx.guard.clone())),
                     });
                 }
                 let bound: Vec<(BoundExpr, bool)> = keys
@@ -207,14 +211,16 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
                 let sorted_desc = single_desc_column(keys);
                 let k = usize::try_from(*limit).unwrap_or(usize::MAX);
                 return Ok(Built {
-                    op: Box::new(SortOp::with_limit(child.op, bound, k)),
+                    op: Box::new(
+                        SortOp::with_limit(child.op, bound, k).with_guard(ctx.guard.clone()),
+                    ),
                     sorted_desc,
                 });
             }
             let child = build(input, ctx)?;
             Ok(Built {
                 sorted_desc: child.sorted_desc,
-                op: Box::new(LimitOp::new(child.op, *limit)),
+                op: Box::new(LimitOp::new(child.op, *limit).with_guard(ctx.guard.clone())),
             })
         }
         LogicalPlan::Project { input, exprs } => {
@@ -224,7 +230,9 @@ fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>>
                 .map(|(e, _)| bind(e, child.op.schema()))
                 .collect::<ExecResult<_>>()?;
             Ok(Built {
-                op: Box::new(ProjectOp::new(child.op, bound, plan.schema())),
+                op: Box::new(
+                    ProjectOp::new(child.op, bound, plan.schema()).with_guard(ctx.guard.clone()),
+                ),
                 sorted_desc: None,
             })
         }
@@ -248,14 +256,17 @@ fn build_recommend<'a>(node: &RecommendNode, ctx: &ExecContext<'a>) -> ExecResul
                     let sorted_desc = (users.len() == 1)
                         .then(|| format!("{}.{}", node.binding, node.rating_column));
                     return Ok(Built {
-                        op: Box::new(IndexRecommendOp::new(
-                            index,
-                            node.schema(),
-                            users.clone(),
-                            node.item_ids.clone(),
-                            node.min_rating,
-                            node.max_rating,
-                        )),
+                        op: Box::new(
+                            IndexRecommendOp::new(
+                                index,
+                                node.schema(),
+                                users.clone(),
+                                node.item_ids.clone(),
+                                node.min_rating,
+                                node.max_rating,
+                            )
+                            .with_guard(ctx.guard.clone()),
+                        ),
                         sorted_desc,
                     });
                 }
@@ -263,14 +274,17 @@ fn build_recommend<'a>(node: &RecommendNode, ctx: &ExecContext<'a>) -> ExecResul
         }
     }
     Ok(Built {
-        op: Box::new(RecommendOp::new(
-            model,
-            node.schema(),
-            node.user_ids.clone(),
-            node.item_ids.clone(),
-            node.min_rating,
-            node.max_rating,
-        )),
+        op: Box::new(
+            RecommendOp::new(
+                model,
+                node.schema(),
+                node.user_ids.clone(),
+                node.item_ids.clone(),
+                node.min_rating,
+                node.max_rating,
+            )
+            .with_guard(ctx.guard.clone()),
+        ),
         sorted_desc: None,
     })
 }
@@ -513,6 +527,7 @@ mod tests {
         let ctx = ExecContext {
             catalog: cat,
             provider,
+            guard: QueryGuard::unlimited(),
         };
         execute_plan(&plan, &ctx).unwrap()
     }
@@ -691,6 +706,7 @@ mod tests {
         let ctx = ExecContext {
             catalog: &cat,
             provider: &provider,
+            guard: QueryGuard::unlimited(),
         };
         let err = execute_plan(&plan, &ctx).unwrap_err();
         assert!(matches!(err, ExecError::NoRecommender { .. }));

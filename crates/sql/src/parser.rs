@@ -78,7 +78,11 @@ pub fn parse(src: &str) -> Result<Statement, ParseError> {
 /// Parse a `;`-separated script into statements.
 pub fn parse_many(src: &str) -> Result<Vec<Statement>, ParseError> {
     let tokens = tokenize(src).map_err(|e| ParseError::new(e.message.clone(), Some(e.offset)))?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut out = Vec::new();
     loop {
         while p.eat_symbol(&TokenKind::Semicolon) {}
@@ -90,9 +94,17 @@ pub fn parse_many(src: &str) -> Result<Vec<Statement>, ParseError> {
     Ok(out)
 }
 
+/// Maximum expression-nesting depth. A recursive-descent parser consumes
+/// native stack per nesting level, so adversarial inputs like `((((…1`
+/// must be rejected with a [`ParseError`] well before the stack runs out
+/// (stack overflow aborts the process and cannot be caught).
+const MAX_EXPR_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression-recursion depth, bounded by [`MAX_EXPR_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -502,7 +514,27 @@ impl Parser {
     // ----- expressions -----
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.or_expr()
+        self.enter_expr()?;
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
+    }
+
+    /// Charge one level of expression nesting; error out (instead of
+    /// overflowing the stack) past [`MAX_EXPR_DEPTH`]. Every
+    /// self-recursion in the expression grammar — parenthesized
+    /// primaries via [`Parser::expr`], `NOT` chains, unary minus chains —
+    /// passes through here.
+    fn enter_expr(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            // Callers decrement on unwind, so no reset here; parsing
+            // aborts on the propagated error anyway.
+            return Err(self.error_here(format!(
+                "expression is nested more than {MAX_EXPR_DEPTH} levels deep"
+            )));
+        }
+        Ok(())
     }
 
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
@@ -533,10 +565,12 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_keyword("NOT") {
-            let inner = self.not_expr()?;
+            self.enter_expr()?;
+            let inner = self.not_expr();
+            self.depth -= 1;
             return Ok(Expr::Unary {
                 op: UnaryOp::Not,
-                expr: Box::new(inner),
+                expr: Box::new(inner?),
             });
         }
         self.cmp_expr()
@@ -649,10 +683,12 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
         if self.eat_symbol(&TokenKind::Minus) {
-            let inner = self.unary()?;
+            self.enter_expr()?;
+            let inner = self.unary();
+            self.depth -= 1;
             return Ok(Expr::Unary {
                 op: UnaryOp::Neg,
-                expr: Box::new(inner),
+                expr: Box::new(inner?),
             });
         }
         self.primary()
@@ -797,6 +833,31 @@ fn is_clause_keyword(s: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Parenthesized primaries, NOT chains, and unary-minus chains all
+        // self-recurse; each must hit the depth limit as a ParseError.
+        let deep_parens = format!("SELECT {}1{} FROM t", "(".repeat(5000), ")".repeat(5000));
+        let err = parse(&deep_parens).unwrap_err();
+        assert!(err.to_string().contains("nested"), "{err}");
+
+        let deep_not = format!("SELECT * FROM t WHERE {} a = 1", "NOT ".repeat(5000));
+        let err = parse(&deep_not).unwrap_err();
+        assert!(err.to_string().contains("nested"), "{err}");
+
+        let deep_minus = format!("SELECT {}1 FROM t", "- ".repeat(5000));
+        let err = parse(&deep_minus).unwrap_err();
+        assert!(err.to_string().contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let nested = format!("SELECT {}1 + 1{} FROM t", "(".repeat(60), ")".repeat(60));
+        parse(&nested).unwrap();
+        let nots = format!("SELECT * FROM t WHERE {} a = 1", "NOT ".repeat(60));
+        parse(&nots).unwrap();
+    }
 
     #[test]
     fn parse_paper_recommender1() {

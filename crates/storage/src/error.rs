@@ -34,6 +34,15 @@ pub enum StorageError {
     IndexNotFound(String),
     /// A page's binary content could not be decoded.
     Corrupt(String),
+    /// A deterministic fault-injection site fired (tests only; see
+    /// the `recdb-fault` crate).
+    FaultInjected(String),
+}
+
+impl From<recdb_fault::FaultError> for StorageError {
+    fn from(e: recdb_fault::FaultError) -> Self {
+        StorageError::FaultInjected(e.site.to_string())
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -71,6 +80,9 @@ impl fmt::Display for StorageError {
             StorageError::IndexExists(name) => write!(f, "index `{name}` already exists"),
             StorageError::IndexNotFound(name) => write!(f, "index `{name}` does not exist"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            StorageError::FaultInjected(site) => {
+                write!(f, "injected fault at site `{site}`")
+            }
         }
     }
 }

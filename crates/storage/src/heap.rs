@@ -115,6 +115,7 @@ impl HeapTable {
 
     /// Insert a tuple, returning its record id. Charges one page write.
     pub fn insert(&mut self, tuple: Tuple) -> StorageResult<Rid> {
+        recdb_fault::fail_point("storage::heap_append")?;
         let tuple = self.coerce(tuple)?;
         let size = tuple.encoded_size();
         let need_new = match self.pages.last() {
@@ -125,7 +126,11 @@ impl HeapTable {
             self.pages.push(Page::new());
         }
         let page_no = (self.pages.len() - 1) as u32;
-        let slot = self.pages.last_mut().unwrap().insert(&tuple)?;
+        let page = self
+            .pages
+            .last_mut()
+            .ok_or_else(|| StorageError::Corrupt("heap has no pages after append".into()))?;
+        let slot = page.insert(&tuple)?;
         self.live_tuples += 1;
         self.stats.record_page_writes(1);
         self.stats.record_tuple_writes(1);

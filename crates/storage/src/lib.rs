@@ -21,6 +21,10 @@
 //! block"; this crate exposes exactly that granularity via
 //! [`heap::HeapTable::scan_pages`].
 
+// Engine-reachable paths must surface `StorageError`, not panic
+// (`clippy.toml` exempts `#[cfg(test)]` code).
+#![warn(clippy::unwrap_used)]
+
 pub mod catalog;
 pub mod error;
 pub mod heap;

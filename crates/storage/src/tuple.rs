@@ -118,30 +118,40 @@ impl Tuple {
             return Err(corrupt("truncated arity"));
         }
         let arity = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        // Fixed-width reads: slice then convert, with both the bounds
+        // check and the width check surfacing as `Corrupt` rather than
+        // panicking on adversarial page bytes.
+        let need8 = |off: usize| -> StorageResult<[u8; 8]> {
+            bytes
+                .get(off..off + 8)
+                .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                .ok_or_else(|| corrupt("truncated payload"))
+        };
+        let need4 = |off: usize| -> StorageResult<[u8; 4]> {
+            bytes
+                .get(off..off + 4)
+                .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                .ok_or_else(|| corrupt("truncated payload"))
+        };
         let mut off = 2;
         let mut values = Vec::with_capacity(arity);
         for _ in 0..arity {
             let tag = *bytes.get(off).ok_or_else(|| corrupt("truncated tag"))?;
             off += 1;
-            let need = |n: usize| -> StorageResult<&[u8]> {
-                bytes
-                    .get(off..off + n)
-                    .ok_or_else(|| corrupt("truncated payload"))
-            };
             let v = match tag {
                 0 => Value::Null,
                 1 => {
-                    let b: [u8; 8] = need(8)?.try_into().unwrap();
+                    let b = need8(off)?;
                     off += 8;
                     Value::Int(i64::from_le_bytes(b))
                 }
                 2 => {
-                    let b: [u8; 8] = need(8)?.try_into().unwrap();
+                    let b = need8(off)?;
                     off += 8;
                     Value::Float(f64::from_le_bytes(b))
                 }
                 3 => {
-                    let lb: [u8; 4] = need(4)?.try_into().unwrap();
+                    let lb = need4(off)?;
                     off += 4;
                     let len = u32::from_le_bytes(lb) as usize;
                     let raw = bytes
@@ -160,26 +170,17 @@ impl Tuple {
                     Value::Bool(b != 0)
                 }
                 5 => {
-                    let xb: [u8; 8] = need(8)?.try_into().unwrap();
-                    off += 8;
-                    let yb: [u8; 8] = bytes
-                        .get(off..off + 8)
-                        .ok_or_else(|| corrupt("truncated point"))?
-                        .try_into()
-                        .unwrap();
-                    off += 8;
+                    let xb = need8(off)?;
+                    let yb = need8(off + 8)?;
+                    off += 16;
                     Value::Point(f64::from_le_bytes(xb), f64::from_le_bytes(yb))
                 }
                 6 => {
-                    let raw = bytes
-                        .get(off..off + 32)
-                        .ok_or_else(|| corrupt("truncated rect"))?;
-                    off += 32;
                     let mut vals = [0.0f64; 4];
                     for (k, v) in vals.iter_mut().enumerate() {
-                        let b: [u8; 8] = raw[k * 8..(k + 1) * 8].try_into().unwrap();
-                        *v = f64::from_le_bytes(b);
+                        *v = f64::from_le_bytes(need8(off + k * 8)?);
                     }
+                    off += 32;
                     Value::Rect(vals[0], vals[1], vals[2], vals[3])
                 }
                 t => return Err(StorageError::Corrupt(format!("unknown value tag {t}"))),

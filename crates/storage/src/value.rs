@@ -168,9 +168,12 @@ impl Value {
                 .then_with(|| a2.total_cmp(b2))
                 .then_with(|| a3.total_cmp(b3)),
             (a, b) if a.type_rank() == 2 && b.type_rank() == 2 => {
-                // Int/Float cross comparison.
-                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-                x.total_cmp(&y)
+                // Int/Float cross comparison; rank 2 means both are
+                // numeric, so `as_f64` is always `Some` here.
+                match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => x.total_cmp(&y),
+                    _ => a.type_rank().cmp(&b.type_rank()),
+                }
             }
             (a, b) => a.type_rank().cmp(&b.type_rank()),
         }

@@ -39,6 +39,8 @@ pub use recdb_algo as algo;
 pub use recdb_core as core;
 pub use recdb_datasets as datasets;
 pub use recdb_exec as exec;
+pub use recdb_fault as fault;
+pub use recdb_guard as guard;
 pub use recdb_ontop as ontop;
 pub use recdb_spatial as spatial;
 pub use recdb_sql as sql;

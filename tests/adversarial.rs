@@ -1,0 +1,211 @@
+//! Adversarial-input properties: arbitrary hostile SQL must surface as
+//! `Err(_)` (or valid rows) through the public [`RecDb`] API — never a
+//! panic, hang, or corrupted engine. Statement execution is wrapped in
+//! `catch_unwind` at the engine boundary, and the parser bounds
+//! expression nesting, so even token soup and 5000-deep expressions are
+//! ordinary errors.
+
+use proptest::prelude::*;
+use recdb::core::{EngineError, RecDb};
+
+/// Tokens that commonly appear in (and confuse) SQL front ends: valid
+/// keywords, operators, literals, and some outright garbage.
+const TOKENS: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "CREATE",
+    "TABLE",
+    "RECOMMENDER",
+    "RECOMMEND",
+    "TO",
+    "ON",
+    "USING",
+    "ORDER",
+    "BY",
+    "LIMIT",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "JOIN",
+    "AS",
+    "DROP",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "GROUP",
+    "(",
+    ")",
+    ",",
+    ";",
+    "*",
+    "=",
+    "<>",
+    "<",
+    ">",
+    "+",
+    "-",
+    "/",
+    ".",
+    "ratings",
+    "uid",
+    "iid",
+    "ratingval",
+    "R",
+    "ItemCosCF",
+    "SVD",
+    "1",
+    "42",
+    "-1",
+    "3.5",
+    "0.0",
+    "'text'",
+    "''",
+    "@#$%",
+    "\\",
+    "`",
+    "9999999999999999999999",
+];
+
+fn db_with_table() -> RecDb {
+    let mut db = RecDb::new();
+    db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)")
+        .expect("create table");
+    db.execute("INSERT INTO ratings VALUES (1, 1, 5.0), (1, 2, 3.0), (2, 1, 4.0), (2, 3, 2.5)")
+        .expect("seed rows");
+    db
+}
+
+/// The engine survived if it can still run a plain query afterwards.
+fn assert_still_serving(db: &mut RecDb) {
+    let rows = db
+        .query("SELECT uid, iid, ratingval FROM ratings")
+        .expect("engine must keep serving after adversarial input");
+    assert!(!rows.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Token soup: random sequences of plausible SQL tokens.
+    #[test]
+    fn token_soup_never_panics(idx in proptest::collection::vec(0usize..TOKENS.len(), 0..24)) {
+        let sql: String = idx
+            .iter()
+            .map(|&i| TOKENS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let mut db = db_with_table();
+        let _ = db.execute(&sql); // Ok or Err — both fine, panics are not
+        assert_still_serving(&mut db);
+    }
+
+    /// Deeply nested expressions (parens, NOT chains, unary minus) are
+    /// rejected by the parser's depth limit instead of overflowing the
+    /// stack.
+    #[test]
+    fn deep_nesting_is_an_error_not_a_crash(depth in 200usize..3000, kind in 0u8..3) {
+        let expr = match kind {
+            0 => format!("{}1{}", "(".repeat(depth), ")".repeat(depth)),
+            1 => format!("{}ratingval > 1", "NOT ".repeat(depth)),
+            _ => format!("{}ratingval", "-".repeat(depth)),
+        };
+        let sql = format!("SELECT uid FROM ratings WHERE {expr}");
+        let mut db = db_with_table();
+        match db.query(&sql) {
+            Err(EngineError::Parse(_)) => {}
+            other => return Err(format!("expected Parse error, got {other:?}")),
+        }
+        assert_still_serving(&mut db);
+    }
+
+    /// LIMIT extremes: zero, huge, and values far beyond the row count.
+    #[test]
+    fn limit_extremes_are_handled(limit in prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::from(u32::MAX)),
+        Just(u64::MAX),
+        1u64..1000,
+    ]) {
+        let mut db = db_with_table();
+        let result = db.query(&format!(
+            "SELECT uid FROM ratings ORDER BY ratingval DESC LIMIT {limit}"
+        ));
+        match result {
+            Ok(rows) => prop_assert!(rows.len() as u64 <= limit.min(4)),
+            Err(EngineError::Parse(_)) => {} // an out-of-range literal is a parse error
+            Err(other) => return Err(format!("unexpected error: {other:?}")),
+        }
+        assert_still_serving(&mut db);
+    }
+
+    /// Queries against empty or dropped tables return rows or a clean
+    /// error; a recommender over an empty table must not divide by zero.
+    #[test]
+    fn empty_and_dropped_tables_do_not_panic(case in 0u8..4) {
+        let mut db = RecDb::new();
+        db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)")
+            .expect("create table");
+        match case {
+            0 => {
+                let rows = db.query("SELECT uid FROM ratings").expect("empty scan");
+                prop_assert_eq!(rows.len(), 0);
+            }
+            1 => {
+                // Recommender over zero ratings.
+                let _ = db.execute(
+                    "CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid \
+                     RATINGS FROM ratingval USING ItemCosCF",
+                );
+                let _ = db.query(
+                    "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+                     RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                     WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 5",
+                );
+            }
+            2 => {
+                db.execute("DROP TABLE ratings").expect("drop");
+                prop_assert!(db.query("SELECT uid FROM ratings").is_err());
+            }
+            _ => {
+                db.execute("DROP TABLE ratings").expect("drop");
+                prop_assert!(db
+                    .execute("INSERT INTO ratings VALUES (1, 1, 1.0)")
+                    .is_err());
+            }
+        }
+        // Whatever happened, fresh DDL still works.
+        db.execute("CREATE TABLE t2 (a INT)").expect("ddl after abuse");
+    }
+
+    /// Mutating statements with hostile fragments: either apply cleanly
+    /// or error; row counts stay coherent.
+    #[test]
+    fn hostile_mutations_keep_counts_coherent(
+        uid in -5i64..5,
+        cmp_idx in 0usize..4,
+        lim in 0usize..6,
+    ) {
+        let cmp = ["=", "<>", "<", ">"][cmp_idx];
+        let mut db = db_with_table();
+        let before = db.query("SELECT uid FROM ratings").expect("count").len();
+        let deleted = match db.execute(&format!("DELETE FROM ratings WHERE uid {cmp} {uid}")) {
+            Ok(recdb::core::QueryResult::Deleted(n)) => n,
+            Ok(_) => 0,
+            Err(_) => 0,
+        };
+        prop_assert!(deleted <= before);
+        let after = db.query("SELECT uid FROM ratings").expect("count").len();
+        prop_assert_eq!(after, before - deleted);
+        // A LIMIT on the remaining rows never exceeds them.
+        let rows = db
+            .query(&format!("SELECT uid FROM ratings LIMIT {lim}"))
+            .expect("limited scan");
+        prop_assert!(rows.len() <= lim.min(after));
+    }
+}

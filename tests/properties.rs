@@ -52,6 +52,7 @@ fn run_naive_and_optimized(db: &RecDb, sql: &str) -> (ResultSet, ResultSet) {
     let ctx = ExecContext {
         catalog: db.catalog(),
         provider: db,
+        guard: recdb::guard::QueryGuard::unlimited(),
     };
     let naive = build_logical(&select, db.catalog()).unwrap();
     let optimized = optimize(build_logical(&select, db.catalog()).unwrap());
@@ -293,7 +294,7 @@ proptest! {
             keys.into_iter().enumerate().map(|(i, v)| (v, i)).collect();
         let got = recdb::algo::top_k_by(items.clone(), k, |a, b| a.0.cmp(&b.0));
         let mut want = items;
-        want.sort_by(|a, b| a.0.cmp(&b.0));
+        want.sort_by_key(|a| a.0);
         want.truncate(k);
         prop_assert_eq!(got, want);
     }

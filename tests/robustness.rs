@@ -1,0 +1,360 @@
+//! Robustness acceptance tests: resource governance, cancellation,
+//! panic containment, and deterministic fault injection, all driven
+//! through the public [`RecDb`] SQL surface.
+//!
+//! Every test that arms a fault site holds [`recdb::fault::exclusive`]
+//! for its whole body and clears the registry on entry and exit — the
+//! registry is process-global and the test harness runs in parallel.
+
+use recdb::core::{EngineError, GovernorConfig, QueryGuard, RecDb, RecDbConfig};
+use recdb::exec::ExecError;
+use recdb::fault;
+use std::time::Duration;
+
+const RECOMMEND_SQL: &str = "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+     RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+     WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 5";
+
+const CREATE_REC_SQL: &str = "CREATE RECOMMENDER MovieRec ON ratings \
+     USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF";
+
+/// A deterministic ratings table: 6 users × 8 items, one gap per user so
+/// every user has something left to recommend.
+fn seed_ratings(db: &mut RecDb) {
+    db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)")
+        .expect("create table");
+    let mut rows = Vec::new();
+    for uid in 1..=6i64 {
+        for iid in 1..=8i64 {
+            if (uid + iid) % 7 == 0 {
+                continue; // leave unrated items to recommend
+            }
+            let rating = 1.0 + ((uid * 3 + iid * 5) % 9) as f64 / 2.0;
+            rows.push(format!("({uid}, {iid}, {rating:.1})"));
+        }
+    }
+    let sql = format!("INSERT INTO ratings VALUES {}", rows.join(", "));
+    db.execute(&sql).expect("seed inserts");
+}
+
+fn seeded_db() -> RecDb {
+    let mut db = RecDb::new();
+    seed_ratings(&mut db);
+    db
+}
+
+fn ratings_count(db: &mut RecDb) -> usize {
+    db.query("SELECT uid FROM ratings")
+        .expect("count query")
+        .len()
+}
+
+// ---------------------------------------------------------------------
+// Governor: deadlines, budgets, cancellation
+// ---------------------------------------------------------------------
+
+/// ISSUE acceptance: a RECOMMEND query issued with an already-expired
+/// deadline returns `Cancelled` — it neither hangs nor panics.
+#[test]
+fn zero_deadline_recommend_is_cancelled() {
+    let mut db = seeded_db();
+    db.execute(CREATE_REC_SQL).expect("create recommender");
+    let guard = QueryGuard::with_limits(Some(Duration::ZERO), None, None);
+    match db.query_with_guard(RECOMMEND_SQL, guard) {
+        Err(EngineError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // The engine keeps serving after the cancellation.
+    assert!(!db
+        .query(RECOMMEND_SQL)
+        .expect("ungoverned retry")
+        .is_empty());
+}
+
+/// A zero deadline also stops plain scans and model builds.
+#[test]
+fn zero_deadline_stops_scans_and_builds() {
+    let mut db = seeded_db();
+    let expired = || QueryGuard::with_limits(Some(Duration::ZERO), None, None);
+    match db.query_with_guard("SELECT uid FROM ratings", expired()) {
+        Err(EngineError::Cancelled { .. }) => {}
+        other => panic!("scan: expected Cancelled, got {other:?}"),
+    }
+    match db.execute_with_guard(CREATE_REC_SQL, expired()) {
+        Err(EngineError::Cancelled { .. }) => {}
+        other => panic!("build: expected Cancelled, got {other:?}"),
+    }
+    // The cancelled build must not have registered a recommender.
+    assert!(db.recommender("MovieRec").is_none());
+    db.execute(CREATE_REC_SQL)
+        .expect("unlimited build succeeds");
+}
+
+#[test]
+fn row_budget_trips_resource_exhausted() {
+    let mut db = seeded_db();
+    let guard = QueryGuard::with_limits(None, Some(3), None);
+    match db.query_with_guard("SELECT uid FROM ratings", guard) {
+        Err(EngineError::ResourceExhausted {
+            resource: "rows",
+            budget: 3,
+            ..
+        }) => {}
+        other => panic!("expected rows ResourceExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn mem_budget_trips_on_sort_buffering() {
+    let mut db = seeded_db();
+    let guard = QueryGuard::with_limits(None, None, Some(16));
+    match db.query_with_guard("SELECT uid FROM ratings ORDER BY ratingval DESC", guard) {
+        Err(EngineError::ResourceExhausted {
+            resource: "memory", ..
+        }) => {}
+        other => panic!("expected memory ResourceExhausted, got {other:?}"),
+    }
+}
+
+/// Engine-wide defaults from `RecDbConfig.governor` apply to plain
+/// `query()` calls with no per-call guard.
+#[test]
+fn config_level_row_budget_governs_plain_queries() {
+    let config = RecDbConfig {
+        governor: GovernorConfig {
+            row_budget: Some(4),
+            ..GovernorConfig::default()
+        },
+        ..RecDbConfig::default()
+    };
+    let mut db = RecDb::with_config(config);
+    seed_ratings(&mut db); // DDL + INSERT charge no row work
+    match db.query("SELECT uid FROM ratings") {
+        Err(EngineError::ResourceExhausted {
+            resource: "rows", ..
+        }) => {}
+        other => panic!("expected rows ResourceExhausted, got {other:?}"),
+    }
+}
+
+/// A cancel handle flipped from another thread stops the statement.
+#[test]
+fn cross_thread_cancel_stops_statement() {
+    let mut db = seeded_db();
+    let guard = QueryGuard::unlimited();
+    let handle = guard.cancel_handle();
+    std::thread::spawn(move || handle.cancel())
+        .join()
+        .expect("cancel thread");
+    match db.query_with_guard("SELECT uid FROM ratings", guard) {
+        Err(EngineError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: every site unwinds cleanly and the engine survives
+// ---------------------------------------------------------------------
+
+/// ISSUE acceptance: an injected fault in `core::materialize_worker`
+/// mid-`CREATE RECOMMENDER` fails the statement, leaves the engine
+/// serving and the catalog uncorrupted, and the retried CREATE succeeds
+/// (the site disarms on trigger, modelling a transient fault).
+#[test]
+fn faulted_create_recommender_is_atomic_and_retryable() {
+    let _gate = fault::exclusive();
+    fault::clear();
+    let mut db = seeded_db();
+    let rows_before = ratings_count(&mut db);
+
+    fault::arm_error("core::materialize_worker", 1);
+    match db.execute(CREATE_REC_SQL) {
+        Err(EngineError::Exec(ExecError::FaultInjected(e))) => {
+            assert_eq!(e.site, "core::materialize_worker");
+        }
+        other => panic!("expected FaultInjected, got {other:?}"),
+    }
+    assert_eq!(fault::triggered("core::materialize_worker"), 1);
+
+    // No half-built recommender was published and the catalog is intact.
+    assert!(db.recommender("MovieRec").is_none());
+    assert!(db.recommender_names().is_empty());
+    assert_eq!(ratings_count(&mut db), rows_before);
+
+    // The transient fault disarmed itself: the retry succeeds end to end.
+    db.execute(CREATE_REC_SQL).expect("retried CREATE succeeds");
+    assert!(db.recommender("MovieRec").is_some());
+    assert!(!db.query(RECOMMEND_SQL).expect("recommend").is_empty());
+    fault::clear();
+}
+
+/// A faulted *rebuild* (N% maintenance) keeps the previous model
+/// serving: the staged swap publishes nothing on failure.
+#[test]
+fn faulted_rebuild_keeps_previous_model_serving() {
+    let _gate = fault::exclusive();
+    fault::clear();
+    let config = RecDbConfig {
+        maintenance_threshold_pct: 1.0, // rebuild on nearly every insert
+        ..RecDbConfig::default()
+    };
+    let mut db = RecDb::with_config(config);
+    seed_ratings(&mut db);
+    db.execute(CREATE_REC_SQL).expect("create recommender");
+    let baseline = db.query(RECOMMEND_SQL).expect("baseline recommend");
+
+    fault::arm_error("core::materialize_worker", 1);
+    let maintained = db.execute("INSERT INTO ratings VALUES (1, 7, 4.5)");
+    assert!(maintained.is_err(), "maintenance should hit the fault");
+
+    // The old model still answers; the engine did not lose the
+    // recommender or corrupt its index.
+    assert!(db.recommender("MovieRec").is_some());
+    assert_eq!(
+        db.query(RECOMMEND_SQL)
+            .expect("recommend after fault")
+            .len(),
+        baseline.len()
+    );
+    // Disarmed: the next maintenance-triggering insert rebuilds fine.
+    db.execute("INSERT INTO ratings VALUES (2, 5, 3.5)")
+        .expect("rebuild after disarm");
+    fault::clear();
+}
+
+/// Error-mode faults at every site surface as `Err` through the public
+/// SQL API and leave the engine usable; the retry succeeds.
+#[test]
+fn every_fault_site_unwinds_cleanly() {
+    let _gate = fault::exclusive();
+    fault::clear();
+
+    // storage::heap_append — INSERT fails, then works once disarmed.
+    let mut db = seeded_db();
+    let before = ratings_count(&mut db);
+    fault::arm_error("storage::heap_append", 1);
+    assert!(db
+        .execute("INSERT INTO ratings VALUES (1, 7, 2.0)")
+        .is_err());
+    assert_eq!(ratings_count(&mut db), before);
+    db.execute("INSERT INTO ratings VALUES (1, 7, 2.0)")
+        .expect("insert after disarm");
+    assert_eq!(ratings_count(&mut db), before + 1);
+
+    // exec::sort_materialize — ORDER BY fails, then works.
+    fault::arm_error("exec::sort_materialize", 1);
+    assert!(db
+        .query("SELECT uid FROM ratings ORDER BY ratingval DESC")
+        .is_err());
+    db.query("SELECT uid FROM ratings ORDER BY ratingval DESC")
+        .expect("sort after disarm");
+
+    // algo::neighborhood_build — CF model build fails, then works.
+    fault::arm_error("algo::neighborhood_build", 1);
+    assert!(db.execute(CREATE_REC_SQL).is_err());
+    assert!(db.recommender("MovieRec").is_none());
+    db.execute(CREATE_REC_SQL).expect("CF build after disarm");
+
+    // algo::svd_epoch — SVD training fails mid-epoch, then works.
+    let create_svd = "CREATE RECOMMENDER SvdRec ON ratings USERS FROM uid \
+         ITEMS FROM iid RATINGS FROM ratingval USING SVD";
+    fault::arm_error("algo::svd_epoch", 2);
+    assert!(db.execute(create_svd).is_err());
+    assert!(db.recommender("SvdRec").is_none());
+    db.execute(create_svd).expect("SVD build after disarm");
+
+    fault::clear();
+}
+
+/// Panic-mode faults are contained at the engine boundary as
+/// `EngineError::Internal`; the engine keeps serving afterwards.
+#[test]
+fn panic_faults_are_contained_as_internal_errors() {
+    let _gate = fault::exclusive();
+    fault::clear();
+    let mut db = seeded_db();
+    let before = ratings_count(&mut db);
+
+    fault::arm_panic("storage::heap_append", 1);
+    match db.execute("INSERT INTO ratings VALUES (3, 8, 1.5)") {
+        Err(EngineError::Internal(msg)) => {
+            assert!(msg.contains("storage::heap_append"), "got: {msg}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    assert_eq!(ratings_count(&mut db), before, "engine still serving");
+
+    // A panic mid-build must not publish a recommender either.
+    fault::arm_panic("core::materialize_worker", 1);
+    match db.execute(CREATE_REC_SQL) {
+        Err(EngineError::Internal(_)) => {}
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    assert!(db.recommender("MovieRec").is_none());
+    db.execute(CREATE_REC_SQL)
+        .expect("create after panic fault");
+    assert!(!db.query(RECOMMEND_SQL).expect("recommend").is_empty());
+    fault::clear();
+}
+
+// ---------------------------------------------------------------------
+// Seeded sweep (CI matrix drives RECDB_FAULT_SEED over [1, 7, 42])
+// ---------------------------------------------------------------------
+
+const ALL_SITES: [&str; 5] = [
+    "storage::heap_append",
+    "core::materialize_worker",
+    "algo::svd_epoch",
+    "algo::neighborhood_build",
+    "exec::sort_materialize",
+];
+
+fn sweep_seed() -> u64 {
+    std::env::var("RECDB_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Run the full workload with one site armed at a seed-derived hit and
+/// prove that whatever fails, the engine ends the workload consistent.
+#[test]
+fn seeded_fault_sweep_never_corrupts_the_engine() {
+    let _gate = fault::exclusive();
+    let seed = sweep_seed();
+    for site in ALL_SITES {
+        fault::clear();
+        let mut db = seeded_db(); // seed before arming: faults target the workload
+        let nth = fault::schedule_nth(seed, site, 4);
+        fault::arm_error(site, nth);
+
+        // Each step may fail (depending on where the schedule lands) but
+        // must never panic or wedge the engine.
+        let _ = db.execute(CREATE_REC_SQL);
+        let _ = db.execute(
+            "CREATE RECOMMENDER SvdRec ON ratings USERS FROM uid \
+             ITEMS FROM iid RATINGS FROM ratingval USING SVD",
+        );
+        let _ = db.execute("INSERT INTO ratings VALUES (4, 3, 2.5)");
+        let _ = db.query("SELECT uid FROM ratings ORDER BY ratingval DESC");
+        let _ = db.query(RECOMMEND_SQL);
+
+        fault::clear();
+        // Post-sweep invariants: catalog answers, and a fresh build over
+        // the same (now fault-free) engine completes.
+        assert!(
+            ratings_count(&mut db) > 0,
+            "seed {seed} site {site}: catalog wedged"
+        );
+        if db.recommender("MovieRec").is_none() {
+            db.execute(CREATE_REC_SQL)
+                .unwrap_or_else(|e| panic!("seed {seed} site {site}: rebuild failed: {e}"));
+        }
+        assert!(
+            !db.query(RECOMMEND_SQL)
+                .unwrap_or_else(|e| panic!("seed {seed} site {site}: recommend failed: {e}"))
+                .is_empty(),
+            "seed {seed} site {site}: no recommendations"
+        );
+    }
+}

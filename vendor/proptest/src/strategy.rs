@@ -258,7 +258,7 @@ mod tests {
         let s = (0i64..10)
             .prop_map(|v| v * 2)
             .prop_filter("nonzero", |&v| v != 0)
-            .prop_flat_map(|v| (0i64..v.max(1)));
+            .prop_flat_map(|v| 0i64..v.max(1));
         for _ in 0..100 {
             let v = s.generate(&mut r);
             assert!((0..18).contains(&v));
