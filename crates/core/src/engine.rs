@@ -12,10 +12,18 @@ use recdb_exec::{
 };
 use recdb_guard::QueryGuard;
 use recdb_sql::{parse, parse_many, Expr, SelectStatement, Statement};
-use recdb_storage::{Catalog, DataType, Schema, Tuple};
+use recdb_storage::{
+    codec, read_snapshot, write_snapshot, Catalog, DataType, RecoveryMode, Schema, StorageError,
+    Tuple,
+};
+use recdb_wal::{Wal, WalRecord};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// WAL file name within a data directory.
+const WAL_FILE: &str = "wal.log";
 
 /// Default resource limits applied to every statement (and model build)
 /// the engine runs. `None` everywhere means ungoverned — the default.
@@ -43,7 +51,7 @@ impl GovernorConfig {
 }
 
 /// Engine-wide tunables.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RecDbConfig {
     /// The N% maintenance threshold (§III-A): rebuild a model once pending
     /// updates reach this percentage of the ratings it was built from.
@@ -64,6 +72,16 @@ pub struct RecDbConfig {
     /// Default per-statement resource limits (deadline, row budget,
     /// memory budget). Ungoverned by default.
     pub governor: GovernorConfig,
+    /// Directory for durable storage (WAL + checkpointed page files).
+    /// `None` (the default) keeps the engine fully in-memory. Durable
+    /// engines are constructed with [`RecDb::open`] /
+    /// [`RecDb::open_with_config`], which run crash recovery.
+    pub data_dir: Option<PathBuf>,
+    /// How recovery reacts to checksum failures in durable files:
+    /// abort-and-name-the-page ([`RecoveryMode::Strict`], the default) or
+    /// bring up everything that still verifies
+    /// ([`RecoveryMode::SalvageToLastGood`]).
+    pub recovery: RecoveryMode,
 }
 
 impl Default for RecDbConfig {
@@ -75,6 +93,8 @@ impl Default for RecDbConfig {
             auto_maintenance: true,
             build_threads: 0,
             governor: GovernorConfig::default(),
+            data_dir: None,
+            recovery: RecoveryMode::Strict,
         }
     }
 }
@@ -127,6 +147,33 @@ impl QueryResult {
     }
 }
 
+/// Durable-mode state: the data directory and its open write-ahead log.
+/// Present only on engines built via [`RecDb::open`] /
+/// [`RecDb::open_with_config`].
+///
+/// There is deliberately no `Drop` impl that flushes state: dropping a
+/// durable engine without calling [`RecDb::checkpoint`] is exactly a crash,
+/// and recovery must cope (the crash-matrix tests rely on this).
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+}
+
+/// A recommender's definition as persisted in the checkpoint metadata
+/// blob and in `CreateRecommender` WAL records. Models are derived state
+/// and are never logged; they are rebuilt from these definitions plus the
+/// recovered ratings rows.
+#[derive(Debug, Clone)]
+struct RecommenderDef {
+    name: String,
+    table: String,
+    users: String,
+    items: String,
+    ratings: String,
+    algorithm: String,
+}
+
 /// The engine: catalog + recommenders + executor behind a SQL interface.
 #[derive(Debug)]
 pub struct RecDb {
@@ -136,6 +183,7 @@ pub struct RecDb {
     /// Logical clock: one tick per executed statement. Drives the usage
     /// histograms deterministically.
     clock: u64,
+    durability: Option<Durability>,
 }
 
 impl Default for RecDb {
@@ -150,14 +198,221 @@ impl RecDb {
         RecDb::with_config(RecDbConfig::default())
     }
 
-    /// An empty engine with explicit configuration.
+    /// An empty in-memory engine with explicit configuration. For a
+    /// durable engine (`config.data_dir` set) use
+    /// [`RecDb::open_with_config`], which can fail and therefore returns a
+    /// `Result`.
     pub fn with_config(config: RecDbConfig) -> Self {
+        assert!(
+            config.data_dir.is_none(),
+            "RecDbConfig::data_dir requires RecDb::open_with_config (recovery can fail)"
+        );
         RecDb {
             catalog: Catalog::new(),
             recommenders: Vec::new(),
             config,
             clock: 0,
+            durability: None,
         }
+    }
+
+    /// Open (or create) a durable engine rooted at `dir` with default
+    /// configuration, running crash recovery: restore the latest
+    /// checkpoint, verify page checksums, replay the WAL tail, and rebuild
+    /// recommender models from the recovered ratings.
+    pub fn open(dir: impl Into<PathBuf>) -> EngineResult<Self> {
+        RecDb::open_with_config(RecDbConfig {
+            data_dir: Some(dir.into()),
+            ..RecDbConfig::default()
+        })
+    }
+
+    /// Open an engine with explicit configuration. With
+    /// `config.data_dir = None` this is just [`RecDb::with_config`];
+    /// otherwise it recovers durable state from the directory:
+    ///
+    /// 1. Restore the newest checkpoint (`catalog.meta` + page files),
+    ///    verifying every page checksum under `config.recovery`.
+    /// 2. Replay WAL records with LSN beyond the checkpoint through the
+    ///    same catalog paths the live engine uses, so replay reproduces
+    ///    identical record ids.
+    /// 3. Rebuild recommender models from their recovered definitions —
+    ///    models are derived state and are never logged.
+    pub fn open_with_config(config: RecDbConfig) -> EngineResult<Self> {
+        let Some(dir) = config.data_dir.clone() else {
+            return Ok(RecDb::with_config(config));
+        };
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| EngineError::Storage(StorageError::io("create data dir", e)))?;
+        let snapshot = read_snapshot(&dir, config.recovery).map_err(corruption_to_engine)?;
+        let (catalog, meta, checkpoint_lsn) = match snapshot {
+            Some(s) => (s.catalog, s.meta, s.lsn),
+            None => (Catalog::new(), Vec::new(), 0),
+        };
+        let mut defs = decode_recommender_meta(&meta)?;
+        let opened = Wal::open(&dir.join(WAL_FILE), checkpoint_lsn)?;
+        let salvage = matches!(config.recovery, RecoveryMode::SalvageToLastGood);
+        let mut db = RecDb {
+            catalog,
+            recommenders: Vec::new(),
+            config,
+            clock: 0,
+            durability: None,
+        };
+        for (lsn, record) in opened.records {
+            if lsn <= checkpoint_lsn {
+                // Already reflected in the restored pages.
+                continue;
+            }
+            db.clock += 1;
+            match db.replay_record(record, &mut defs) {
+                Ok(()) => {}
+                // Salvaged (blanked) pages make previously valid record
+                // ids dangle; in salvage mode those redo ops are skipped.
+                Err(EngineError::Storage(StorageError::InvalidRid { .. })) if salvage => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for def in defs {
+            let algorithm: Algorithm = def
+                .algorithm
+                .parse()
+                .map_err(|_| recdb_exec::ExecError::UnknownAlgorithm(def.algorithm.clone()))?;
+            let rec = Recommender::create(
+                &def.name,
+                &db.catalog,
+                &def.table,
+                &def.users,
+                &def.items,
+                &def.ratings,
+                algorithm,
+                db.config.train,
+                db.config.hotness_threshold,
+                db.clock,
+            )?;
+            db.recommenders.push(rec);
+        }
+        db.durability = Some(Durability {
+            dir,
+            wal: opened.wal,
+        });
+        Ok(db)
+    }
+
+    /// Whether this engine persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The data directory, for durable engines.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Snapshot all heap pages and catalog/recommender metadata to the
+    /// data directory, then prune the WAL records the snapshot covers.
+    /// A no-op for in-memory engines.
+    pub fn checkpoint(&mut self) -> EngineResult<()> {
+        let RecDb {
+            catalog,
+            recommenders,
+            durability,
+            ..
+        } = self;
+        let Some(dur) = durability else {
+            return Ok(());
+        };
+        let meta = encode_recommender_meta(recommenders);
+        let lsn = dur.wal.last_lsn();
+        write_snapshot(&dur.dir, catalog, &meta, lsn)?;
+        dur.wal.prune(lsn)?;
+        Ok(())
+    }
+
+    /// Append `record` to the WAL and fsync. Called *after* the in-memory
+    /// mutation succeeds; the statement only reports success once the
+    /// record is durable. No-op for in-memory engines.
+    fn log_and_commit(&mut self, record: WalRecord) -> EngineResult<()> {
+        let Some(dur) = &mut self.durability else {
+            return Ok(());
+        };
+        dur.wal.append(&record)?;
+        dur.wal.commit()?;
+        Ok(())
+    }
+
+    /// Redo one WAL record during recovery. Uses the same catalog entry
+    /// points as the live engine (so heap appends land on the same record
+    /// ids), but skips logging, recommender statistics, and maintenance —
+    /// models are rebuilt once, after the whole tail is replayed.
+    fn replay_record(
+        &mut self,
+        record: WalRecord,
+        defs: &mut Vec<RecommenderDef>,
+    ) -> EngineResult<()> {
+        match record {
+            WalRecord::CreateTable { name, schema } => {
+                self.catalog.create_table(&name, schema)?;
+            }
+            WalRecord::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                defs.retain(|d| !d.table.eq_ignore_ascii_case(&name));
+            }
+            WalRecord::Insert { table, tuples } => {
+                let t = self.catalog.table_mut(&table)?;
+                for tuple in tuples {
+                    t.insert(tuple)?;
+                }
+            }
+            WalRecord::Delete { table, rids } => {
+                let t = self.catalog.table_mut(&table)?;
+                for rid in rids {
+                    t.delete(rid)?;
+                }
+            }
+            WalRecord::Update { table, changes } => {
+                let t = self.catalog.table_mut(&table)?;
+                for (rid, tuple) in changes {
+                    t.delete(rid)?;
+                    t.insert(tuple)?;
+                }
+            }
+            WalRecord::CreateIndex {
+                table,
+                index,
+                columns,
+            } => {
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                self.catalog
+                    .table_mut(&table)?
+                    .create_index(&index, &cols)?;
+            }
+            WalRecord::DropIndex { table, index } => {
+                self.catalog.table_mut(&table)?.drop_index(&index)?;
+            }
+            WalRecord::CreateRecommender {
+                name,
+                table,
+                users,
+                items,
+                ratings,
+                algorithm,
+            } => {
+                defs.retain(|d| !d.name.eq_ignore_ascii_case(&name));
+                defs.push(RecommenderDef {
+                    name,
+                    table,
+                    users,
+                    items,
+                    ratings,
+                    algorithm,
+                });
+            }
+            WalRecord::DropRecommender { name } => {
+                defs.retain(|d| !d.name.eq_ignore_ascii_case(&name));
+            }
+        }
+        Ok(())
     }
 
     /// The table catalog.
@@ -285,7 +540,11 @@ impl RecDb {
                         .map(|c| Ok((c.name.as_str(), map_type(&c.type_name)?)))
                         .collect::<EngineResult<Vec<_>>>()?,
                 );
-                self.catalog.create_table(&name, schema)?;
+                self.catalog.create_table(&name, schema.clone())?;
+                self.log_and_commit(WalRecord::CreateTable {
+                    name: name.to_ascii_lowercase(),
+                    schema,
+                })?;
                 Ok(QueryResult::TableCreated(name))
             }
             Statement::DropTable { name } => {
@@ -293,6 +552,9 @@ impl RecDb {
                 // Recommenders created on the table are dropped with it.
                 self.recommenders
                     .retain(|r| !r.ratings_table().eq_ignore_ascii_case(&name));
+                self.log_and_commit(WalRecord::DropTable {
+                    name: name.to_ascii_lowercase(),
+                })?;
                 Ok(QueryResult::TableDropped(name))
             }
             Statement::Insert { table, rows } => {
@@ -331,7 +593,16 @@ impl RecDb {
                     Some(guard),
                 )?;
                 let build_time = rec.build_time();
+                let log_record = WalRecord::CreateRecommender {
+                    name: rec.name().to_owned(),
+                    table: rec.ratings_table().to_owned(),
+                    users: rec.users_column().to_owned(),
+                    items: rec.items_column().to_owned(),
+                    ratings: rec.ratings_column().to_owned(),
+                    algorithm: rec.algorithm().name().to_owned(),
+                };
                 self.recommenders.push(rec);
+                self.log_and_commit(log_record)?;
                 Ok(QueryResult::RecommenderCreated { name, build_time })
             }
             Statement::DropRecommender { name } => {
@@ -341,6 +612,9 @@ impl RecDb {
                 if self.recommenders.len() == before {
                     return Err(EngineError::RecommenderNotFound(name));
                 }
+                self.log_and_commit(WalRecord::DropRecommender {
+                    name: name.to_ascii_lowercase(),
+                })?;
                 Ok(QueryResult::RecommenderDropped(name))
             }
             Statement::CreateIndex {
@@ -350,10 +624,19 @@ impl RecDb {
             } => {
                 let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
                 self.catalog.table_mut(&table)?.create_index(&name, &cols)?;
+                self.log_and_commit(WalRecord::CreateIndex {
+                    table: table.to_ascii_lowercase(),
+                    index: name.clone(),
+                    columns,
+                })?;
                 Ok(QueryResult::IndexCreated(name))
             }
             Statement::DropIndex { name, table } => {
                 self.catalog.table_mut(&table)?.drop_index(&name)?;
+                self.log_and_commit(WalRecord::DropIndex {
+                    table: table.to_ascii_lowercase(),
+                    index: name.clone(),
+                })?;
                 Ok(QueryResult::IndexDropped(name))
             }
             Statement::Explain(select) => {
@@ -422,12 +705,17 @@ impl RecDb {
                 t.delete(*rid)?;
             }
         }
+        let n = rids.len();
+        self.log_and_commit(WalRecord::Delete {
+            table: table.to_ascii_lowercase(),
+            rids,
+        })?;
         let now = self.clock;
         for (k, item) in touched_items {
             self.recommenders[k].record_insert(item, now);
         }
         self.run_auto_maintenance(table, guard)?;
-        Ok(rids.len())
+        Ok(n)
     }
 
     /// Rewrite rows matching `filter` with the SET assignments applied.
@@ -475,17 +763,22 @@ impl RecDb {
         };
         {
             let t = self.catalog.table_mut(table)?;
-            for (rid, new_tuple) in rids.iter().zip(new_tuples) {
+            for (rid, new_tuple) in rids.iter().zip(&new_tuples) {
                 t.delete(*rid)?;
-                t.insert(new_tuple)?;
+                t.insert(new_tuple.clone())?;
             }
         }
+        let n = rids.len();
+        self.log_and_commit(WalRecord::Update {
+            table: table.to_ascii_lowercase(),
+            changes: rids.into_iter().zip(new_tuples).collect(),
+        })?;
         let now = self.clock;
         for (k, item) in touched_items {
             self.recommenders[k].record_insert(item, now);
         }
         self.run_auto_maintenance(table, guard)?;
-        Ok(rids.len())
+        Ok(n)
     }
 
     /// `(recommender index, item-column ordinal)` pairs for recommenders
@@ -555,6 +848,10 @@ impl RecDb {
                 t.insert(tuple.clone())?;
             }
         }
+        self.log_and_commit(WalRecord::Insert {
+            table: table.to_ascii_lowercase(),
+            tuples,
+        })?;
         self.run_auto_maintenance(table, guard)?;
         Ok(n)
     }
@@ -674,6 +971,60 @@ fn find_recommend(plan: &LogicalPlan) -> Option<&recdb_exec::plan::RecommendNode
         }
         LogicalPlan::Scan { .. } => None,
     }
+}
+
+/// Map a checksum failure in a durable file to an [`EngineError`] naming
+/// the affected table (page files are named `<table>.<lsn>.tbl`; anything
+/// else is the catalog manifest itself).
+fn corruption_to_engine(e: StorageError) -> EngineError {
+    match &e {
+        StorageError::Corruption { file, .. } => {
+            let table = match file.split_once('.') {
+                Some((table, _)) if file.ends_with(".tbl") => table.to_owned(),
+                _ => "catalog".to_owned(),
+            };
+            EngineError::Corruption { table, source: e }
+        }
+        _ => EngineError::Storage(e),
+    }
+}
+
+/// Serialize recommender definitions into the checkpoint's opaque
+/// metadata blob: a count followed by six strings per definition.
+fn encode_recommender_meta(recommenders: &[Recommender]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u32(&mut buf, recommenders.len() as u32);
+    for r in recommenders {
+        codec::put_str(&mut buf, r.name());
+        codec::put_str(&mut buf, r.ratings_table());
+        codec::put_str(&mut buf, r.users_column());
+        codec::put_str(&mut buf, r.items_column());
+        codec::put_str(&mut buf, r.ratings_column());
+        codec::put_str(&mut buf, r.algorithm().name());
+    }
+    buf
+}
+
+/// Inverse of [`encode_recommender_meta`]. An empty blob (fresh database,
+/// or a pre-recommender checkpoint) decodes to no definitions.
+fn decode_recommender_meta(bytes: &[u8]) -> EngineResult<Vec<RecommenderDef>> {
+    if bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut r = recdb_storage::Reader::new(bytes, "recommender metadata");
+    let count = r.take_u32()? as usize;
+    let mut defs = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        defs.push(RecommenderDef {
+            name: r.take_str()?,
+            table: r.take_str()?,
+            users: r.take_str()?,
+            items: r.take_str()?,
+            ratings: r.take_str()?,
+            algorithm: r.take_str()?,
+        });
+    }
+    Ok(defs)
 }
 
 /// Map a SQL type name to a [`DataType`], with common synonyms.

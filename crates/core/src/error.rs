@@ -4,6 +4,7 @@ use recdb_exec::ExecError;
 use recdb_guard::GuardError;
 use recdb_sql::ParseError;
 use recdb_storage::StorageError;
+use recdb_wal::WalError;
 use std::fmt;
 use std::time::Duration;
 
@@ -19,6 +20,17 @@ pub enum EngineError {
     Exec(ExecError),
     /// A storage operation failed.
     Storage(StorageError),
+    /// A durable file failed its checksum during recovery. `table` names
+    /// the affected relation (or `"catalog"` for the manifest itself); the
+    /// wrapped [`StorageError::Corruption`] pinpoints the file and page.
+    Corruption {
+        /// The table whose data is damaged.
+        table: String,
+        /// The underlying checksum failure.
+        source: StorageError,
+    },
+    /// A write-ahead-log operation failed.
+    Wal(WalError),
     /// A recommender with this name already exists.
     RecommenderExists(String),
     /// No recommender with this name exists.
@@ -52,6 +64,10 @@ impl fmt::Display for EngineError {
             EngineError::Parse(e) => write!(f, "parse error: {e}"),
             EngineError::Exec(e) => write!(f, "{e}"),
             EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Corruption { table, source } => {
+                write!(f, "corruption detected in table `{table}`: {source}")
+            }
+            EngineError::Wal(e) => write!(f, "write-ahead log failure: {e}"),
             EngineError::RecommenderExists(name) => {
                 write!(f, "recommender `{name}` already exists")
             }
@@ -87,6 +103,8 @@ impl std::error::Error for EngineError {
             EngineError::Parse(e) => Some(e),
             EngineError::Exec(e) => Some(e),
             EngineError::Storage(e) => Some(e),
+            EngineError::Corruption { source, .. } => Some(source),
+            EngineError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -127,6 +145,12 @@ impl From<GuardError> for EngineError {
                 used,
             },
         }
+    }
+}
+
+impl From<WalError> for EngineError {
+    fn from(e: WalError) -> Self {
+        EngineError::Wal(e)
     }
 }
 
@@ -179,6 +203,39 @@ mod tests {
         let e = EngineError::Internal("operator panicked".into());
         assert!(e.to_string().contains("panic"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn corruption_display_and_source_chain() {
+        // The operator-facing story: the engine error names the table, its
+        // source names the exact file and page, and the chain is walkable.
+        let source = StorageError::Corruption {
+            file: "ratings.7.tbl".into(),
+            page: 3,
+            expected: 0xDEAD_BEEF,
+            found: 0x0BAD_F00D,
+        };
+        let e = EngineError::Corruption {
+            table: "ratings".into(),
+            source: source.clone(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`ratings`"), "{msg}");
+        assert!(msg.contains("ratings.7.tbl"), "{msg}");
+        assert!(msg.contains("page 3"), "{msg}");
+        let chained = std::error::Error::source(&e).expect("Corruption chains its cause");
+        assert_eq!(chained.to_string(), source.to_string());
+        assert!(chained.source().is_none(), "StorageError is the root");
+
+        let wal = EngineError::Wal(WalError::Corrupt {
+            offset: 64,
+            reason: "bad checksum".into(),
+        });
+        assert!(wal.to_string().contains("write-ahead log"));
+        assert!(std::error::Error::source(&wal)
+            .expect("Wal chains its cause")
+            .to_string()
+            .contains("byte 64"));
     }
 
     #[test]

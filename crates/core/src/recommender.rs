@@ -152,6 +152,11 @@ impl Recommender {
         &self.items_column
     }
 
+    /// The ratings-value column name.
+    pub fn ratings_column(&self) -> &str {
+        &self.ratings_column
+    }
+
     /// The algorithm from USING.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm

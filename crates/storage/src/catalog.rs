@@ -45,6 +45,12 @@ impl Table {
         &self.heap
     }
 
+    /// Mutable heap access, reserved for the crate-internal recovery path
+    /// (checkpoint restore installs pages directly).
+    pub(crate) fn heap_mut(&mut self) -> &mut HeapTable {
+        &mut self.heap
+    }
+
     /// Number of live tuples.
     pub fn tuple_count(&self) -> u64 {
         self.heap.tuple_count()
@@ -215,6 +221,17 @@ impl Catalog {
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate every table in name order (checkpoint writer).
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Iterate every table mutably in name order (checkpoint writer:
+    /// draining dirty-page sets after a successful snapshot).
+    pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut Table> {
+        self.tables.values_mut()
     }
 }
 

@@ -34,9 +34,41 @@ pub enum StorageError {
     IndexNotFound(String),
     /// A page's binary content could not be decoded.
     Corrupt(String),
+    /// An on-disk page block failed its checksum: the stored CRC
+    /// (`expected`) disagrees with the CRC of the bytes actually read
+    /// (`found`). Fields name the file and page so operators know exactly
+    /// which block to salvage or restore.
+    Corruption {
+        /// File the bad block lives in (e.g. `ratings.7.tbl`).
+        file: String,
+        /// Page number within the file.
+        page: u32,
+        /// Checksum recorded in the block header.
+        expected: u32,
+        /// Checksum of the bytes as read.
+        found: u32,
+    },
+    /// A filesystem operation failed (durable backend only). Carries the
+    /// operation name and the OS error text.
+    Io {
+        /// What was being attempted (`"open"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The OS error, stringified (keeps the type `Clone + Eq`).
+        message: String,
+    },
     /// A deterministic fault-injection site fired (tests only; see
     /// the `recdb-fault` crate).
     FaultInjected(String),
+}
+
+impl StorageError {
+    /// Wrap a [`std::io::Error`] with the operation that failed.
+    pub fn io(op: &'static str, e: std::io::Error) -> Self {
+        StorageError::Io {
+            op,
+            message: e.to_string(),
+        }
+    }
 }
 
 impl From<recdb_fault::FaultError> for StorageError {
@@ -80,6 +112,17 @@ impl fmt::Display for StorageError {
             StorageError::IndexExists(name) => write!(f, "index `{name}` already exists"),
             StorageError::IndexNotFound(name) => write!(f, "index `{name}` does not exist"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            StorageError::Corruption {
+                file,
+                page,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch in `{file}` page {page}: \
+                 header says {expected:#010x}, block hashes to {found:#010x}"
+            ),
+            StorageError::Io { op, message } => write!(f, "I/O error during {op}: {message}"),
             StorageError::FaultInjected(site) => {
                 write!(f, "injected fault at site `{site}`")
             }

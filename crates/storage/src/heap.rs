@@ -13,6 +13,7 @@ use crate::schema::Schema;
 use crate::stats::IoStats;
 use crate::tuple::Tuple;
 use crate::value::{DataType, Value};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Record id: (page number, slot number).
@@ -38,6 +39,9 @@ pub struct HeapTable {
     pages: Vec<Page>,
     live_tuples: u64,
     stats: Arc<IoStats>,
+    /// Pages mutated since the last [`HeapTable::take_dirty_pages`] —
+    /// the checkpointer's change detector.
+    dirty: BTreeSet<u32>,
 }
 
 impl HeapTable {
@@ -48,6 +52,7 @@ impl HeapTable {
             pages: Vec::new(),
             live_tuples: 0,
             stats: Arc::new(IoStats::new()),
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -59,6 +64,7 @@ impl HeapTable {
             pages: Vec::new(),
             live_tuples: 0,
             stats,
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -132,6 +138,7 @@ impl HeapTable {
             .ok_or_else(|| StorageError::Corrupt("heap has no pages after append".into()))?;
         let slot = page.insert(&tuple)?;
         self.live_tuples += 1;
+        self.dirty.insert(page_no);
         self.stats.record_page_writes(1);
         self.stats.record_tuple_writes(1);
         Ok(Rid::new(page_no, slot))
@@ -177,6 +184,7 @@ impl HeapTable {
                 slot: rid.slot,
             })?;
         self.live_tuples -= 1;
+        self.dirty.insert(rid.page);
         self.stats.record_page_writes(1);
         Ok(())
     }
@@ -184,8 +192,36 @@ impl HeapTable {
     /// Remove every tuple, keeping the schema. Used by OnTopDB when it
     /// reloads its predictions table.
     pub fn truncate(&mut self) {
+        for pno in 0..self.pages.len() {
+            self.dirty.insert(pno as u32);
+        }
         self.pages.clear();
         self.live_tuples = 0;
+    }
+
+    /// The raw pages, in page-number order (checkpoint writer).
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Replace the heap contents with pages recovered from disk,
+    /// recomputing the live-tuple count. The restored state counts as
+    /// clean: it is exactly what the checkpoint holds.
+    pub fn restore_pages(&mut self, pages: Vec<Page>) {
+        self.live_tuples = pages.iter().map(|p| p.live_count() as u64).sum();
+        self.pages = pages;
+        self.dirty.clear();
+    }
+
+    /// Whether any page changed since the last checkpoint.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Drain the dirty-page set (called once the checkpointer has written
+    /// a consistent image of this heap).
+    pub fn take_dirty_pages(&mut self) -> BTreeSet<u32> {
+        std::mem::take(&mut self.dirty)
     }
 
     /// Full scan, tuple at a time. Charges one page read per page visited.

@@ -26,20 +26,26 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod catalog;
+pub mod checksum;
+pub mod codec;
 pub mod error;
 pub mod heap;
 pub mod index;
 pub mod page;
+pub mod pagefile;
 pub mod schema;
 pub mod stats;
 pub mod tuple;
 pub mod value;
 
 pub use catalog::{Catalog, Table};
+pub use checksum::crc32;
+pub use codec::Reader;
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapTable, Rid};
 pub use index::BTreeIndex;
-pub use page::{Page, PAGE_SIZE};
+pub use page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use pagefile::{read_snapshot, write_snapshot, RecoveryMode, Snapshot};
 pub use schema::{Column, Schema};
 pub use stats::IoStats;
 pub use tuple::Tuple;

@@ -25,6 +25,34 @@ pub enum DataType {
     Rect,
 }
 
+impl DataType {
+    /// The stable one-byte tag used by every durable format (page blocks,
+    /// manifests, WAL records). Matches the tuple-encoding value tags.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            DataType::Int => 1,
+            DataType::Float => 2,
+            DataType::Text => 3,
+            DataType::Bool => 4,
+            DataType::Point => 5,
+            DataType::Rect => 6,
+        }
+    }
+
+    /// Inverse of [`DataType::to_tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<DataType> {
+        Some(match tag {
+            1 => DataType::Int,
+            2 => DataType::Float,
+            3 => DataType::Text,
+            4 => DataType::Bool,
+            5 => DataType::Point,
+            6 => DataType::Rect,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

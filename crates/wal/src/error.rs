@@ -1,0 +1,86 @@
+//! WAL error type.
+
+use std::fmt;
+
+/// Result alias for WAL operations.
+pub type WalResult<T> = Result<T, WalError>;
+
+/// Errors raised by the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// A filesystem operation failed. Carries the operation name and the
+    /// OS error text (kept as a string so the type stays `Clone + Eq`).
+    Io {
+        /// What was being attempted (`"open"`, `"append"`, `"fsync"`, …).
+        op: &'static str,
+        /// The OS error, stringified.
+        message: String,
+    },
+    /// A deterministic fault-injection site fired (tests only).
+    Fault(String),
+    /// Log bytes that should decode did not — a mid-log frame with a bad
+    /// checksum or malformed payload. (A bad *tail* is not an error: open
+    /// truncates it as a torn write.)
+    Corrupt {
+        /// Byte offset of the bad frame within the log file.
+        offset: u64,
+        /// What failed to parse.
+        reason: String,
+    },
+}
+
+impl WalError {
+    /// Wrap a [`std::io::Error`] with the operation that failed.
+    pub fn io(op: &'static str, e: std::io::Error) -> Self {
+        WalError::Io {
+            op,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<recdb_fault::FaultError> for WalError {
+    fn from(e: recdb_fault::FaultError) -> Self {
+        WalError::Fault(e.site.to_string())
+    }
+}
+
+impl From<recdb_storage::StorageError> for WalError {
+    fn from(e: recdb_storage::StorageError) -> Self {
+        WalError::Corrupt {
+            offset: 0,
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { op, message } => write!(f, "wal I/O error during {op}: {message}"),
+            WalError::Fault(site) => write!(f, "injected fault at site `{site}`"),
+            WalError::Corrupt { offset, reason } => {
+                write!(f, "corrupt wal frame at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_operation_and_offset() {
+        let e = WalError::io("fsync", std::io::Error::other("disk on fire"));
+        assert!(e.to_string().contains("fsync"));
+        assert!(e.to_string().contains("disk on fire"));
+        let c = WalError::Corrupt {
+            offset: 512,
+            reason: "bad checksum".into(),
+        };
+        assert!(c.to_string().contains("512"));
+    }
+}

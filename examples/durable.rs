@@ -1,0 +1,78 @@
+//! Crash-safe durability walkthrough: open an engine on a data
+//! directory, load ratings and a recommender, "crash" (drop without a
+//! checkpoint), reopen, and show the same RECOMMEND answers come back —
+//! rows and recommender definitions from the WAL, the model rebuilt from
+//! the recovered ratings.
+//!
+//! Run with: `cargo run --example durable`
+
+use recdb::core::RecDb;
+
+const RECOMMEND: &str = "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+     RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+     WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 5";
+
+fn answers(db: &mut RecDb) -> Vec<String> {
+    let rows = db.query(RECOMMEND).expect("recommend");
+    (0..rows.len())
+        .map(|i| {
+            format!(
+                "item {} scored {}",
+                rows.value(i, "iid").expect("iid"),
+                rows.value(i, "ratingval").expect("ratingval")
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("recdb-durable-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Session 1: load data, train a recommender, then crash. -------
+    let before = {
+        let mut db = RecDb::open(&dir).expect("open durable engine");
+        println!("data dir: {}", db.data_dir().expect("durable").display());
+        db.execute_script(
+            "CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+             INSERT INTO ratings VALUES (1, 1, 1.5), (2, 2, 3.5), (2, 1, 4.5),
+                                        (2, 3, 2.0), (3, 2, 1.0), (3, 1, 2.0), (4, 2, 1.0);
+             CREATE RECOMMENDER GeneralRec ON ratings \
+             USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF;",
+        )
+        .expect("load + train");
+        let before = answers(&mut db);
+        println!("\nrecommendations for user 1 (before the crash):");
+        for line in &before {
+            println!("  {line}");
+        }
+        before
+        // `db` dropped here WITHOUT a checkpoint: that *is* the crash.
+        // Every acknowledged statement is already fsynced in the WAL.
+    };
+
+    // --- Session 2: recovery replays the log and rebuilds the model. ---
+    let mut db = RecDb::open(&dir).expect("reopen after crash");
+    println!(
+        "\nrecovered: {} ratings, recommenders = {:?}",
+        db.query("SELECT uid FROM ratings").expect("count").len(),
+        db.recommender_names(),
+    );
+    let after = answers(&mut db);
+    println!("recommendations for user 1 (after recovery):");
+    for line in &after {
+        println!("  {line}");
+    }
+    assert_eq!(before, after, "recovery must reproduce the same answers");
+    println!("\nsame answers before and after the crash ✓");
+
+    // A checkpoint snapshots the pages and prunes the log, so the next
+    // open skips replay entirely.
+    db.checkpoint().expect("checkpoint");
+    drop(db);
+    let mut db = RecDb::open(&dir).expect("reopen from checkpoint");
+    assert_eq!(answers(&mut db), before);
+    println!("checkpointed reopen matches too ✓");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

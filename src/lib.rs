@@ -7,6 +7,7 @@
 //! This façade crate re-exports the public API of every subsystem:
 //!
 //! * [`storage`] — slotted-page heaps, B-tree indexes, catalog, I/O stats
+//! * [`wal`] — checksummed append-only write-ahead log (crash durability)
 //! * [`algo`] — collaborative filtering + matrix factorization models
 //! * [`sql`] — the RecDB SQL dialect (`CREATE RECOMMENDER`, `RECOMMEND` clause)
 //! * [`exec`] — logical plans, optimizer, Volcano operators
@@ -45,3 +46,4 @@ pub use recdb_ontop as ontop;
 pub use recdb_spatial as spatial;
 pub use recdb_sql as sql;
 pub use recdb_storage as storage;
+pub use recdb_wal as wal;
