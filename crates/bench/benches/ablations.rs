@@ -43,11 +43,11 @@ fn bench_ablations(c: &mut Criterion) {
     let sel = select_of(&recdb_selectivity_sql(algo, &items));
     {
         let naive = build_logical(&sel, world.db.catalog()).unwrap();
-        let ctx = ExecContext {
-            catalog: world.db.catalog(),
-            provider: &world.db,
-            guard: recdb_core::QueryGuard::unlimited(),
-        };
+        let ctx = ExecContext::new(
+            world.db.catalog(),
+            &world.db,
+            recdb_core::QueryGuard::unlimited(),
+        );
         group.bench_function("pushdown/naive_recommend_then_filter", |b| {
             b.iter(|| execute_plan(&naive, &ctx).unwrap())
         });
@@ -60,11 +60,11 @@ fn bench_ablations(c: &mut Criterion) {
     // ---- join: hash join vs JoinRecommend ---------------------------
     let join_sel = select_of(&recdb_join1_sql(algo, user, "Action"));
     {
-        let ctx = ExecContext {
-            catalog: world.db.catalog(),
-            provider: &world.db,
-            guard: recdb_core::QueryGuard::unlimited(),
-        };
+        let ctx = ExecContext::new(
+            world.db.catalog(),
+            &world.db,
+            recdb_core::QueryGuard::unlimited(),
+        );
         let pushdown_only =
             optimize_pushdown_only(build_logical(&join_sel, world.db.catalog()).unwrap());
         group.bench_function("join/recommend_then_hash_join", |b| {

@@ -7,10 +7,11 @@ use recdb_algo::model::TrainConfig;
 use recdb_algo::Algorithm;
 use recdb_exec::expr::{bind, literal_value};
 use recdb_exec::{
-    build_logical, execute_plan, optimize, ExecContext, LogicalPlan, RecScoreIndex,
-    RecommenderProvider, ResultSet,
+    build_logical, execute_plan, execute_plan_profiled, optimize, ExecContext, LogicalPlan,
+    RecScoreIndex, RecommenderProvider, ResultSet,
 };
 use recdb_guard::QueryGuard;
+use recdb_obs::{Clock, MetricsSnapshot, Registry, SystemClock};
 use recdb_sql::{parse, parse_many, Expr, SelectStatement, Statement};
 use recdb_storage::{
     codec, read_snapshot, write_snapshot, Catalog, DataType, RecoveryMode, Schema, StorageError,
@@ -24,6 +25,10 @@ use std::time::Duration;
 
 /// WAL file name within a data directory.
 const WAL_FILE: &str = "wal.log";
+
+/// Bucket bounds (microseconds) for the per-algorithm model-build
+/// histogram: 100µs to 10s, one decade per bucket.
+const MODEL_BUILD_BUCKETS: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
 
 /// Default resource limits applied to every statement (and model build)
 /// the engine runs. `None` everywhere means ungoverned — the default.
@@ -82,6 +87,10 @@ pub struct RecDbConfig {
     /// bring up everything that still verifies
     /// ([`RecoveryMode::SalvageToLastGood`]).
     pub recovery: RecoveryMode,
+    /// Clock used by `EXPLAIN ANALYZE` profiling. `None` (the default)
+    /// uses the wall clock ([`SystemClock`]); tests inject a
+    /// [`recdb_obs::ManualClock`] for byte-stable timings.
+    pub profile_clock: Option<Arc<dyn Clock>>,
 }
 
 impl Default for RecDbConfig {
@@ -95,6 +104,7 @@ impl Default for RecDbConfig {
             governor: GovernorConfig::default(),
             data_dir: None,
             recovery: RecoveryMode::Strict,
+            profile_clock: None,
         }
     }
 }
@@ -184,6 +194,12 @@ pub struct RecDb {
     /// histograms deterministically.
     clock: u64,
     durability: Option<Durability>,
+    /// Engine-wide metric registry. Shared (`Arc`) so the WAL and the
+    /// executor record into the same cells.
+    metrics: Arc<Registry>,
+    /// Time source for `EXPLAIN ANALYZE` ([`RecDbConfig::profile_clock`]
+    /// or the wall clock).
+    wall: Arc<dyn Clock>,
 }
 
 impl Default for RecDb {
@@ -207,12 +223,15 @@ impl RecDb {
             config.data_dir.is_none(),
             "RecDbConfig::data_dir requires RecDb::open_with_config (recovery can fail)"
         );
+        let wall = profile_clock_or_wall(&config);
         RecDb {
             catalog: Catalog::new(),
             recommenders: Vec::new(),
             config,
             clock: 0,
             durability: None,
+            metrics: Arc::new(Registry::new()),
+            wall,
         }
     }
 
@@ -252,19 +271,29 @@ impl RecDb {
         let mut defs = decode_recommender_meta(&meta)?;
         let opened = Wal::open(&dir.join(WAL_FILE), checkpoint_lsn)?;
         let salvage = matches!(config.recovery, RecoveryMode::SalvageToLastGood);
+        let wall = profile_clock_or_wall(&config);
         let mut db = RecDb {
             catalog,
             recommenders: Vec::new(),
             config,
             clock: 0,
             durability: None,
+            metrics: Arc::new(Registry::new()),
+            wall,
         };
+        if let Some(bytes) = opened.truncated {
+            db.metrics
+                .counter("recdb_recovery_truncated_bytes_total")
+                .add(bytes);
+        }
+        let mut replayed = 0u64;
         for (lsn, record) in opened.records {
             if lsn <= checkpoint_lsn {
                 // Already reflected in the restored pages.
                 continue;
             }
             db.clock += 1;
+            replayed += 1;
             match db.replay_record(record, &mut defs) {
                 Ok(()) => {}
                 // Salvaged (blanked) pages make previously valid record
@@ -273,6 +302,9 @@ impl RecDb {
                 Err(e) => return Err(e),
             }
         }
+        db.metrics
+            .counter("recdb_recovery_replayed_records_total")
+            .add(replayed);
         for def in defs {
             let algorithm: Algorithm = def
                 .algorithm
@@ -292,10 +324,9 @@ impl RecDb {
             )?;
             db.recommenders.push(rec);
         }
-        db.durability = Some(Durability {
-            dir,
-            wal: opened.wal,
-        });
+        let mut wal = opened.wal;
+        wal.attach_metrics(Arc::clone(&db.metrics));
+        db.durability = Some(Durability { dir, wal });
         Ok(db)
     }
 
@@ -435,6 +466,23 @@ impl RecDb {
         self.clock
     }
 
+    /// The engine-wide metric registry (see `docs/OBSERVABILITY.md` for
+    /// the catalog). Shareable: clone the `Arc` to scrape from another
+    /// thread.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// Point-in-time copy of every engine metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Render all engine metrics in the Prometheus text exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render()
+    }
+
     /// Look up a recommender by name.
     pub fn recommender(&self, name: &str) -> Option<&Recommender> {
         self.recommenders
@@ -477,7 +525,7 @@ impl RecDb {
         self.clock += 1;
         let outcome = catch_unwind(AssertUnwindSafe(|| self.apply(statement, &guard)));
         match outcome {
-            Ok(result) => result.map_err(flatten_guard_error),
+            Ok(result) => result.map_err(|e| flatten_guard_error_counted(&self.metrics, e)),
             Err(payload) => Err(EngineError::Internal(panic_message(payload.as_ref()))),
         }
     }
@@ -492,7 +540,7 @@ impl RecDb {
                 self.clock += 1;
                 let outcome = catch_unwind(AssertUnwindSafe(|| self.apply(s, &guard)));
                 match outcome {
-                    Ok(result) => result.map_err(flatten_guard_error),
+                    Ok(result) => result.map_err(|e| flatten_guard_error_counted(&self.metrics, e)),
                     Err(payload) => Err(EngineError::Internal(panic_message(payload.as_ref()))),
                 }
             })
@@ -532,6 +580,12 @@ impl RecDb {
     }
 
     fn apply(&mut self, statement: Statement, guard: &QueryGuard) -> EngineResult<QueryResult> {
+        self.metrics
+            .counter_with(
+                "recdb_statements_total",
+                &[("kind", statement_kind(&statement))],
+            )
+            .inc();
         match statement {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::from_pairs(
@@ -593,6 +647,7 @@ impl RecDb {
                     Some(guard),
                 )?;
                 let build_time = rec.build_time();
+                self.observe_model_build(rec.algorithm(), build_time);
                 let log_record = WalRecord::CreateRecommender {
                     name: rec.name().to_owned(),
                     table: rec.ratings_table().to_owned(),
@@ -649,6 +704,10 @@ impl RecDb {
                     .collect();
                 Ok(QueryResult::Rows(ResultSet::new(schema, rows)))
             }
+            Statement::ExplainAnalyze(select) => {
+                let rows = self.run_explain_analyze(&select, guard)?;
+                Ok(QueryResult::Rows(rows))
+            }
             Statement::Delete { table, filter } => {
                 let n = self.apply_delete(&table, filter.as_ref(), guard)?;
                 Ok(QueryResult::Deleted(n))
@@ -663,9 +722,23 @@ impl RecDb {
             }
             Statement::Select(select) => {
                 let rows = self.run_select(&select, guard)?;
+                self.metrics
+                    .counter("recdb_rows_returned_total")
+                    .add(rows.len() as u64);
                 Ok(QueryResult::Rows(rows))
             }
         }
+    }
+
+    /// Record one model (re)build duration in the per-algorithm histogram.
+    fn observe_model_build(&self, algorithm: Algorithm, build_time: Duration) {
+        self.metrics
+            .histogram_with(
+                "recdb_model_build_micros",
+                MODEL_BUILD_BUCKETS,
+                &[("algorithm", algorithm.name())],
+            )
+            .observe(u64::try_from(build_time.as_micros()).unwrap_or(u64::MAX));
     }
 
     /// Delete rows matching `filter` (all rows when `None`), updating
@@ -806,6 +879,7 @@ impl RecDb {
             catalog,
             recommenders,
             config,
+            metrics,
             ..
         } = self;
         for rec in recommenders.iter_mut() {
@@ -813,6 +887,13 @@ impl RecDb {
                 && rec.needs_maintenance(config.maintenance_threshold_pct)
             {
                 rec.maintain_governed(catalog, Some(guard))?;
+                metrics
+                    .histogram_with(
+                        "recdb_model_build_micros",
+                        MODEL_BUILD_BUCKETS,
+                        &[("algorithm", rec.algorithm().name())],
+                    )
+                    .observe(u64::try_from(rec.build_time().as_micros()).unwrap_or(u64::MAX));
             }
         }
         Ok(())
@@ -861,11 +942,15 @@ impl RecDb {
     pub fn materialize(&mut self, recommender: &str) -> EngineResult<()> {
         let threads = self.config.build_threads;
         let guard = self.config.governor.guard();
+        let metrics = Arc::clone(&self.metrics);
         let rec = self
             .recommender_mut(recommender)
             .ok_or_else(|| EngineError::RecommenderNotFound(recommender.to_owned()))?;
-        rec.materialize_all_governed(threads, Some(&guard))
-            .map_err(flatten_guard_error)
+        let result = rec.materialize_all_governed(threads, Some(&guard));
+        metrics
+            .gauge_with("recdb_materialized_entries", &[("recommender", rec.name())])
+            .set(rec.materialized_entries() as i64);
+        result.map_err(|e| flatten_guard_error_counted(&metrics, e))
     }
 
     /// Run one cache-manager pass (Algorithm 4) for a recommender at the
@@ -875,21 +960,56 @@ impl RecDb {
         recommender: &str,
     ) -> EngineResult<crate::cache::CacheDecision> {
         let now = self.clock;
+        let metrics = Arc::clone(&self.metrics);
         let rec = self
             .recommender_mut(recommender)
             .ok_or_else(|| EngineError::RecommenderNotFound(recommender.to_owned()))?;
-        Ok(rec.run_cache_manager(now))
+        let decision = rec.run_cache_manager(now);
+        metrics
+            .counter("recdb_cache_admitted_total")
+            .add(decision.admitted.len() as u64);
+        metrics
+            .counter("recdb_cache_evicted_total")
+            .add(decision.evicted.len() as u64);
+        metrics
+            .gauge_with("recdb_materialized_entries", &[("recommender", rec.name())])
+            .set(rec.materialized_entries() as i64);
+        Ok(decision)
     }
 
     fn run_select(&self, select: &SelectStatement, guard: &QueryGuard) -> EngineResult<ResultSet> {
         let plan = optimize(build_logical(select, &self.catalog)?);
         self.record_query_stats(&plan);
-        let ctx = ExecContext {
-            catalog: &self.catalog,
-            provider: self,
-            guard: guard.clone(),
-        };
+        let ctx = ExecContext::new(&self.catalog, self, guard.clone())
+            .with_metrics(Arc::clone(&self.metrics));
         Ok(execute_plan(&plan, &ctx)?)
+    }
+
+    /// Run a SELECT with per-operator profiling and render the annotated
+    /// plan tree (`EXPLAIN ANALYZE`). The statement really executes —
+    /// side effects on metrics and query statistics are identical to a
+    /// plain run — but the result rows are discarded in favour of the
+    /// profile, as in PostgreSQL.
+    fn run_explain_analyze(
+        &self,
+        select: &SelectStatement,
+        guard: &QueryGuard,
+    ) -> EngineResult<ResultSet> {
+        let plan = optimize(build_logical(select, &self.catalog)?);
+        self.record_query_stats(&plan);
+        let ctx = ExecContext::new(&self.catalog, self, guard.clone())
+            .with_metrics(Arc::clone(&self.metrics));
+        let (rows, profile) = execute_plan_profiled(&plan, &ctx, Arc::clone(&self.wall))?;
+        self.metrics
+            .counter("recdb_rows_returned_total")
+            .add(rows.len() as u64);
+        let schema = Schema::from_pairs(&[("plan", DataType::Text)]);
+        let lines = profile
+            .render()
+            .into_iter()
+            .map(|l| Tuple::new(vec![recdb_storage::Value::Text(l)]))
+            .collect();
+        Ok(ResultSet::new(schema, lines))
     }
 
     /// Update the Users Histogram (`QC_u`, `TS_u`) for recommendation
@@ -943,6 +1063,52 @@ fn flatten_guard_error(e: EngineError) -> EngineError {
     match e {
         EngineError::Exec(recdb_exec::ExecError::Guard(g)) => g.into(),
         other => other,
+    }
+}
+
+/// [`flatten_guard_error`] plus metric recording: governor verdicts bump
+/// `recdb_governor_cancellations_total{cause=…}` so operators can see *why*
+/// queries are being killed without scraping logs.
+fn flatten_guard_error_counted(metrics: &Registry, e: EngineError) -> EngineError {
+    let e = flatten_guard_error(e);
+    let cause = match &e {
+        EngineError::Cancelled { .. } => Some("cancelled"),
+        EngineError::ResourceExhausted { resource, .. } => Some(*resource),
+        _ => None,
+    };
+    if let Some(cause) = cause {
+        metrics
+            .counter_with("recdb_governor_cancellations_total", &[("cause", cause)])
+            .inc();
+    }
+    e
+}
+
+/// The wall clock used for `EXPLAIN ANALYZE` timings: the configured
+/// [`RecDbConfig::profile_clock`] if present (tests inject a manual clock
+/// for determinism), otherwise a real monotonic [`SystemClock`].
+fn profile_clock_or_wall(config: &RecDbConfig) -> Arc<dyn Clock> {
+    config
+        .profile_clock
+        .clone()
+        .unwrap_or_else(|| Arc::new(SystemClock::new()) as Arc<dyn Clock>)
+}
+
+/// Label value for `recdb_statements_total{kind=…}`.
+fn statement_kind(statement: &Statement) -> &'static str {
+    match statement {
+        Statement::CreateTable { .. } => "create_table",
+        Statement::DropTable { .. } => "drop_table",
+        Statement::Insert { .. } => "insert",
+        Statement::CreateRecommender { .. } => "create_recommender",
+        Statement::DropRecommender { .. } => "drop_recommender",
+        Statement::Delete { .. } => "delete",
+        Statement::Update { .. } => "update",
+        Statement::CreateIndex { .. } => "create_index",
+        Statement::DropIndex { .. } => "drop_index",
+        Statement::Explain(_) => "explain",
+        Statement::ExplainAnalyze(_) => "explain_analyze",
+        Statement::Select(_) => "select",
     }
 }
 

@@ -300,6 +300,10 @@ impl PhysicalOp for HashAggregateOp<'_> {
         }
         self.result.as_mut()?.next().map(Ok)
     }
+
+    fn name(&self) -> &'static str {
+        "HashAggregate"
+    }
 }
 
 #[cfg(test)]

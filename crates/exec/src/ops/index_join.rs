@@ -102,6 +102,10 @@ impl PhysicalOp for IndexJoinOp<'_> {
             }
         }
     }
+
+    fn name(&self) -> &'static str {
+        "IndexJoin"
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,14 @@ impl PhysicalOp for JoinOp<'_> {
             self.current_left = Some(left);
         }
     }
+
+    fn name(&self) -> &'static str {
+        if self.equi.is_some() {
+            "HashJoin"
+        } else {
+            "NestedLoopJoin"
+        }
+    }
 }
 
 #[cfg(test)]

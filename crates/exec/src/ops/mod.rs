@@ -13,7 +13,9 @@ pub mod recommend;
 use crate::error::ExecResult;
 use crate::expr::BoundExpr;
 use recdb_guard::QueryGuard;
+use recdb_obs::{Clock, Counter, OpStats};
 use recdb_storage::{HeapTable, Rid, Schema, Tuple, Value};
+use std::sync::Arc;
 
 pub use aggregate::{AggFunc, AggOutput, HashAggregateOp};
 pub use index_join::IndexJoinOp;
@@ -26,6 +28,71 @@ pub trait PhysicalOp {
     fn schema(&self) -> &Schema;
     /// Produce the next tuple, `None` at end of stream.
     fn next(&mut self) -> Option<ExecResult<Tuple>>;
+    /// The physical operator name as shown by `EXPLAIN ANALYZE` (e.g.
+    /// `"HashJoin"`). Access-path variants report what actually ran, which
+    /// is the point of ANALYZE over plain EXPLAIN.
+    fn name(&self) -> &'static str;
+    /// Peak bytes this operator buffered (0 for streaming operators;
+    /// materializing operators like [`SortOp`] report their high-water
+    /// mark).
+    fn buffered_bytes(&self) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------- Metered
+
+/// Profiling decorator: wraps any operator and records per-call actuals
+/// into a shared [`OpStats`] — rows out, `next()` calls, cumulative time
+/// (children included, since the child's `next()` runs inside ours), and
+/// the inner operator's buffered high-water mark.
+pub struct MeteredOp<'a> {
+    inner: Box<dyn PhysicalOp + 'a>,
+    stats: Arc<OpStats>,
+    clock: Arc<dyn Clock>,
+}
+
+impl<'a> MeteredOp<'a> {
+    /// Wrap `inner`, recording into `stats` with time read from `clock`.
+    pub fn new(
+        inner: Box<dyn PhysicalOp + 'a>,
+        stats: Arc<OpStats>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        MeteredOp {
+            inner,
+            stats,
+            clock,
+        }
+    }
+}
+
+impl PhysicalOp for MeteredOp<'_> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Option<ExecResult<Tuple>> {
+        self.stats.record_call();
+        let start = self.clock.now_micros();
+        let out = self.inner.next();
+        self.stats
+            .record_elapsed_micros(self.clock.now_micros().saturating_sub(start));
+        self.stats
+            .record_buffered_bytes(self.inner.buffered_bytes());
+        if matches!(out, Some(Ok(_))) {
+            self.stats.record_row();
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn buffered_bytes(&self) -> u64 {
+        self.inner.buffered_bytes()
+    }
 }
 
 /// Drain an operator into a vector, stopping at the first error.
@@ -46,6 +113,7 @@ pub struct ScanOp<'a> {
     page: u32,
     buffer: std::vec::IntoIter<(Rid, Tuple)>,
     guard: QueryGuard,
+    rows_scanned: Option<Arc<Counter>>,
 }
 
 impl<'a> ScanOp<'a> {
@@ -58,12 +126,20 @@ impl<'a> ScanOp<'a> {
             page: 0,
             buffer: Vec::new().into_iter(),
             guard: QueryGuard::unlimited(),
+            rows_scanned: None,
         }
     }
 
     /// Attach a resource governor (checked once per emitted tuple).
     pub fn with_guard(mut self, guard: QueryGuard) -> Self {
         self.guard = guard;
+        self
+    }
+
+    /// Attach an engine-wide rows-scanned counter, bumped once per tuple
+    /// the scan emits.
+    pub fn with_rows_counter(mut self, counter: Arc<Counter>) -> Self {
+        self.rows_scanned = Some(counter);
         self
     }
 }
@@ -79,12 +155,19 @@ impl PhysicalOp for ScanOp<'_> {
         }
         loop {
             if let Some((_, tuple)) = self.buffer.next() {
+                if let Some(c) = &self.rows_scanned {
+                    c.inc();
+                }
                 return Some(Ok(tuple));
             }
             let tuples = self.heap.read_page(self.page)?;
             self.page += 1;
             self.buffer = tuples.into_iter();
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "SeqScan"
     }
 }
 
@@ -135,6 +218,10 @@ impl PhysicalOp for FilterOp<'_> {
                 Err(e) => return Some(Err(e)),
             }
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "Filter"
     }
 }
 
@@ -189,6 +276,10 @@ impl PhysicalOp for ProjectOp<'_> {
         }
         Some(Ok(Tuple::new(out)))
     }
+
+    fn name(&self) -> &'static str {
+        "Project"
+    }
 }
 
 // ------------------------------------------------------------------- Sort
@@ -210,6 +301,9 @@ pub struct SortOp<'a> {
     sorted: Option<std::vec::IntoIter<Tuple>>,
     error: Option<crate::error::ExecError>,
     guard: QueryGuard,
+    /// Encoded bytes buffered during materialization (profiling actual;
+    /// mirrors what `charge_mem` accounted against the governor).
+    buffered_bytes: u64,
 }
 
 impl<'a> SortOp<'a> {
@@ -222,6 +316,7 @@ impl<'a> SortOp<'a> {
             sorted: None,
             error: None,
             guard: QueryGuard::unlimited(),
+            buffered_bytes: 0,
         }
     }
 
@@ -239,6 +334,7 @@ impl<'a> SortOp<'a> {
             sorted: None,
             error: None,
             guard: QueryGuard::unlimited(),
+            buffered_bytes: 0,
         }
     }
 
@@ -265,10 +361,12 @@ impl<'a> SortOp<'a> {
                     return;
                 }
             };
+            let encoded_size = tuple.encoded_size() as u64;
+            self.buffered_bytes += encoded_size;
             let governed = self
                 .guard
                 .tick()
-                .and_then(|()| self.guard.charge_mem(tuple.encoded_size() as u64));
+                .and_then(|()| self.guard.charge_mem(encoded_size));
             if let Err(e) = governed {
                 self.error = Some(e.into());
                 return;
@@ -325,6 +423,18 @@ impl PhysicalOp for SortOp<'_> {
         }
         self.sorted.as_mut()?.next().map(Ok)
     }
+
+    fn name(&self) -> &'static str {
+        if self.limit.is_some() {
+            "TopKSort"
+        } else {
+            "Sort"
+        }
+    }
+
+    fn buffered_bytes(&self) -> u64 {
+        self.buffered_bytes
+    }
 }
 
 // ------------------------------------------------------------------ Limit
@@ -372,6 +482,10 @@ impl PhysicalOp for LimitOp<'_> {
         }
         Some(t)
     }
+
+    fn name(&self) -> &'static str {
+        "Limit"
+    }
 }
 
 // A values operator used by tests and INSERT ... SELECT style plumbing.
@@ -410,6 +524,10 @@ impl PhysicalOp for ValuesOp {
             return Some(Err(e.into()));
         }
         self.rows.next().map(Ok)
+    }
+
+    fn name(&self) -> &'static str {
+        "Values"
     }
 }
 

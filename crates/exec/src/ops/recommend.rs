@@ -53,6 +53,10 @@ pub struct RecommendOp {
     u_cursor: usize,
     i_cursor: usize,
     guard: QueryGuard,
+    /// Whether any predicate was pushed into the operator — decides the
+    /// FILTERRECOMMEND vs RECOMMEND display name. Captured at build time
+    /// because `users`/`items` are normalized to concrete lists.
+    filtered: bool,
 }
 
 impl RecommendOp {
@@ -71,6 +75,8 @@ impl RecommendOp {
         min_rating: Option<f64>,
         max_rating: Option<f64>,
     ) -> Self {
+        let filtered =
+            users.is_some() || items.is_some() || min_rating.is_some() || max_rating.is_some();
         let users = match users {
             Some(list) => dedup_known(list, |u| model.matrix().user_idx(*u).is_some()),
             None => model.matrix().user_ids().to_vec(),
@@ -89,6 +95,7 @@ impl RecommendOp {
             u_cursor: 0,
             i_cursor: 0,
             guard: QueryGuard::unlimited(),
+            filtered,
         }
     }
 
@@ -135,6 +142,14 @@ impl PhysicalOp for RecommendOp {
                 Value::Int(item),
                 Value::Float(score),
             ])));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.filtered {
+            "FilterRecommend"
+        } else {
+            "Recommend"
         }
     }
 }
@@ -237,6 +252,10 @@ impl PhysicalOp for JoinRecommendOp<'_> {
             }
         }
     }
+
+    fn name(&self) -> &'static str {
+        "JoinRecommend"
+    }
 }
 
 // --------------------------------------------------------- IndexRecommend
@@ -322,6 +341,10 @@ impl PhysicalOp for IndexRecommendOp {
                 }
             }
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "IndexRecommend"
     }
 }
 

@@ -16,14 +16,17 @@ use crate::error::{ExecError, ExecResult};
 use crate::expr::{bind, BoundExpr};
 use crate::ops::{
     drain, AggOutput, FilterOp, HashAggregateOp, IndexJoinOp, IndexRecommendOp, JoinOp,
-    JoinRecommendOp, LimitOp, PhysicalOp, ProjectOp, RecommendOp, ScanOp, SortOp,
+    JoinRecommendOp, LimitOp, MeteredOp, PhysicalOp, ProjectOp, RecommendOp, ScanOp, SortOp,
 };
 use crate::plan::{AggregateOutput, LogicalPlan, RecommendNode};
 use crate::provider::RecommenderProvider;
 use crate::result::ResultSet;
 use recdb_guard::QueryGuard;
+use recdb_obs::{Clock, OpStats, ProfiledOp, QueryProfile, Registry};
 use recdb_sql::{BinaryOp, Expr, OrderKey};
 use recdb_storage::{Catalog, Schema};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Everything the physical planner needs to resolve names.
 pub struct ExecContext<'a> {
@@ -33,6 +36,64 @@ pub struct ExecContext<'a> {
     pub provider: &'a dyn RecommenderProvider,
     /// Resource governor propagated into every operator of the built tree.
     pub guard: QueryGuard,
+    /// Engine-wide metric registry; when set, scans bump the rows-scanned
+    /// counter and the Recommend access-path choice records
+    /// RecScoreIndex hits/misses.
+    pub metrics: Option<Arc<Registry>>,
+    /// When set, every built operator is wrapped in a [`MeteredOp`] and
+    /// the build assembles the [`QueryProfile`] tree (`EXPLAIN ANALYZE`).
+    pub profiler: Option<Profiler>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context with no metrics and no profiling attached.
+    pub fn new(
+        catalog: &'a Catalog,
+        provider: &'a dyn RecommenderProvider,
+        guard: QueryGuard,
+    ) -> Self {
+        ExecContext {
+            catalog,
+            provider,
+            guard,
+            metrics: None,
+            profiler: None,
+        }
+    }
+
+    /// Attach an engine-wide metric registry.
+    pub fn with_metrics(mut self, metrics: Arc<Registry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+/// Assembles the profiled-operator tree while the physical plan is built.
+///
+/// The recursive build pushes each finished node onto a stack; a parent
+/// collects everything its children pushed (`split_off` at the mark taken
+/// before recursing) so plan fusion — `LIMIT` over `ORDER BY` collapsing
+/// into one `TopKSort`, a redundant sort eliding entirely — falls out
+/// naturally: one physical operator, one profile node.
+pub struct Profiler {
+    clock: Arc<dyn Clock>,
+    stack: RefCell<Vec<ProfiledOp>>,
+}
+
+impl Profiler {
+    /// A profiler reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Profiler {
+            clock,
+            stack: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn finish(self, total_micros: u64) -> QueryProfile {
+        let mut stack = self.stack.into_inner();
+        let root = stack.pop().expect("profiled build produced a root");
+        QueryProfile { root, total_micros }
+    }
 }
 
 /// A built operator plus the column reference (if any) by which its output
@@ -55,12 +116,84 @@ pub fn execute_plan(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> ExecResult<Res
     Ok(ResultSet::new(plan.schema(), rows))
 }
 
+/// Execute a logical plan while collecting per-operator actuals — the
+/// engine of `EXPLAIN ANALYZE`. Timing reads `clock`, so tests inject a
+/// manual clock for byte-stable output.
+pub fn execute_plan_profiled(
+    plan: &LogicalPlan,
+    ctx: &ExecContext<'_>,
+    clock: Arc<dyn Clock>,
+) -> ExecResult<(ResultSet, QueryProfile)> {
+    ctx.guard.check()?;
+    let profiled = ExecContext {
+        catalog: ctx.catalog,
+        provider: ctx.provider,
+        guard: ctx.guard.clone(),
+        metrics: ctx.metrics.clone(),
+        profiler: Some(Profiler::new(Arc::clone(&clock))),
+    };
+    let start = clock.now_micros();
+    let mut built = build(plan, &profiled)?;
+    let rows = drain(built.op.as_mut())?;
+    let total_micros = clock.now_micros().saturating_sub(start);
+    drop(built);
+    let profile = profiled.profiler.expect("set above").finish(total_micros);
+    Ok((ResultSet::new(plan.schema(), rows), profile))
+}
+
+/// Recursive build entry point: delegates to [`build_node`], then — when a
+/// profiler is attached — wraps the finished operator in a [`MeteredOp`]
+/// and records its node (with whatever children the recursion pushed) in
+/// the profile tree.
 fn build<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>> {
+    let Some(profiler) = &ctx.profiler else {
+        return build_node(plan, ctx);
+    };
+    let mark = profiler.stack.borrow().len();
+    let built = build_node(plan, ctx)?;
+    let children = profiler.stack.borrow_mut().split_off(mark);
+    let stats = Arc::new(OpStats::default());
+    let label = node_label(built.op.as_ref(), plan);
+    profiler.stack.borrow_mut().push(ProfiledOp {
+        label,
+        stats: Arc::clone(&stats),
+        children,
+    });
+    Ok(Built {
+        op: Box::new(MeteredOp::new(built.op, stats, Arc::clone(&profiler.clock))),
+        sorted_desc: built.sorted_desc,
+    })
+}
+
+/// Display label for a profiled node: the *physical* operator name (so
+/// fusion and access-path choices show what actually ran) plus the most
+/// useful logical detail.
+fn node_label(op: &dyn PhysicalOp, plan: &LogicalPlan) -> String {
+    let name = op.name();
+    match plan {
+        LogicalPlan::Scan { table, binding, .. } => format!("{name} {table} AS {binding}"),
+        LogicalPlan::Recommend(node) => format!("{name} {}", node.algorithm.name()),
+        LogicalPlan::RecJoin { rec, .. } if name == "JoinRecommend" => {
+            format!("{name} {}", rec.algorithm.name())
+        }
+        LogicalPlan::Limit { limit, .. } => format!("{name} k={limit}"),
+        // A Sort node whose physical operator is not a sort: the stream
+        // below was already ordered (IndexRecommend) and the sort elided.
+        LogicalPlan::Sort { .. } if !name.contains("Sort") => format!("{name} [sort elided]"),
+        _ => name.to_owned(),
+    }
+}
+
+fn build_node<'a>(plan: &LogicalPlan, ctx: &ExecContext<'a>) -> ExecResult<Built<'a>> {
     match plan {
         LogicalPlan::Scan { table, schema, .. } => {
             let t = ctx.catalog.table(table)?;
+            let mut scan = ScanOp::new(t.heap(), schema.clone()).with_guard(ctx.guard.clone());
+            if let Some(metrics) = &ctx.metrics {
+                scan = scan.with_rows_counter(metrics.counter("recdb_rows_scanned_total"));
+            }
             Ok(Built {
-                op: Box::new(ScanOp::new(t.heap(), schema.clone()).with_guard(ctx.guard.clone())),
+                op: Box::new(scan),
                 sorted_desc: None,
             })
         }
@@ -253,6 +386,9 @@ fn build_recommend<'a>(node: &RecommendNode, ctx: &ExecContext<'a>) -> ExecResul
         if !users.is_empty() {
             if let Some(index) = ctx.provider.rec_index(&node.ratings_table, node.algorithm) {
                 if users.iter().all(|&u| index.is_complete(u)) {
+                    if let Some(metrics) = &ctx.metrics {
+                        metrics.counter("recdb_recscoreindex_hits_total").inc();
+                    }
                     let sorted_desc = (users.len() == 1)
                         .then(|| format!("{}.{}", node.binding, node.rating_column));
                     return Ok(Built {
@@ -272,6 +408,10 @@ fn build_recommend<'a>(node: &RecommendNode, ctx: &ExecContext<'a>) -> ExecResul
                 }
             }
         }
+    }
+    // On-the-fly prediction: the score index could not serve this query.
+    if let Some(metrics) = &ctx.metrics {
+        metrics.counter("recdb_recscoreindex_misses_total").inc();
     }
     Ok(Built {
         op: Box::new(
@@ -524,11 +664,7 @@ mod tests {
             panic!()
         };
         let plan = optimize(build_logical(&s, cat).unwrap());
-        let ctx = ExecContext {
-            catalog: cat,
-            provider,
-            guard: QueryGuard::unlimited(),
-        };
+        let ctx = ExecContext::new(cat, provider, QueryGuard::unlimited());
         execute_plan(&plan, &ctx).unwrap()
     }
 
@@ -703,11 +839,7 @@ mod tests {
             panic!()
         };
         let plan = optimize(build_logical(&s, &cat).unwrap());
-        let ctx = ExecContext {
-            catalog: &cat,
-            provider: &provider,
-            guard: QueryGuard::unlimited(),
-        };
+        let ctx = ExecContext::new(&cat, &provider, QueryGuard::unlimited());
         let err = execute_plan(&plan, &ctx).unwrap_err();
         assert!(matches!(err, ExecError::NoRecommender { .. }));
     }

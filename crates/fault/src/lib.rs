@@ -20,6 +20,8 @@
 //! via [`exclusive`] so concurrent tests don't observe each other's
 //! faults.
 
+#![warn(missing_docs)]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};

@@ -14,6 +14,8 @@
 //! `Arc`, so the same guard can be handed to materialization worker
 //! threads and cancelled from outside.
 
+#![warn(missing_docs)]
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

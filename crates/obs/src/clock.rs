@@ -1,0 +1,112 @@
+//! Injectable time source.
+//!
+//! Everything in the observability layer that measures duration reads a
+//! [`Clock`] instead of calling `Instant::now()` directly. Production code
+//! uses [`SystemClock`]; deterministic tests (the fault/robustness suites,
+//! the `EXPLAIN ANALYZE` golden outputs) inject a [`ManualClock`] and
+//! advance it explicitly, so profile renderings are byte-stable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond clock. Implementations must be cheap to read:
+/// the executor reads the clock twice per `next()` call when profiling.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds elapsed since some fixed, per-clock origin. Must be
+    /// monotonically non-decreasing.
+    fn now_micros(&self) -> u64;
+}
+
+/// The production clock: a monotonic [`Instant`] anchored at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock that only moves when told to — the deterministic test double.
+/// All clones of the same `Arc<ManualClock>` observe the same time.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock frozen at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Move time forward by `micros` microseconds.
+    pub fn advance(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Jump to an absolute reading. Callers are responsible for keeping
+    /// the clock monotonic; moving it backwards yields zero-length
+    /// intervals (readers saturate), not panics.
+    pub fn set(&self, micros: u64) {
+        self.micros.store(micros, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        assert_eq!(c.now_micros(), 0);
+        c.advance(250);
+        assert_eq!(c.now_micros(), 250);
+        c.set(1_000);
+        assert_eq!(c.now_micros(), 1_000);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<std::sync::Arc<dyn Clock>> = vec![
+            std::sync::Arc::new(SystemClock::new()),
+            std::sync::Arc::new(ManualClock::new()),
+        ];
+        for c in clocks {
+            let _ = c.now_micros();
+        }
+    }
+}

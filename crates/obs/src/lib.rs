@@ -1,0 +1,34 @@
+//! # recdb-obs
+//!
+//! The observability core of RecDB-rs: a zero-dependency, deterministic
+//! metrics layer the rest of the engine records into.
+//!
+//! Three pieces, deliberately small:
+//!
+//! * [`metrics`] — monotonic [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s behind an [`Registry`] of atomic cells, so `&self`
+//!   query paths can record without locks on the hot path. The registry
+//!   snapshots to a plain value type and renders in the Prometheus text
+//!   exposition format.
+//! * [`clock`] — the injectable [`Clock`] trait. Production code uses
+//!   [`SystemClock`] (a monotonic `Instant`); the test suites inject a
+//!   [`ManualClock`] so every timing-dependent output is byte-stable.
+//! * [`profile`] — per-operator actuals ([`OpStats`]: rows out, `next()`
+//!   calls, cumulative time, peak buffered bytes) assembled into a
+//!   [`QueryProfile`] tree, the data behind `EXPLAIN ANALYZE`.
+//!
+//! Why no external tracing dependency: the build environment is fully
+//! offline, and the engine only needs counters-plus-one-profile-tree —
+//! a few hundred lines of atomics — not spans, subscribers, or an async
+//! runtime. Keeping the crate `std`-only also keeps it usable from every
+//! other crate in the workspace without dependency cycles.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod profile;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use profile::{OpStats, ProfiledOp, QueryProfile};

@@ -335,6 +335,9 @@ pub enum Statement {
     },
     /// `EXPLAIN SELECT …` — show the optimized plan instead of running.
     Explain(SelectStatement),
+    /// `EXPLAIN ANALYZE SELECT …` — run the statement and show the plan
+    /// annotated with per-operator actuals (rows, calls, time).
+    ExplainAnalyze(SelectStatement),
     /// A SELECT (with or without RECOMMEND).
     Select(SelectStatement),
 }

@@ -289,6 +289,9 @@ impl Parser {
         }
         if self.peek_keyword("EXPLAIN") {
             self.pos += 1;
+            if self.eat_keyword("ANALYZE") {
+                return self.select().map(Statement::ExplainAnalyze);
+            }
             return self.select().map(Statement::Explain);
         }
         if self.peek_keyword("SELECT") {
@@ -1200,7 +1203,12 @@ mod tests {
             parse("EXPLAIN SELECT * FROM t WHERE a = 1").unwrap(),
             Statement::Explain(_)
         ));
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE SELECT * FROM t WHERE a = 1").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
         assert!(parse("EXPLAIN DROP TABLE t").is_err());
+        assert!(parse("EXPLAIN ANALYZE DROP TABLE t").is_err());
     }
 
     #[test]

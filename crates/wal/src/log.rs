@@ -26,10 +26,12 @@
 
 use crate::error::{WalError, WalResult};
 use crate::record::WalRecord;
+use recdb_obs::Registry;
 use recdb_storage::crc32;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const WAL_MAGIC: u32 = u32::from_le_bytes(*b"RWAL");
 const WAL_VERSION: u32 = 1;
@@ -54,6 +56,8 @@ pub struct Wal {
     synced_next_lsn: u64,
     /// Whether a failed append may have left partial bytes past `len`.
     tail_dirty: bool,
+    /// Optional metrics sink; see [`Wal::attach_metrics`].
+    metrics: Option<Arc<Registry>>,
 }
 
 /// The result of opening a log: the handle, every decoded record, and
@@ -131,6 +135,7 @@ impl Wal {
                 synced_len: good_len,
                 synced_next_lsn: next_lsn,
                 tail_dirty: false,
+                metrics: None,
             },
             records,
             truncated,
@@ -231,6 +236,12 @@ impl Wal {
             .map_err(|e| WalError::io("append", e))?;
         self.len += frame.len() as u64;
         self.next_lsn += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.counter("recdb_wal_appends_total").inc();
+            metrics
+                .counter("recdb_wal_appended_bytes_total")
+                .add(frame.len() as u64);
+        }
         Ok(lsn)
     }
 
@@ -253,6 +264,9 @@ impl Wal {
         self.file.sync_all().map_err(|e| WalError::io("fsync", e))?;
         self.synced_len = self.len;
         self.synced_next_lsn = self.next_lsn;
+        if let Some(metrics) = &self.metrics {
+            metrics.counter("recdb_wal_fsyncs_total").inc();
+        }
         Ok(())
     }
 
@@ -288,6 +302,14 @@ impl Wal {
         self.synced_next_lsn = self.next_lsn;
         self.tail_dirty = false;
         Ok(())
+    }
+
+    /// Route append/fsync counters (`recdb_wal_*`) to `registry`.
+    ///
+    /// The log records nothing until a registry is attached, so standalone
+    /// uses of the crate pay no metrics cost.
+    pub fn attach_metrics(&mut self, registry: Arc<Registry>) {
+        self.metrics = Some(registry);
     }
 
     /// LSN the log starts after.

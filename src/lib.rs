@@ -12,6 +12,9 @@
 //! * [`sql`] — the RecDB SQL dialect (`CREATE RECOMMENDER`, `RECOMMEND` clause)
 //! * [`exec`] — logical plans, optimizer, Volcano operators
 //! * [`spatial`] — geometry + `ST_*` functions (PostGIS substitute)
+//! * [`guard`] — cooperative resource governor (deadlines, row/memory budgets)
+//! * [`fault`] — deterministic fault injection for robustness tests
+//! * [`obs`] — metrics registry, per-operator profiles, `EXPLAIN ANALYZE` data
 //! * [`core`] — the engine: recommender lifecycle, RecScoreIndex, caching
 //! * [`ontop`] — the OnTopDB baseline the paper compares against
 //! * [`datasets`] — seeded synthetic MovieLens / LDOS-CoMoDa / Yelp data
@@ -36,12 +39,21 @@
 //! assert!(!result.rows().is_empty());
 //! ```
 
+// Runnable walkthroughs live in `examples/`:
+//   quickstart.rs            — Figure 1 movie schema, first RECOMMEND query
+//   movie_recommendation.rs  — the paper's movie scenarios end to end
+//   poi_recommendation.rs    — spatial (location-aware) recommendation
+//   adaptive_caching.rs      — Algorithm 4 materialize/evict in action
+//   durable.rs               — WAL + checkpoint crash/recovery cycle
+//   explain_analyze.rs       — EXPLAIN ANALYZE plan trees + Prometheus metrics
+//   sql_shell.rs             — interactive REPL over the full dialect
 pub use recdb_algo as algo;
 pub use recdb_core as core;
 pub use recdb_datasets as datasets;
 pub use recdb_exec as exec;
 pub use recdb_fault as fault;
 pub use recdb_guard as guard;
+pub use recdb_obs as obs;
 pub use recdb_ontop as ontop;
 pub use recdb_spatial as spatial;
 pub use recdb_sql as sql;

@@ -49,11 +49,7 @@ fn run_naive_and_optimized(db: &RecDb, sql: &str) -> (ResultSet, ResultSet) {
     let Statement::Select(select) = parse(sql).unwrap() else {
         panic!("not a select")
     };
-    let ctx = ExecContext {
-        catalog: db.catalog(),
-        provider: db,
-        guard: recdb::guard::QueryGuard::unlimited(),
-    };
+    let ctx = ExecContext::new(db.catalog(), db, recdb::guard::QueryGuard::unlimited());
     let naive = build_logical(&select, db.catalog()).unwrap();
     let optimized = optimize(build_logical(&select, db.catalog()).unwrap());
     (

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors the subset of the proptest 1.x API its tests use:
-//! the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
 //! `prop_flat_map`, range and tuple strategies, [`strategy::Just`],
 //! [`arbitrary::any`], `collection::{vec, btree_map, btree_set}`,
 //! `option::of`, a character-class subset of string-regex strategies,
