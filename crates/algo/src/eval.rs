@@ -64,12 +64,20 @@ pub fn evaluate(
 }
 
 /// Score every `test` pair with an already-trained model.
+///
+/// Ids are resolved to dense indexes once per pair and scored through the
+/// indexed fast path ([`RecModel::predict_indexed`]), so the hot loop does
+/// no redundant HashMap lookups inside the model.
 pub fn evaluate_model(model: &RecModel, test: &[Rating]) -> Accuracy {
+    let matrix = model.matrix();
     let mut sq = 0.0;
     let mut abs = 0.0;
     let mut covered = 0usize;
     for r in test {
-        if let Some(p) = model.predict(r.user, r.item) {
+        let (Some(u), Some(i)) = (matrix.user_idx(r.user), matrix.item_idx(r.item)) else {
+            continue;
+        };
+        if let Some(p) = model.predict_indexed(u, i) {
             let err = p - r.value;
             sq += err * err;
             abs += err.abs();

@@ -80,18 +80,20 @@ impl ItemCfModel {
     /// Eq. 2 for dense indexes: predicted rating of unseen item `i` for
     /// user `u`, or `None` when `L ∩ rated(u)` is empty.
     pub fn predict_dense(&self, u: usize, i: usize) -> Option<f64> {
-        let user_items = self.matrix.user_row(u);
+        let (rated_items, ratings) = self.matrix.user_csr().row(u);
         let neighbors = self.neighborhood.neighbors(i);
-        // Merge-intersect: both lists are sorted by item index.
+        // Merge-intersect: both lists are sorted by item index. The CSR
+        // row gives the user's ratings as contiguous slices; sums stay
+        // in f64.
         let (mut a, mut b) = (0, 0);
         let mut num = 0.0;
         let mut den = 0.0;
-        while a < user_items.len() && b < neighbors.len() {
-            match user_items[a].0.cmp(&neighbors[b].0) {
+        while a < rated_items.len() && b < neighbors.len() {
+            match (rated_items[a] as usize).cmp(&neighbors[b].0) {
                 std::cmp::Ordering::Less => a += 1,
                 std::cmp::Ordering::Greater => b += 1,
                 std::cmp::Ordering::Equal => {
-                    let (r_ul, sim) = (user_items[a].1, neighbors[b].1);
+                    let (r_ul, sim) = (f64::from(ratings[a]), neighbors[b].1);
                     num += sim * r_ul;
                     den += sim.abs();
                     a += 1;
@@ -117,6 +119,12 @@ impl ItemCfModel {
         let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item)) else {
             return 0.0;
         };
+        self.score_indexed(u, i)
+    }
+
+    /// [`score`](Self::score) for already-resolved dense indexes (skips
+    /// the two HashMap id lookups on hot paths).
+    pub fn score_indexed(&self, u: usize, i: usize) -> f64 {
         if let Some(r) = self.matrix.rating_at(u, i) {
             return r;
         }
@@ -127,6 +135,11 @@ impl ItemCfModel {
     /// is unknown, the pair is already rated, or there is no overlap.
     pub fn predict(&self, user: i64, item: i64) -> Option<f64> {
         let (u, i) = (self.matrix.user_idx(user)?, self.matrix.item_idx(item)?);
+        self.predict_indexed(u, i)
+    }
+
+    /// [`predict`](Self::predict) for already-resolved dense indexes.
+    pub fn predict_indexed(&self, u: usize, i: usize) -> Option<f64> {
         if self.matrix.rating_at(u, i).is_some() {
             return None;
         }

@@ -9,6 +9,8 @@
 //! * [`neighborhood`] — item–item and user–user similarity-list models,
 //! * [`itemcf`] / [`usercf`] — neighborhood predictors (Eq. 2),
 //! * [`svd`] — regularized gradient-descent matrix factorization (Eq. 3),
+//! * [`kernels`] — flat-`f32` vectorizable primitives (`dot`, `axpy`,
+//!   `score_block`) shared by the SVD trainer and the score materializer,
 //! * [`popularity`] — the non-personalized class of the §II taxonomy
 //!   (damped-mean item ranking; also the cold-start fallback),
 //! * [`model`] — the [`model::RecModel`] wrapper + [`model::Algorithm`]
@@ -21,6 +23,7 @@
 
 pub mod eval;
 pub mod itemcf;
+pub mod kernels;
 pub mod model;
 pub mod neighborhood;
 pub mod parallel;
@@ -36,7 +39,7 @@ pub use model::{Algorithm, RecModel, TrainError};
 pub use neighborhood::NeighborhoodParams;
 pub use parallel::effective_threads;
 pub use popularity::PopularityModel;
-pub use ratings::{Rating, RatingsMatrix};
+pub use ratings::{Csr, Rating, RatingsMatrix};
 pub use similarity::Similarity;
 pub use svd::{SvdModel, SvdParams};
 pub use topk::top_k_by;

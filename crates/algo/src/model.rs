@@ -276,6 +276,18 @@ impl RecModel {
         }
     }
 
+    /// [`score`](Self::score) for already-resolved dense indexes: the
+    /// hot-path variant for callers that iterate the dense index space
+    /// and resolve external ids once up front.
+    pub fn score_indexed(&self, u: usize, i: usize) -> f64 {
+        match self {
+            RecModel::Item(m) => m.score_indexed(u, i),
+            RecModel::User(m) => m.score_indexed(u, i),
+            RecModel::Factors(m) => m.score_indexed(u, i),
+            RecModel::Popular(m) => m.score_indexed(u, i),
+        }
+    }
+
     /// Predicted rating for an unseen pair only.
     pub fn predict(&self, user: i64, item: i64) -> Option<f64> {
         match self {
@@ -284,6 +296,58 @@ impl RecModel {
             RecModel::Factors(m) => m.predict(user, item),
             RecModel::Popular(m) => m.predict(user, item),
         }
+    }
+
+    /// [`predict`](Self::predict) for already-resolved dense indexes.
+    pub fn predict_indexed(&self, u: usize, i: usize) -> Option<f64> {
+        match self {
+            RecModel::Item(m) => m.predict_indexed(u, i),
+            RecModel::User(m) => m.predict_indexed(u, i),
+            RecModel::Factors(m) => m.predict_indexed(u, i),
+            RecModel::Popular(m) => m.predict_indexed(u, i),
+        }
+    }
+
+    /// Batch-score every item dense user `u` has **not** rated, appending
+    /// `(item_idx, score)` in ascending item order — the score
+    /// materializer's inner loop. No-signal pairs score 0 (Algorithm 1
+    /// line 14), matching `predict(..).unwrap_or(0.0)` per pair. The SVD
+    /// arm runs blocked [`SvdModel::score_block`] kernels; the others
+    /// walk the user's sorted CSR row to skip rated items.
+    pub fn score_unseen_into(&self, u: usize, out: &mut Vec<(usize, f64)>) {
+        if let RecModel::Factors(m) = self {
+            m.score_unseen_into(u, out);
+            return;
+        }
+        let matrix = self.matrix();
+        let (rated, _) = matrix.user_csr().row(u);
+        let mut rated_pos = 0;
+        for i in 0..matrix.n_items() {
+            while rated_pos < rated.len() && (rated[rated_pos] as usize) < i {
+                rated_pos += 1;
+            }
+            if rated_pos < rated.len() && rated[rated_pos] as usize == i {
+                continue;
+            }
+            let score = match self {
+                RecModel::Item(m) => m.predict_dense(u, i).unwrap_or(0.0),
+                RecModel::User(m) => m.predict_dense(u, i).unwrap_or(0.0),
+                RecModel::Factors(_) => unreachable!("handled above"),
+                RecModel::Popular(m) => m.item_score(i),
+            };
+            out.push((i, score));
+        }
+    }
+
+    /// The `k` best unseen items for dense user `u`, ranked score
+    /// descending with ascending item index as the tie-break (the
+    /// `RECOMMEND ... LIMIT k` ordering). Built on
+    /// [`score_unseen_into`](Self::score_unseen_into) +
+    /// [`crate::topk::top_k_by`].
+    pub fn top_k_unseen(&self, u: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut scored = Vec::new();
+        self.score_unseen_into(u, &mut scored);
+        crate::topk::top_k_by(scored, k, |a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)))
     }
 }
 
@@ -337,6 +401,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn indexed_paths_match_id_paths_for_every_algorithm() {
+        let config = TrainConfig {
+            svd: SvdParams {
+                epochs: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for algo in Algorithm::ALL {
+            let m = matrix();
+            let model = RecModel::train(algo, m.clone(), &config);
+            for &user in m.user_ids() {
+                let u = m.user_idx(user).unwrap();
+                for &item in m.item_ids() {
+                    let i = m.item_idx(item).unwrap();
+                    assert_eq!(model.score(user, item), model.score_indexed(u, i), "{algo}");
+                    assert_eq!(
+                        model.predict(user, item),
+                        model.predict_indexed(u, i),
+                        "{algo}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scoring_matches_per_pair_for_every_algorithm() {
+        let config = TrainConfig {
+            svd: SvdParams {
+                epochs: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for algo in Algorithm::ALL {
+            let m = matrix();
+            let model = RecModel::train(algo, m.clone(), &config);
+            for u in 0..m.n_users() {
+                let mut batch = Vec::new();
+                model.score_unseen_into(u, &mut batch);
+                let expected: Vec<(usize, f64)> = (0..m.n_items())
+                    .filter(|&i| m.rating_at(u, i).is_none())
+                    .map(|i| (i, model.predict_indexed(u, i).unwrap_or(0.0)))
+                    .collect();
+                assert_eq!(batch, expected, "{algo} user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_unseen_ranks_by_score_then_index() {
+        let model = RecModel::train(Algorithm::Popularity, matrix(), &TrainConfig::default());
+        // User 1 rated only item 1 → items 2 and 3 are candidates.
+        let u = model.matrix().user_idx(1).unwrap();
+        let top = model.top_k_unseen(u, 10);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1 >= top[1].1, "descending scores");
+        let one = model.top_k_unseen(u, 1);
+        assert_eq!(one[0], top[0]);
+        assert!(model.top_k_unseen(u, 0).is_empty());
     }
 
     #[test]

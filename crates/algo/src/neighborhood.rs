@@ -6,7 +6,11 @@
 //! user–user CF it is the symmetric *User Neighborhood Table*. Both are
 //! built by merge-intersecting the sorted sparse vectors of every pair of
 //! items (resp. users) — `O(n² · avg_len)` with tiny constants, matching a
-//! straightforward in-kernel similarity-list build.
+//! straightforward in-kernel similarity-list build. The vectors come from
+//! the flat CSR views of [`RatingsMatrix`] ([`crate::ratings::Csr`]), so
+//! the whole pairwise pass streams two contiguous `(u32, f32)` column
+//! arrays instead of chasing per-entity `Vec` allocations; sums still
+//! accumulate in `f64` (see [`co_rated_sums_csr`]).
 //!
 //! [`NeighborhoodParams::max_neighbors`] optionally truncates each list to
 //! the strongest `k` neighbors (by `|sim|`), the standard space/accuracy
@@ -34,7 +38,7 @@
 use crate::model::TrainError;
 use crate::parallel::{effective_threads, for_each_chunk};
 use crate::ratings::RatingsMatrix;
-use crate::similarity::{co_rated_sums, Similarity};
+use crate::similarity::{co_rated_sums_csr, Similarity};
 use crate::topk::top_k_by;
 use recdb_guard::QueryGuard;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -128,7 +132,7 @@ pub fn build_item_neighborhood(
     m: &RatingsMatrix,
     params: &NeighborhoodParams,
 ) -> NeighborhoodTable {
-    build_pairwise(m.n_items(), |i| m.item_col(i), params, None)
+    build_pairwise(m.n_items(), |i| m.item_csr().row(i), params, None)
         .expect("ungoverned neighborhood build cannot fail")
 }
 
@@ -137,7 +141,7 @@ pub fn build_user_neighborhood(
     m: &RatingsMatrix,
     params: &NeighborhoodParams,
 ) -> NeighborhoodTable {
-    build_pairwise(m.n_users(), |u| m.user_row(u), params, None)
+    build_pairwise(m.n_users(), |u| m.user_csr().row(u), params, None)
         .expect("ungoverned neighborhood build cannot fail")
 }
 
@@ -149,7 +153,7 @@ pub fn build_item_neighborhood_guarded(
     params: &NeighborhoodParams,
     guard: &QueryGuard,
 ) -> Result<NeighborhoodTable, TrainError> {
-    build_pairwise(m.n_items(), |i| m.item_col(i), params, Some(guard))
+    build_pairwise(m.n_items(), |i| m.item_csr().row(i), params, Some(guard))
 }
 
 /// Governed variant of [`build_user_neighborhood`].
@@ -158,7 +162,7 @@ pub fn build_user_neighborhood_guarded(
     params: &NeighborhoodParams,
     guard: &QueryGuard,
 ) -> Result<NeighborhoodTable, TrainError> {
-    build_pairwise(m.n_users(), |u| m.user_row(u), params, Some(guard))
+    build_pairwise(m.n_users(), |u| m.user_csr().row(u), params, Some(guard))
 }
 
 fn build_pairwise<'a, F>(
@@ -168,7 +172,7 @@ fn build_pairwise<'a, F>(
     governor: Option<&QueryGuard>,
 ) -> Result<NeighborhoodTable, TrainError>
 where
-    F: Fn(usize) -> &'a [(usize, f64)] + Sync,
+    F: Fn(usize) -> (&'a [u32], &'a [f32]) + Sync,
 {
     let threads = effective_threads(params.threads);
     // Row `a` scans `n − a` partners, so early rows are the heavy ones;
@@ -201,16 +205,16 @@ where
                 }
             }
             for a in range {
-                let va = vector(a);
-                if va.is_empty() {
+                let (a_cols, a_vals) = vector(a);
+                if a_cols.is_empty() {
                     continue;
                 }
                 for b in (a + 1)..n {
-                    let vb = vector(b);
-                    if vb.is_empty() {
+                    let (b_cols, b_vals) = vector(b);
+                    if b_cols.is_empty() {
                         continue;
                     }
-                    let sums = co_rated_sums(va, vb);
+                    let sums = co_rated_sums_csr(a_cols, a_vals, b_cols, b_vals);
                     if let Some(sim) = sums.score(params.measure) {
                         if sim.abs() > params.min_abs_sim {
                             edges.push((a, b, sim));

@@ -92,6 +92,12 @@ impl PopularityModel {
         let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item)) else {
             return 0.0;
         };
+        self.score_indexed(u, i)
+    }
+
+    /// [`score`](Self::score) for already-resolved dense indexes (skips
+    /// the two HashMap id lookups on hot paths).
+    pub fn score_indexed(&self, u: usize, i: usize) -> f64 {
         if let Some(r) = self.matrix.rating_at(u, i) {
             return r;
         }
@@ -101,6 +107,11 @@ impl PopularityModel {
     /// Predicted rating for an unseen pair only.
     pub fn predict(&self, user: i64, item: i64) -> Option<f64> {
         let (u, i) = (self.matrix.user_idx(user)?, self.matrix.item_idx(item)?);
+        self.predict_indexed(u, i)
+    }
+
+    /// [`predict`](Self::predict) for already-resolved dense indexes.
+    pub fn predict_indexed(&self, u: usize, i: usize) -> Option<f64> {
         if self.matrix.rating_at(u, i).is_some() {
             return None;
         }

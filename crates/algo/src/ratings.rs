@@ -10,6 +10,79 @@
 
 use std::collections::HashMap;
 
+/// Compressed-sparse-row view of one orientation of the ratings matrix.
+///
+/// Row `r` occupies `row_ptr[r] .. row_ptr[r + 1]` in the two flat
+/// arrays: `col_idx` holds the dense column indexes (sorted ascending
+/// within each row, `u32` — half the footprint of `usize`) and `values`
+/// the ratings, narrowed to `f32` for the numeric kernels. The view is
+/// built once from the jagged adjacency lists and is read-only; the
+/// jagged rows stay authoritative for `f64` lookups.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    fn from_jagged(rows: &[Vec<(usize, f64)>]) -> Self {
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for row in rows {
+            for &(col, val) in row {
+                col_idx.push(u32::try_from(col).expect("dense index exceeds u32"));
+                values.push(val as f32);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows in this orientation.
+    pub fn n_rows(&self) -> usize {
+        self.row_ptr.len().saturating_sub(1)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row `r` as parallel `(column indexes, values)` slices.
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The half-open `row_ptr` range of row `r` into [`Self::col_idx`].
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.row_ptr[r]..self.row_ptr[r + 1]
+    }
+
+    /// The row-pointer array (`n_rows + 1` entries, first 0, last `nnz`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// All column indexes, row-concatenated.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// All values, row-concatenated, parallel to [`Self::col_idx`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+}
+
 /// One `(user, item, rating)` observation with external ids.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rating {
@@ -39,6 +112,11 @@ pub struct RatingsMatrix {
     by_user: Vec<Vec<(usize, f64)>>,
     /// `by_item[i]` = sorted `(user_idx, rating)` list.
     by_item: Vec<Vec<(usize, f64)>>,
+    /// CSR over users (row = user, col = item), built once in
+    /// [`RatingsMatrix::from_ratings`].
+    user_csr: Csr,
+    /// CSR over items (row = item, col = user) — the CSC view.
+    item_csr: Csr,
     n_ratings: usize,
 }
 
@@ -70,6 +148,8 @@ impl RatingsMatrix {
         for col in &mut m.by_item {
             col.sort_unstable_by_key(|&(u, _)| u);
         }
+        m.user_csr = Csr::from_jagged(&m.by_user);
+        m.item_csr = Csr::from_jagged(&m.by_item);
         m
     }
 
@@ -142,6 +222,18 @@ impl RatingsMatrix {
     /// An item's raters as sorted `(user_idx, rating)` pairs.
     pub fn item_col(&self, item_idx: usize) -> &[(usize, f64)] {
         &self.by_item[item_idx]
+    }
+
+    /// CSR view over users: row `u` = user `u`'s `(item_idx, rating)`
+    /// entries as parallel flat slices. Empty for a default matrix.
+    pub fn user_csr(&self) -> &Csr {
+        &self.user_csr
+    }
+
+    /// CSR view over items (the CSC of the user view): row `i` = item
+    /// `i`'s `(user_idx, rating)` entries.
+    pub fn item_csr(&self) -> &Csr {
+        &self.item_csr
     }
 
     /// The rating user `user_idx` gave item `item_idx`, if any.
@@ -262,6 +354,52 @@ mod tests {
         for i in 0..m.n_items() {
             assert!(m.item_col(i).windows(2).all(|w| w[0].0 < w[1].0));
         }
+    }
+
+    #[test]
+    fn csr_views_mirror_jagged_rows() {
+        let m = small();
+        assert_eq!(m.user_csr().n_rows(), m.n_users());
+        assert_eq!(m.item_csr().n_rows(), m.n_items());
+        assert_eq!(m.user_csr().nnz(), m.n_ratings());
+        assert_eq!(m.item_csr().nnz(), m.n_ratings());
+        for u in 0..m.n_users() {
+            let (cols, vals) = m.user_csr().row(u);
+            let jagged = m.user_row(u);
+            assert_eq!(cols.len(), jagged.len());
+            for ((&c, &v), &(i, r)) in cols.iter().zip(vals).zip(jagged) {
+                assert_eq!(c as usize, i);
+                assert_eq!(f64::from(v), r, "half-star ratings are f32-exact");
+            }
+        }
+        for i in 0..m.n_items() {
+            let (cols, vals) = m.item_csr().row(i);
+            let jagged = m.item_col(i);
+            assert_eq!(cols.len(), jagged.len());
+            for ((&c, &v), &(u, r)) in cols.iter().zip(vals).zip(jagged) {
+                assert_eq!(c as usize, u);
+                assert_eq!(f64::from(v), r);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_row_ptr_is_monotone_and_complete() {
+        let m = small();
+        let ptr = m.user_csr().row_ptr();
+        assert_eq!(ptr.first(), Some(&0));
+        assert_eq!(ptr.last(), Some(&m.n_ratings()));
+        assert!(ptr.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(m.user_csr().row_range(0), 0..m.user_row(0).len());
+    }
+
+    #[test]
+    fn default_matrix_has_empty_csr() {
+        let m = RatingsMatrix::default();
+        assert_eq!(m.user_csr().n_rows(), 0);
+        assert_eq!(m.user_csr().nnz(), 0);
+        assert!(m.item_csr().col_idx().is_empty());
+        assert!(m.item_csr().values().is_empty());
     }
 
     #[test]

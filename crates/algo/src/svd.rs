@@ -12,8 +12,12 @@
 //! Figure 2 *User Factor Table* and *Item Factor Table*; prediction is the
 //! dot product (Algorithm 2, line 7).
 //!
-//! A small deterministic xorshift PRNG seeds the factors so training is
-//! reproducible for a given [`SvdParams::seed`].
+//! Factors are stored row-major as flat `Vec<f32>` (`p_u =
+//! user_factors[u*f .. (u+1)*f]`) and every inner loop goes through
+//! [`crate::kernels`], so the trainer streams contiguous memory and the
+//! dot products auto-vectorize. Ratings are read from the CSR view of
+//! [`RatingsMatrix`]. A small deterministic xorshift PRNG seeds the
+//! factors so training is reproducible for a given [`SvdParams::seed`].
 //!
 //! # Parallel training & determinism
 //!
@@ -22,27 +26,31 @@
 //! The contract here:
 //!
 //! * [`SvdParams::threads`] `= 1` (the **default**) runs the exact
-//!   sequential SGD above, bit-reproducible against earlier releases.
-//! * `threads > 1` (or `0` = all cores) opts into *block-partitioned* SGD:
-//!   each epoch splits users into contiguous disjoint shards, one worker
-//!   per shard. A worker updates its own users' `p_u` in place (no other
-//!   worker touches them) while reading an epoch-start snapshot of the
-//!   item factors; its `q_i` gradient contributions accumulate in a
-//!   private delta buffer. After the epoch barrier the deltas are folded
-//!   into the item factors in fixed shard order, and the training RMSE is
-//!   measured by a parallel end-of-epoch pass (partial sums combined in
-//!   slice order). The result is **deterministic for a fixed
-//!   `(seed, threads)` pair** — no locks, no atomics, no data races — but
-//!   it is a different (Jacobi-style delayed-update) stream than serial
-//!   SGD, so models trained at different thread counts differ slightly.
+//!   sequential SGD stream (global Fisher–Yates visit order continuing
+//!   the initialization generator).
+//! * `threads > 1` (or `0` = all cores) opts into **block-sequential
+//!   cache-blocked SGD** (Gemulla-style stratified DSGD): users and items
+//!   are each partitioned into `B` contiguous blocks, where `B` is the
+//!   requested worker count clamped to the matrix dimensions. An epoch is
+//!   `B` sub-epochs; in sub-epoch `s`, cell `t` trains on (user block
+//!   `t`, item block `(t + s) mod B`). The `B` cells of one sub-epoch
+//!   touch pairwise-disjoint user *and* item factor rows, so they can run
+//!   in any order — or on any number of OS threads — and produce the
+//!   **same bits**. Each cell derives its visit order from a private
+//!   PRNG seeded by `(seed, epoch, sub-epoch, block)` only. There are no
+//!   epoch-start factor snapshots, no per-shard delta buffers, and no
+//!   merge pass: updates land in place, and the result is deterministic
+//!   for a fixed `(seed, threads)` pair regardless of the machine's
+//!   actual core count.
 //!
 //! Note the serial path reports the paper-era RMSE (pre-update error
-//! accumulated *during* the epoch) while the parallel path evaluates at
-//! epoch end; both converge to the same notion as training settles.
+//! accumulated *during* the epoch) while the block path evaluates at
+//! training end; both converge to the same notion as training settles.
 
+use crate::kernels;
 use crate::model::TrainError;
 use crate::parallel::effective_threads;
-use crate::ratings::RatingsMatrix;
+use crate::ratings::{Csr, RatingsMatrix};
 use recdb_guard::QueryGuard;
 
 /// Hyper-parameters for SGD matrix factorization.
@@ -61,7 +69,7 @@ pub struct SvdParams {
     pub seed: u64,
     /// SGD worker threads. `1` (the default) is the exact sequential
     /// update stream; `> 1` (or `0` = all cores) opts into deterministic
-    /// block-partitioned parallel SGD — see the module docs for the
+    /// block-sequential SGD — see the module docs for the
     /// reproducibility contract.
     pub threads: usize,
 }
@@ -105,14 +113,22 @@ impl XorShift64 {
     }
 }
 
+/// Fisher–Yates shuffle of `order` driven by `rng`.
+fn shuffle(order: &mut [u32], rng: &mut XorShift64) {
+    for k in (1..order.len()).rev() {
+        let j = (rng.next_u64() % (k as u64 + 1)) as usize;
+        order.swap(k, j);
+    }
+}
+
 /// A trained matrix-factorization model: the user and item factor tables.
 #[derive(Debug, Clone)]
 pub struct SvdModel {
     matrix: RatingsMatrix,
-    /// `user_factors[u * factors ..][..factors]` = p_u.
-    user_factors: Vec<f64>,
-    /// `item_factors[i * factors ..][..factors]` = q_i.
-    item_factors: Vec<f64>,
+    /// `user_factors[u * factors ..][..factors]` = p_u (flat row-major).
+    user_factors: Vec<f32>,
+    /// `item_factors[i * factors ..][..factors]` = q_i (flat row-major).
+    item_factors: Vec<f32>,
     factors: usize,
     params: SvdParams,
     /// Training RMSE after the final epoch (a health indicator).
@@ -153,11 +169,11 @@ impl SvdModel {
         } else {
             0.1
         };
-        let mut user_factors: Vec<f64> = (0..n_users * f)
-            .map(|_| scale * (0.5 + 0.5 * rng.next_f64()))
+        let mut user_factors: Vec<f32> = (0..n_users * f)
+            .map(|_| (scale * (0.5 + 0.5 * rng.next_f64())) as f32)
             .collect();
-        let mut item_factors: Vec<f64> = (0..n_items * f)
-            .map(|_| scale * (0.5 + 0.5 * rng.next_f64()))
+        let mut item_factors: Vec<f32> = (0..n_items * f)
+            .map(|_| (scale * (0.5 + 0.5 * rng.next_f64())) as f32)
             .collect();
 
         let threads = effective_threads(params.threads).min(n_users.max(1));
@@ -172,11 +188,15 @@ impl SvdModel {
                 governor,
             )?
         } else {
-            sgd_block_parallel(
+            // The block grid needs at least as many item blocks as user
+            // blocks for sub-epoch cells to stay disjoint, so B is also
+            // clamped by the item count.
+            let b = threads.min(n_items.max(1));
+            sgd_block_sequential(
                 &matrix,
                 &params,
                 f,
-                threads,
+                b,
                 &mut user_factors,
                 &mut item_factors,
                 governor,
@@ -218,12 +238,12 @@ impl SvdModel {
     }
 
     /// The user factor vector p_u (paper Figure 2a), by dense index.
-    pub fn user_vector(&self, u: usize) -> &[f64] {
+    pub fn user_vector(&self, u: usize) -> &[f32] {
         &self.user_factors[u * self.factors..(u + 1) * self.factors]
     }
 
     /// The item factor vector q_i (paper Figure 2b), by dense index.
-    pub fn item_vector(&self, i: usize) -> &[f64] {
+    pub fn item_vector(&self, i: usize) -> &[f32] {
         &self.item_factors[i * self.factors..(i + 1) * self.factors]
     }
 
@@ -233,6 +253,14 @@ impl SvdModel {
         let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item)) else {
             return 0.0;
         };
+        self.score_indexed(u, i)
+    }
+
+    /// [`score`](Self::score) for already-resolved dense indexes — the
+    /// hot-path variant that skips both HashMap id lookups. Callers that
+    /// iterate the dense index space (the evaluation harness, the score
+    /// materializer) resolve ids once and use this.
+    pub fn score_indexed(&self, u: usize, i: usize) -> f64 {
         if let Some(r) = self.matrix.rating_at(u, i) {
             return r;
         }
@@ -242,37 +270,94 @@ impl SvdModel {
     /// Predicted rating for an unseen pair only.
     pub fn predict(&self, user: i64, item: i64) -> Option<f64> {
         let (u, i) = (self.matrix.user_idx(user)?, self.matrix.item_idx(item)?);
+        self.predict_indexed(u, i)
+    }
+
+    /// [`predict`](Self::predict) for already-resolved dense indexes.
+    pub fn predict_indexed(&self, u: usize, i: usize) -> Option<f64> {
         if self.matrix.rating_at(u, i).is_some() {
             return None;
         }
         Some(self.dot(u, i))
     }
 
+    /// Batched raw scores: factor dot products of user `u` against the
+    /// contiguous item range `first_item .. first_item + out.len()`.
+    /// No rated-pair substitution — callers that need Algorithm 2
+    /// semantics overlay the user's own ratings afterwards (their CSR
+    /// row is sorted, so the overlay is a linear merge).
+    pub fn score_block(&self, u: usize, first_item: usize, out: &mut [f32]) {
+        let f = self.factors;
+        let lo = first_item * f;
+        let hi = lo + out.len() * f;
+        kernels::score_block(self.user_vector(u), &self.item_factors[lo..hi], f, out);
+    }
+
+    /// Batch-score every item the user has **not** rated, pushing
+    /// `(item_idx, score)` in ascending item order. Items are scored in
+    /// contiguous [`Self::score_block`] chunks and the user's sorted CSR
+    /// row is merged in to skip rated pairs, so ids and ratings resolve
+    /// once per user instead of once per pair. Produces bit-identical
+    /// scores to calling [`Self::predict_indexed`] per item.
+    pub fn score_unseen_into(&self, u: usize, out: &mut Vec<(usize, f64)>) {
+        const BLOCK: usize = 256;
+        let n_items = self.matrix.n_items();
+        let (rated, _) = self.matrix.user_csr().row(u);
+        let mut rated_pos = 0;
+        let mut buf = [0.0f32; BLOCK];
+        let mut first = 0;
+        while first < n_items {
+            let len = BLOCK.min(n_items - first);
+            self.score_block(u, first, &mut buf[..len]);
+            for (j, &s) in buf[..len].iter().enumerate() {
+                let i = first + j;
+                while rated_pos < rated.len() && (rated[rated_pos] as usize) < i {
+                    rated_pos += 1;
+                }
+                if rated_pos < rated.len() && rated[rated_pos] as usize == i {
+                    continue;
+                }
+                out.push((i, f64::from(s)));
+            }
+            first += len;
+        }
+    }
+
     fn dot(&self, u: usize, i: usize) -> f64 {
-        self.user_vector(u)
-            .iter()
-            .zip(self.item_vector(i))
-            .map(|(a, b)| a * b)
-            .sum()
+        f64::from(kernels::dot(self.user_vector(u), self.item_vector(i)))
     }
 }
 
-/// The exact sequential SGD loop (the historical update stream — `rng`
-/// continues the initialization generator, so results are bit-identical to
-/// pre-parallel releases). Returns the during-epoch training RMSE of the
-/// final epoch.
+/// Collect the CSR triples as `(user, item, rating)` with narrow indexes.
+fn collect_triples(matrix: &RatingsMatrix) -> Vec<(u32, u32, f32)> {
+    let csr = matrix.user_csr();
+    let mut triples = Vec::with_capacity(csr.nnz());
+    for u in 0..matrix.n_users() {
+        let (cols, vals) = csr.row(u);
+        for (&i, &r) in cols.iter().zip(vals) {
+            triples.push((u as u32, i, r));
+        }
+    }
+    triples
+}
+
+/// The exact sequential SGD loop (`rng` continues the initialization
+/// generator, so the update stream depends only on the seed). Returns the
+/// during-epoch training RMSE of the final epoch.
 #[allow(clippy::too_many_arguments)]
 fn sgd_serial(
     matrix: &RatingsMatrix,
     params: &SvdParams,
     f: usize,
     rng: &mut XorShift64,
-    user_factors: &mut [f64],
-    item_factors: &mut [f64],
+    user_factors: &mut [f32],
+    item_factors: &mut [f32],
     governor: Option<&QueryGuard>,
 ) -> Result<f64, TrainError> {
-    let triples: Vec<(usize, usize, f64)> = matrix.iter_dense().collect();
-    let mut order: Vec<usize> = (0..triples.len()).collect();
+    let triples = collect_triples(matrix);
+    let lr = params.learning_rate as f32;
+    let lambda = params.lambda as f32;
+    let mut order: Vec<u32> = (0..triples.len() as u32).collect();
     let mut final_rmse = 0.0;
     for _epoch in 0..params.epochs {
         if let Some(guard) = governor {
@@ -280,27 +365,16 @@ fn sgd_serial(
             guard.check()?;
         }
         // Fisher-Yates shuffle of the visit order each epoch.
-        for k in (1..order.len()).rev() {
-            let j = (rng.next_u64() % (k as u64 + 1)) as usize;
-            order.swap(k, j);
-        }
-        let mut sq_err = 0.0;
+        shuffle(&mut order, rng);
+        let mut sq_err = 0.0f64;
         for &t in &order {
-            let (u, i, r) = triples[t];
-            let pu = u * f;
-            let qi = i * f;
-            let mut dot = 0.0;
-            for k in 0..f {
-                dot += user_factors[pu + k] * item_factors[qi + k];
-            }
-            let err = r - dot;
-            sq_err += err * err;
-            for k in 0..f {
-                let puk = user_factors[pu + k];
-                let qik = item_factors[qi + k];
-                user_factors[pu + k] += params.learning_rate * (err * qik - params.lambda * puk);
-                item_factors[qi + k] += params.learning_rate * (err * puk - params.lambda * qik);
-            }
+            let (u, i, r) = triples[t as usize];
+            let (u, i) = (u as usize, i as usize);
+            let p = &mut user_factors[u * f..(u + 1) * f];
+            let q = &mut item_factors[i * f..(i + 1) * f];
+            let err = r - kernels::dot(p, q);
+            sq_err += f64::from(err) * f64::from(err);
+            kernels::sgd_step(p, q, err, lr, lambda);
         }
         final_rmse = if triples.is_empty() {
             0.0
@@ -311,107 +385,191 @@ fn sgd_serial(
     Ok(final_rmse)
 }
 
-/// Block-partitioned parallel SGD (module docs): contiguous user shards,
-/// one worker each, frozen item factors per epoch, per-shard item-delta
-/// accumulation merged in shard order. Deterministic for a fixed
-/// `(seed, threads)` pair. Returns the end-of-epoch training RMSE after
-/// the final epoch, measured by a parallel pass.
+/// One cell of the block grid: train on (user block `t`, item block `c`)
+/// with a visit order derived only from `(seed, epoch, sub, t)`. The
+/// borrow set is exactly the two factor chunks, which is what lets the
+/// `B` cells of a sub-epoch run concurrently without synchronization.
 #[allow(clippy::too_many_arguments)]
-fn sgd_block_parallel(
+fn run_cell(
+    csr: &Csr,
+    splits: &[u32],
+    b: usize,
+    per_u: usize,
+    per_i: usize,
+    f: usize,
+    seed: u64,
+    epoch: usize,
+    sub: usize,
+    t: usize,
+    c: usize,
+    u_chunk: &mut [f32],
+    i_chunk: &mut [f32],
+    lr: f32,
+    lambda: f32,
+) {
+    let first_user = t * per_u;
+    let item_base = c * per_i;
+    let users_in_block = u_chunk.len() / f;
+    // Distinct splitmix64-style stream per (epoch, sub-epoch, block): all
+    // inputs are fixed before the sub-epoch starts, hence deterministic.
+    let mut rng = XorShift64::new(
+        seed.wrapping_add((epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((sub as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((t as u64).wrapping_mul(0x94D0_49BB_1331_11EB)),
+    );
+    let mut order: Vec<u32> = (0..users_in_block as u32).collect();
+    shuffle(&mut order, &mut rng);
+    for &local in &order {
+        let local = local as usize;
+        let u = first_user + local;
+        // The CSR row is sorted by item index, so the entries belonging
+        // to item block `c` are one precomputed contiguous subrange.
+        let lo = splits[u * (b + 1) + c] as usize;
+        let hi = splits[u * (b + 1) + c + 1] as usize;
+        if lo == hi {
+            continue;
+        }
+        let (cols, vals) = csr.row(u);
+        let p = &mut u_chunk[local * f..(local + 1) * f];
+        for (&i, &r) in cols[lo..hi].iter().zip(&vals[lo..hi]) {
+            let qi = (i as usize - item_base) * f;
+            let q = &mut i_chunk[qi..qi + f];
+            let err = r - kernels::dot(p, q);
+            kernels::sgd_step(p, q, err, lr, lambda);
+        }
+    }
+}
+
+/// Block-sequential cache-blocked SGD (module docs): a `B × B` grid of
+/// (user block, item block) cells, `B` sub-epochs per epoch, cell
+/// `(t, (t + s) mod B)` trained in sub-epoch `s`. Updates land in the
+/// factor tables directly — no snapshots, no delta merges. Because the
+/// cells of a sub-epoch touch disjoint factor rows, running them on one
+/// thread in canonical order is bit-identical to running them on `B`
+/// threads, so the worker count below adapts to the machine while the
+/// result depends only on `(seed, B)`. Returns the end-of-training RMSE.
+#[allow(clippy::too_many_arguments)]
+fn sgd_block_sequential(
     matrix: &RatingsMatrix,
     params: &SvdParams,
     f: usize,
-    threads: usize,
-    user_factors: &mut [f64],
-    item_factors: &mut [f64],
+    b: usize,
+    user_factors: &mut [f32],
+    item_factors: &mut [f32],
     governor: Option<&QueryGuard>,
 ) -> Result<f64, TrainError> {
     let n_users = matrix.n_users();
-    let per = n_users.div_ceil(threads);
-    let lr = params.learning_rate;
-    let lambda = params.lambda;
+    let n_items = matrix.n_items();
+    let csr = matrix.user_csr();
+    let per_u = n_users.div_ceil(b);
+    let per_i = n_items.div_ceil(b);
+    let lr = params.learning_rate as f32;
+    let lambda = params.lambda as f32;
+
+    // Split every user's CSR row at the item-block boundaries once:
+    // splits[u*(B+1) + k] = first position in row(u) with item ≥ k·per_i.
+    let mut splits: Vec<u32> = Vec::with_capacity(n_users * (b + 1));
+    for u in 0..n_users {
+        let (cols, _) = csr.row(u);
+        for k in 0..=b {
+            let bound = (k * per_i).min(n_items) as u32;
+            splits.push(cols.partition_point(|&col| col < bound) as u32);
+        }
+    }
+
+    // Hardware workers actually used; the schedule and the bits do not
+    // depend on this (disjoint cells), only wall-clock does. On a single
+    // core the cells run inline with zero spawn overhead.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(b);
     for epoch in 0..params.epochs {
-        // Epoch-coordinator check: one guard/fault evaluation per epoch
-        // barrier, so workers stay check-free and lock-free.
+        // Epoch-coordinator check: one guard/fault evaluation per epoch,
+        // so cells stay check-free and lock-free.
         if let Some(guard) = governor {
             recdb_fault::fail_point("algo::svd_epoch")?;
             guard.check()?;
         }
-        let frozen_items = item_factors.to_owned();
-        let deltas: Vec<Vec<f64>> = std::thread::scope(|s| {
-            let handles: Vec<_> = user_factors
-                .chunks_mut(per * f)
-                .enumerate()
-                .map(|(shard, chunk)| {
-                    let frozen = &frozen_items;
-                    s.spawn(move || {
-                        let first_user = shard * per;
-                        let shard_users = chunk.len() / f;
-                        // Per-(epoch, shard) visit order: stochastic like
-                        // serial SGD, but derived only from values fixed
-                        // before the epoch starts, hence deterministic.
-                        let mut rng = XorShift64::new(
-                            params.seed
-                                ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                                ^ ((shard as u64 + 1) << 32),
-                        );
-                        let mut order: Vec<usize> = (0..shard_users).collect();
-                        for k in (1..order.len()).rev() {
-                            let j = (rng.next_u64() % (k as u64 + 1)) as usize;
-                            order.swap(k, j);
-                        }
-                        let mut delta = vec![0.0f64; frozen.len()];
-                        for &local in &order {
-                            let pu = local * f;
-                            for &(i, r) in matrix.user_row(first_user + local) {
-                                let qi = i * f;
-                                let mut dot = 0.0;
-                                for k in 0..f {
-                                    dot += chunk[pu + k] * frozen[qi + k];
-                                }
-                                let err = r - dot;
-                                for k in 0..f {
-                                    let puk = chunk[pu + k];
-                                    let qik = frozen[qi + k];
-                                    chunk[pu + k] += lr * (err * qik - lambda * puk);
-                                    delta[qi + k] += lr * (err * puk - lambda * qik);
-                                }
-                            }
-                        }
-                        delta
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("SGD shard worker panicked"))
-                .collect()
-        });
-        // Fold item deltas in fixed shard order — float addition is not
-        // associative, so the order must not depend on thread timing.
-        for delta in &deltas {
-            for (q, d) in item_factors.iter_mut().zip(delta) {
-                *q += *d;
+        for sub in 0..b {
+            if workers <= 1 {
+                let mut items = &mut *item_factors;
+                let mut item_chunks: Vec<Option<&mut [f32]>> = Vec::with_capacity(b);
+                while !items.is_empty() {
+                    let take = (per_i * f).min(items.len());
+                    let (head, rest) = items.split_at_mut(take);
+                    item_chunks.push(Some(head));
+                    items = rest;
+                }
+                for (t, u_chunk) in user_factors.chunks_mut(per_u * f).enumerate() {
+                    let c = (t + sub) % b;
+                    let Some(i_chunk) = item_chunks.get_mut(c).and_then(Option::take) else {
+                        continue;
+                    };
+                    run_cell(
+                        csr,
+                        &splits,
+                        b,
+                        per_u,
+                        per_i,
+                        f,
+                        params.seed,
+                        epoch,
+                        sub,
+                        t,
+                        c,
+                        u_chunk,
+                        i_chunk,
+                        lr,
+                        lambda,
+                    );
+                }
+            } else {
+                let splits = &splits;
+                std::thread::scope(|scope| {
+                    let mut item_chunks: Vec<Option<&mut [f32]>> =
+                        item_factors.chunks_mut(per_i * f).map(Some).collect();
+                    for (t, u_chunk) in user_factors.chunks_mut(per_u * f).enumerate() {
+                        let c = (t + sub) % b;
+                        let Some(i_chunk) = item_chunks.get_mut(c).and_then(Option::take) else {
+                            continue;
+                        };
+                        scope.spawn(move || {
+                            run_cell(
+                                csr,
+                                splits,
+                                b,
+                                per_u,
+                                per_i,
+                                f,
+                                params.seed,
+                                epoch,
+                                sub,
+                                t,
+                                c,
+                                u_chunk,
+                                i_chunk,
+                                lr,
+                                lambda,
+                            );
+                        });
+                    }
+                });
             }
         }
     }
-    let triples: Vec<(usize, usize, f64)> = matrix.iter_dense().collect();
-    Ok(parallel_rmse(
-        &triples,
-        user_factors,
-        item_factors,
-        f,
-        threads,
-    ))
+    let triples = collect_triples(matrix);
+    Ok(parallel_rmse(&triples, user_factors, item_factors, f, b))
 }
 
-/// RMSE over `triples` with the given factor tables, computed by `threads`
-/// workers over contiguous slices; partial sums are combined in slice
-/// order, so the result is deterministic for a fixed thread count.
+/// RMSE over `triples` with the given factor tables. The triples are cut
+/// into `threads` contiguous chunks and the per-chunk partial sums are
+/// combined in slice order, so the result is deterministic for a fixed
+/// chunk count whether the chunks run inline or on worker threads.
 fn parallel_rmse(
-    triples: &[(usize, usize, f64)],
-    user_factors: &[f64],
-    item_factors: &[f64],
+    triples: &[(u32, u32, f32)],
+    user_factors: &[f32],
+    item_factors: &[f32],
     f: usize,
     threads: usize,
 ) -> f64 {
@@ -419,29 +577,33 @@ fn parallel_rmse(
         return 0.0;
     }
     let per = triples.len().div_ceil(threads.max(1));
-    let partials: Vec<f64> = std::thread::scope(|s| {
-        let handles: Vec<_> = triples
-            .chunks(per)
-            .map(|slice| {
-                s.spawn(move || {
-                    let mut sq = 0.0;
-                    for &(u, i, r) in slice {
-                        let mut dot = 0.0;
-                        for k in 0..f {
-                            dot += user_factors[u * f + k] * item_factors[i * f + k];
-                        }
-                        let err = r - dot;
-                        sq += err * err;
-                    }
-                    sq
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("RMSE worker panicked"))
-            .collect()
-    });
+    let chunk_sum = |slice: &[(u32, u32, f32)]| {
+        let mut sq = 0.0f64;
+        for &(u, i, r) in slice {
+            let p = &user_factors[u as usize * f..(u as usize + 1) * f];
+            let q = &item_factors[i as usize * f..(i as usize + 1) * f];
+            let err = f64::from(r) - f64::from(kernels::dot(p, q));
+            sq += err * err;
+        }
+        sq
+    };
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let partials: Vec<f64> = if hw <= 1 {
+        triples.chunks(per).map(chunk_sum).collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = triples
+                .chunks(per)
+                .map(|slice| s.spawn(|| chunk_sum(slice)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("RMSE worker panicked"))
+                .collect()
+        })
+    };
     (partials.iter().sum::<f64>() / triples.len() as f64).sqrt()
 }
 
@@ -629,6 +791,29 @@ mod tests {
     }
 
     #[test]
+    fn block_count_clamps_to_item_count() {
+        // Many users, 2 items: the block grid must clamp B to the item
+        // count so sub-epoch cells keep disjoint item blocks.
+        let mut ratings = Vec::new();
+        for u in 0..20i64 {
+            ratings.push(Rating::new(u, 0, 2.0 + (u % 3) as f64));
+            ratings.push(Rating::new(u, 1, 3.0));
+        }
+        let params = SvdParams {
+            factors: 4,
+            epochs: 15,
+            threads: 8,
+            ..Default::default()
+        };
+        let a = SvdModel::train(RatingsMatrix::from_ratings(ratings.clone()), params);
+        let b = SvdModel::train(RatingsMatrix::from_ratings(ratings), params);
+        assert!(a.final_rmse().is_finite());
+        for u in 0..20 {
+            assert_eq!(a.user_vector(u), b.user_vector(u), "user {u}");
+        }
+    }
+
+    #[test]
     fn empty_matrix_parallel_trains_without_panic() {
         let model = SvdModel::train(
             RatingsMatrix::default(),
@@ -638,6 +823,68 @@ mod tests {
             },
         );
         assert_eq!(model.final_rmse(), 0.0);
+    }
+
+    #[test]
+    fn score_indexed_matches_score() {
+        let model = SvdModel::train(dense_block(), SvdParams::default());
+        let m = model.matrix().clone();
+        for &user in m.user_ids() {
+            for &item in m.item_ids() {
+                let (u, i) = (m.user_idx(user).unwrap(), m.item_idx(item).unwrap());
+                assert_eq!(model.score(user, item), model.score_indexed(u, i));
+                assert_eq!(model.predict(user, item), model.predict_indexed(u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_matches_per_pair_dots() {
+        let model = SvdModel::train(
+            dense_block(),
+            SvdParams {
+                factors: 5,
+                epochs: 10,
+                ..Default::default()
+            },
+        );
+        let n_items = model.matrix().n_items();
+        let mut out = vec![0.0f32; n_items];
+        for u in 0..model.matrix().n_users() {
+            model.score_block(u, 0, &mut out);
+            for (i, &s) in out.iter().enumerate() {
+                let expected = kernels::dot(model.user_vector(u), model.item_vector(i));
+                assert_eq!(s.to_bits(), expected.to_bits(), "user {u} item {i}");
+            }
+            // A block starting mid-range scores the same items.
+            let mut tail = vec![0.0f32; n_items - 2];
+            model.score_block(u, 2, &mut tail);
+            for (j, &s) in tail.iter().enumerate() {
+                assert_eq!(s.to_bits(), out[j + 2].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn score_unseen_matches_per_pair_predictions() {
+        let model = SvdModel::train(
+            dense_block(),
+            SvdParams {
+                factors: 6,
+                epochs: 15,
+                ..Default::default()
+            },
+        );
+        let m = model.matrix().clone();
+        let mut out = Vec::new();
+        for u in 0..m.n_users() {
+            out.clear();
+            model.score_unseen_into(u, &mut out);
+            let expected: Vec<(usize, f64)> = (0..m.n_items())
+                .filter_map(|i| model.predict_indexed(u, i).map(|s| (i, s)))
+                .collect();
+            assert_eq!(out, expected, "user {u}");
+        }
     }
 
     #[test]

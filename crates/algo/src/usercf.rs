@@ -75,17 +75,17 @@ impl UserCfModel {
     /// Transposed Eq. 2 for dense indexes, `None` when no neighbor of `u`
     /// rated `i`.
     pub fn predict_dense(&self, u: usize, i: usize) -> Option<f64> {
-        let raters = self.matrix.item_col(i);
+        let (raters, ratings) = self.matrix.item_csr().row(i);
         let neighbors = self.neighborhood.neighbors(u);
         let (mut a, mut b) = (0, 0);
         let mut num = 0.0;
         let mut den = 0.0;
         while a < raters.len() && b < neighbors.len() {
-            match raters[a].0.cmp(&neighbors[b].0) {
+            match (raters[a] as usize).cmp(&neighbors[b].0) {
                 std::cmp::Ordering::Less => a += 1,
                 std::cmp::Ordering::Greater => b += 1,
                 std::cmp::Ordering::Equal => {
-                    let (r_vi, sim) = (raters[a].1, neighbors[b].1);
+                    let (r_vi, sim) = (f64::from(ratings[a]), neighbors[b].1);
                     num += sim * r_vi;
                     den += sim.abs();
                     a += 1;
@@ -106,6 +106,12 @@ impl UserCfModel {
         let (Some(u), Some(i)) = (self.matrix.user_idx(user), self.matrix.item_idx(item)) else {
             return 0.0;
         };
+        self.score_indexed(u, i)
+    }
+
+    /// [`score`](Self::score) for already-resolved dense indexes (skips
+    /// the two HashMap id lookups on hot paths).
+    pub fn score_indexed(&self, u: usize, i: usize) -> f64 {
         if let Some(r) = self.matrix.rating_at(u, i) {
             return r;
         }
@@ -115,6 +121,11 @@ impl UserCfModel {
     /// Predicted rating for an unseen pair only.
     pub fn predict(&self, user: i64, item: i64) -> Option<f64> {
         let (u, i) = (self.matrix.user_idx(user)?, self.matrix.item_idx(item)?);
+        self.predict_indexed(u, i)
+    }
+
+    /// [`predict`](Self::predict) for already-resolved dense indexes.
+    pub fn predict_indexed(&self, u: usize, i: usize) -> Option<f64> {
         if self.matrix.rating_at(u, i).is_some() {
             return None;
         }

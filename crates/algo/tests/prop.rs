@@ -169,4 +169,63 @@ proptest! {
             }
         }
     }
+
+    /// The CSR views round-trip the jagged rows exactly: same coordinates
+    /// in the same order, and — because ratings are half-star values —
+    /// the f32 cast is lossless.
+    #[test]
+    fn csr_round_trips_jagged_rows(ratings in ratings_strategy()) {
+        let m = RatingsMatrix::from_ratings(ratings);
+        prop_assert_eq!(m.user_csr().nnz(), m.n_ratings());
+        prop_assert_eq!(m.item_csr().nnz(), m.n_ratings());
+        prop_assert_eq!(m.user_csr().n_rows(), m.n_users());
+        prop_assert_eq!(m.item_csr().n_rows(), m.n_items());
+        for u in 0..m.n_users() {
+            let (cols, vals) = m.user_csr().row(u);
+            let jagged = m.user_row(u);
+            prop_assert_eq!(cols.len(), jagged.len());
+            for (k, &(i, r)) in jagged.iter().enumerate() {
+                prop_assert_eq!(cols[k] as usize, i);
+                prop_assert_eq!(f64::from(vals[k]), r, "half-star ratings are f32-exact");
+            }
+        }
+        for i in 0..m.n_items() {
+            let (rows, vals) = m.item_csr().row(i);
+            let jagged = m.item_col(i);
+            prop_assert_eq!(rows.len(), jagged.len());
+            for (k, &(u, r)) in jagged.iter().enumerate() {
+                prop_assert_eq!(rows[k] as usize, u);
+                prop_assert_eq!(f64::from(vals[k]), r);
+            }
+        }
+    }
+
+    /// The block-sequential parallel SGD schedule is deterministic: a
+    /// fixed (seed, threads) pair yields bit-identical factor matrices
+    /// across runs, at every thread count.
+    #[test]
+    fn svd_block_schedule_deterministic(
+        ratings in ratings_strategy(),
+        seed in 1u64..500,
+        threads in 2usize..6,
+    ) {
+        let params = SvdParams { epochs: 3, factors: 4, seed, threads, ..SvdParams::default() };
+        let a = SvdModel::train(RatingsMatrix::from_ratings(ratings.clone()), params);
+        let b = SvdModel::train(RatingsMatrix::from_ratings(ratings.clone()), params);
+        let matrix = RatingsMatrix::from_ratings(ratings);
+        for u in 0..matrix.n_users() {
+            let (av, bv) = (a.user_vector(u), b.user_vector(u));
+            prop_assert_eq!(av.len(), bv.len());
+            for (x, y) in av.iter().zip(bv) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "user {} factors diverged", u);
+            }
+        }
+        for i in 0..matrix.n_items() {
+            let (av, bv) = (a.item_vector(i), b.item_vector(i));
+            prop_assert_eq!(av.len(), bv.len());
+            for (x, y) in av.iter().zip(bv) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "item {} factors diverged", i);
+            }
+        }
+    }
 }

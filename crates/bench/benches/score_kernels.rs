@@ -1,0 +1,63 @@
+//! Score-kernel microbenchmarks: the flat-f32 `dot` and the batched
+//! `score_block` from `recdb_algo::kernels`, at the two factor widths the
+//! system actually runs (16 = accuracy-eval default, 64 ≈ the bench
+//! config's 50 rounded up to a lane multiple). Each iteration scores one
+//! user vector against a 1000-item factor block — the materialization
+//! unit shape — so the `dot` series measures per-pair call overhead and
+//! the `score_block` series the batched path over the same arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_algo::kernels::{dot, score_block};
+use std::time::Duration;
+
+/// Items per scored block (the materialization loop's unit of work).
+const BLOCK_ITEMS: usize = 1000;
+
+/// Deterministic xorshift64 fill in [0, 1) — no RNG dependency.
+fn factors(f: usize, n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.max(1);
+    (0..n * f)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32
+        })
+        .collect()
+}
+
+fn bench_score_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_kernels");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for f in [16usize, 64] {
+        let user = factors(f, 1, 1);
+        let items = factors(f, BLOCK_ITEMS, 2);
+        group.bench_with_input(BenchmarkId::new("dot", format!("f{f}")), &f, |b, &f| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for chunk in items.chunks_exact(f) {
+                    acc += dot(&user, chunk);
+                }
+                acc
+            })
+        });
+        let mut out = vec![0.0f32; BLOCK_ITEMS];
+        group.bench_with_input(
+            BenchmarkId::new("score_block", format!("f{f}")),
+            &f,
+            |b, &f| {
+                b.iter(|| {
+                    score_block(&user, &items, f, &mut out);
+                    out[BLOCK_ITEMS - 1]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_kernels);
+criterion_main!(benches);

@@ -3,11 +3,13 @@
 //! reports.
 //!
 //! ```text
-//! experiments [table2|build|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|all]
+//! experiments [table2|build|score|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|all]
 //! ```
 //!
 //! `build` measures serial-vs-parallel model-build wall time and writes
-//! the machine-readable `BENCH_build.json` at the repository root.
+//! the machine-readable `BENCH_build.json` at the repository root;
+//! `score` measures per-pair vs batched materialization scoring
+//! throughput and writes `BENCH_score.json` next to it.
 //!
 //! Absolute numbers will differ from the paper (the substrate is this
 //! repository's storage engine, not PostgreSQL 9.2 on the authors'
@@ -33,6 +35,10 @@ fn main() {
     }
     if run_all || arg == "build" {
         build_scaling();
+        ran = true;
+    }
+    if run_all || arg == "score" {
+        score_sweep();
         ran = true;
     }
     if run_all || arg == "fig6" {
@@ -70,8 +76,8 @@ fn main() {
     }
     if !ran {
         eprintln!(
-            "unknown experiment `{arg}`; expected table2, build, fig6..fig12, \
-             ablations, or all"
+            "unknown experiment `{arg}`; expected table2, build, score, \
+             fig6..fig12, ablations, or all"
         );
         std::process::exit(2);
     }
@@ -172,7 +178,8 @@ fn build_scaling() {
                 );
                 rows.push(format!(
                     "    {{\"dataset\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \
-                     \"build_ms\": {:.3}, \"speedup\": {:.3}}}",
+                     \"build_ms\": {:.3}, \"speedup\": {:.3}, \
+                     \"impl\": \"csr-blocked\"}}",
                     spec.name, algo, threads, ms, speedup
                 ));
             }
@@ -187,6 +194,115 @@ fn build_scaling() {
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_build.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Per-pair vs batched materialization scoring throughput on MovieLens
+/// SVD, plus the `BENCH_score.json` artifact. The per-pair path is the
+/// legacy materialization loop (id lookups + one `predict` per item); the
+/// batched path resolves the user index once and scores 256-item blocks
+/// through the flat-f32 `score_block` kernel.
+fn score_sweep() {
+    header(
+        "Score batching: per-pair vs batched materialization throughput",
+        "both paths score every unseen (user, item) pair for a user sample \
+         with the same SVD model; identical scores, different loop shape",
+    );
+    let spec = SyntheticSpec::movielens();
+    let dataset = recdb_datasets::generate(&spec);
+    let ratings = dataset.algo_ratings();
+    let config: TrainConfig = bench_config().train;
+    let model = RecModel::train(
+        Algorithm::Svd,
+        RatingsMatrix::from_ratings(ratings.iter().copied()),
+        &config,
+    );
+    let matrix = model.matrix();
+    const SAMPLE_USERS: usize = 200;
+    let users: Vec<i64> = matrix
+        .user_ids()
+        .iter()
+        .copied()
+        .take(SAMPLE_USERS)
+        .collect();
+    let pairs: usize = users
+        .iter()
+        .map(|&user| {
+            let u = matrix.user_idx(user).expect("sampled from user_ids");
+            matrix.n_items() - matrix.user_csr().row(u).0.len()
+        })
+        .sum();
+
+    let t_pair = time_median(REPS, || {
+        let mut acc = 0.0;
+        for &user in &users {
+            for &item in matrix.item_ids() {
+                if matrix.rating_of(user, item).is_none() {
+                    acc += model.predict(user, item).unwrap_or(0.0);
+                }
+            }
+        }
+        acc
+    });
+    let t_batch = time_median(REPS, || {
+        let mut acc = 0.0;
+        let mut buf = Vec::new();
+        for &user in &users {
+            let u = matrix.user_idx(user).expect("sampled from user_ids");
+            buf.clear();
+            model.score_unseen_into(u, &mut buf);
+            acc += buf.iter().map(|&(_, s)| s).sum::<f64>();
+        }
+        acc
+    });
+
+    let pps = |t: Duration| pairs as f64 / t.as_secs_f64().max(1e-12);
+    let speedup = pps(t_batch) / pps(t_pair).max(1e-12);
+    println!(
+        "{:<10} {:>10} {:>12} {:>16}",
+        "path", "pairs", "time", "pairs/sec"
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>16.0}",
+        "per-pair",
+        pairs,
+        secs(t_pair),
+        pps(t_pair)
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>16.0}",
+        "batched",
+        pairs,
+        secs(t_batch),
+        pps(t_batch)
+    );
+    println!("batched speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"score_batching\",\n  \"dataset\": \"{}\",\n  \
+         \"algo\": \"SVD\",\n  \"impl\": \"csr-blocked\",\n  \"factors\": {},\n  \
+         \"sampled_users\": {},\n  \"pairs\": {},\n  \"reps\": {},\n  \
+         \"note\": \"pairs/sec over every unseen (user, item) pair for the \
+         sampled users; per_pair is the legacy id-lookup loop, batched is \
+         score_block materialization\",\n  \"results\": [\n    \
+         {{\"path\": \"per_pair\", \"elapsed_ms\": {:.3}, \"pairs_per_sec\": {:.0}}},\n    \
+         {{\"path\": \"batched\", \"elapsed_ms\": {:.3}, \"pairs_per_sec\": {:.0}}}\n  ],\n  \
+         \"batched_speedup\": {:.3}\n}}\n",
+        spec.name,
+        config.svd.factors,
+        users.len(),
+        pairs,
+        REPS,
+        t_pair.as_secs_f64() * 1e3,
+        pps(t_pair),
+        t_batch.as_secs_f64() * 1e3,
+        pps(t_batch),
+        speedup
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_score.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -313,14 +313,19 @@ impl Recommender {
                         return;
                     }
                 }
+                // `users` is the matrix's dense user-id list, so `pos` IS
+                // the dense user index: scoring goes through the batched
+                // kernel path with no per-pair id lookups. The governor is
+                // charged once per chunk (above), not per pair.
+                let matrix = model.matrix();
+                let mut scored = Vec::new();
                 for pos in range {
-                    let user = users[pos];
-                    let mut entries = Vec::new();
-                    for &item in model.matrix().item_ids() {
-                        if model.matrix().rating_of(user, item).is_none() {
-                            entries.push((item, model.predict(user, item).unwrap_or(0.0)));
-                        }
-                    }
+                    scored.clear();
+                    model.score_unseen_into(pos, &mut scored);
+                    let entries = scored
+                        .iter()
+                        .map(|&(i, s)| (matrix.item_id(i), s))
+                        .collect();
                     out.push((pos, entries));
                 }
             },
@@ -369,8 +374,13 @@ impl Recommender {
         for &(u, i) in &decision.evicted {
             index.remove(u, i);
         }
+        let matrix = self.model.matrix();
         for &(u, i) in &decision.admitted {
-            index.insert(u, i, self.model.predict(u, i).unwrap_or(0.0));
+            let score = match (matrix.user_idx(u), matrix.item_idx(i)) {
+                (Some(ui), Some(ii)) => self.model.predict_indexed(ui, ii).unwrap_or(0.0),
+                _ => 0.0,
+            };
+            index.insert(u, i, score);
         }
         self.index = Some(Arc::new(index));
         decision
@@ -430,9 +440,17 @@ fn refresh_index(
         if old.is_complete(user) {
             materialize_user_into(&mut fresh, model, user);
         } else {
+            let u = model.matrix().user_idx(user);
             for (item, _) in old.iter_desc(user, None, None) {
-                if model.matrix().rating_of(user, item).is_none() {
-                    fresh.insert(user, item, model.predict(user, item).unwrap_or(0.0));
+                match u.zip(model.matrix().item_idx(item)) {
+                    Some((u, i)) => {
+                        if model.matrix().rating_at(u, i).is_none() {
+                            fresh.insert(user, item, model.predict_indexed(u, i).unwrap_or(0.0));
+                        }
+                    }
+                    // Ids the new model doesn't know keep the legacy
+                    // unpredictable-pair score of 0.0.
+                    None => fresh.insert(user, item, 0.0),
                 }
             }
         }
@@ -441,9 +459,24 @@ fn refresh_index(
 }
 
 fn materialize_user_into(index: &mut RecScoreIndex, model: &RecModel, user: i64) {
-    for &item in model.matrix().item_ids() {
-        if model.matrix().rating_of(user, item).is_none() {
-            index.insert(user, item, model.predict(user, item).unwrap_or(0.0));
+    let matrix = model.matrix();
+    match matrix.user_idx(user) {
+        Some(u) => {
+            // Batched path: resolve the user index once, score every
+            // unseen item through the model's block kernel, then map dense
+            // item indexes back to ids.
+            let mut scored = Vec::new();
+            model.score_unseen_into(u, &mut scored);
+            for (i, score) in scored {
+                index.insert(user, matrix.item_id(i), score);
+            }
+        }
+        None => {
+            // Unknown user: every item is unseen and unpredictable → 0.0,
+            // matching the per-pair `predict(..).unwrap_or(0.0)` behavior.
+            for &item in matrix.item_ids() {
+                index.insert(user, item, 0.0);
+            }
         }
     }
     index.mark_complete(user);
