@@ -42,16 +42,13 @@ fn bench_ablations(c: &mut Criterion) {
     let items = item_subset(n_items, 1.0, 7);
     let sel = select_of(&recdb_selectivity_sql(algo, &items));
     {
-        let naive = build_logical(&sel, world.db.catalog()).unwrap();
-        let ctx = ExecContext::new(
-            world.db.catalog(),
-            &world.db,
-            recdb_core::QueryGuard::unlimited(),
-        );
+        let catalog = world.db.catalog();
+        let naive = build_logical(&sel, &catalog).unwrap();
+        let ctx = ExecContext::new(&catalog, &world.db, recdb_core::QueryGuard::unlimited());
         group.bench_function("pushdown/naive_recommend_then_filter", |b| {
             b.iter(|| execute_plan(&naive, &ctx).unwrap())
         });
-        let optimized = optimize(build_logical(&sel, world.db.catalog()).unwrap());
+        let optimized = optimize(build_logical(&sel, &catalog).unwrap());
         group.bench_function("pushdown/filter_recommend", |b| {
             b.iter(|| execute_plan(&optimized, &ctx).unwrap())
         });
@@ -60,17 +57,13 @@ fn bench_ablations(c: &mut Criterion) {
     // ---- join: hash join vs JoinRecommend ---------------------------
     let join_sel = select_of(&recdb_join1_sql(algo, user, "Action"));
     {
-        let ctx = ExecContext::new(
-            world.db.catalog(),
-            &world.db,
-            recdb_core::QueryGuard::unlimited(),
-        );
-        let pushdown_only =
-            optimize_pushdown_only(build_logical(&join_sel, world.db.catalog()).unwrap());
+        let catalog = world.db.catalog();
+        let ctx = ExecContext::new(&catalog, &world.db, recdb_core::QueryGuard::unlimited());
+        let pushdown_only = optimize_pushdown_only(build_logical(&join_sel, &catalog).unwrap());
         group.bench_function("join/recommend_then_hash_join", |b| {
             b.iter(|| execute_plan(&pushdown_only, &ctx).unwrap())
         });
-        let full = optimize(build_logical(&join_sel, world.db.catalog()).unwrap());
+        let full = optimize(build_logical(&join_sel, &catalog).unwrap());
         group.bench_function("join/join_recommend", |b| {
             b.iter(|| execute_plan(&full, &ctx).unwrap())
         });

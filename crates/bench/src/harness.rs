@@ -90,7 +90,7 @@ impl World {
             .map(|k| ((k * n_users.max(1) / HOT_USERS.max(1)) + 1) as i64)
             .collect();
         for algo in algorithms {
-            let rec = db
+            let mut rec = db
                 .recommender_mut(&format!("bench_{algo}"))
                 .expect("recommender exists");
             for &u in &hot_users {

@@ -1,8 +1,36 @@
 //! The RecDB engine façade: parse → plan → optimize → execute, plus the
-//! recommender lifecycle (§III).
+//! recommender lifecycle (§III) and the concurrency-control layer.
+//!
+//! # Concurrency model
+//!
+//! [`RecDb`] takes `&self` everywhere and is `Send + Sync`: wrap it in an
+//! `Arc` and issue statements from as many threads as you like, each
+//! through its own [`Session`]. Isolation is strict two-phase locking at
+//! table granularity via [`recdb_txn::LockTable`]: readers take shared
+//! locks (and never block each other), writers take exclusive locks, and
+//! every lock is held to the end of the enclosing transaction. There is no
+//! deadlock detector — contended acquisitions time out after
+//! [`RecDbConfig::lock_timeout`] with [`EngineError::LockTimeout`], and
+//! within a single statement locks are acquired in sorted order so one
+//! statement can never deadlock another.
+//!
+//! Underneath the lock table sit short-lived latches in a fixed order
+//! (checkpoint latch → catalog → recommenders → durability), held only for
+//! the memory mutation itself, never across model training or a lock-table
+//! wait.
+//!
+//! Every statement runs inside a transaction. Statements outside an
+//! explicit `BEGIN` auto-commit an *implicit* one; either way a failed,
+//! cancelled, or panicking statement rolls back its physical undo log and
+//! releases its locks, so the engine keeps serving. Explicit transactions
+//! write `TxnBegin`/`InTxn`/`TxnCommit` WAL records and fsync once at
+//! COMMIT; recovery replays only transactions whose commit marker made it
+//! to disk.
 
 use crate::error::{EngineError, EngineResult};
-use crate::recommender::Recommender;
+use crate::recommender::{load_matrix, Recommender};
+use crate::session::{ActiveTxn, Session, TxnState, UndoOp};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use recdb_algo::model::TrainConfig;
 use recdb_algo::Algorithm;
 use recdb_exec::expr::{bind, literal_value};
@@ -17,11 +45,15 @@ use recdb_storage::{
     codec, read_snapshot, write_snapshot, Catalog, DataType, RecoveryMode, Schema, StorageError,
     Tuple,
 };
+use recdb_txn::{LockError, LockMode, LockTable, TxnId};
 use recdb_wal::{Wal, WalRecord};
+use std::collections::BTreeSet;
+use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::{Duration, Instant};
 
 /// WAL file name within a data directory.
 const WAL_FILE: &str = "wal.log";
@@ -29,6 +61,10 @@ const WAL_FILE: &str = "wal.log";
 /// Bucket bounds (microseconds) for the per-algorithm model-build
 /// histogram: 100µs to 10s, one decade per bucket.
 const MODEL_BUILD_BUCKETS: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// How long a draining checkpoint parks between re-checks of the
+/// transaction gate.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
 
 /// Default resource limits applied to every statement (and model build)
 /// the engine runs. `None` everywhere means ungoverned — the default.
@@ -91,6 +127,11 @@ pub struct RecDbConfig {
     /// uses the wall clock ([`SystemClock`]); tests inject a
     /// [`recdb_obs::ManualClock`] for byte-stable timings.
     pub profile_clock: Option<Arc<dyn Clock>>,
+    /// How long a statement waits for a contended table lock before
+    /// failing with [`EngineError::LockTimeout`] (also the budget a
+    /// checkpoint spends waiting for open transactions to drain). A zero
+    /// timeout never blocks: contended acquisitions fail immediately.
+    pub lock_timeout: Duration,
 }
 
 impl Default for RecDbConfig {
@@ -105,6 +146,7 @@ impl Default for RecDbConfig {
             data_dir: None,
             recovery: RecoveryMode::Strict,
             profile_clock: None,
+            lock_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -137,6 +179,12 @@ pub enum QueryResult {
     Updated(usize),
     /// A `SELECT` produced rows.
     Rows(ResultSet),
+    /// `BEGIN` opened an explicit transaction.
+    TransactionStarted,
+    /// `COMMIT` made the transaction's effects durable and visible.
+    TransactionCommitted,
+    /// `ROLLBACK` undid the transaction.
+    TransactionRolledBack,
 }
 
 impl QueryResult {
@@ -184,22 +232,55 @@ struct RecommenderDef {
     algorithm: String,
 }
 
+/// The gate a checkpoint closes to drain explicit transactions: no new
+/// `BEGIN` is admitted while `draining`, and the checkpoint proceeds once
+/// `active` reaches zero.
+#[derive(Debug, Default)]
+struct TxnGate {
+    /// Open explicit transactions (implicit single-statement transactions
+    /// never enter the gate; the checkpoint latch serializes those).
+    active: usize,
+    /// A checkpoint is waiting for the gate to empty.
+    draining: bool,
+}
+
 /// The engine: catalog + recommenders + executor behind a SQL interface.
+///
+/// `Send + Sync`: share one engine across threads with `Arc` and give each
+/// thread its own [`Session`] (or use the engine-level [`RecDb::execute`],
+/// which auto-commits each statement through an internal default session).
 #[derive(Debug)]
 pub struct RecDb {
-    catalog: Catalog,
-    recommenders: Vec<Recommender>,
+    catalog: RwLock<Catalog>,
+    recommenders: RwLock<Vec<Recommender>>,
     config: RecDbConfig,
     /// Logical clock: one tick per executed statement. Drives the usage
     /// histograms deterministically.
-    clock: u64,
-    durability: Option<Durability>,
+    clock: AtomicU64,
+    durability: Option<Mutex<Durability>>,
     /// Engine-wide metric registry. Shared (`Arc`) so the WAL and the
     /// executor record into the same cells.
     metrics: Arc<Registry>,
     /// Time source for `EXPLAIN ANALYZE` ([`RecDbConfig::profile_clock`]
     /// or the wall clock).
     wall: Arc<dyn Clock>,
+    /// Table-granularity strict-2PL lock table.
+    locks: LockTable,
+    /// Next transaction id. Recovery seeds this past every id in the WAL
+    /// so a reopened engine can never collide with an old commit marker.
+    next_txn: AtomicU64,
+    /// Checkpoint drain gate for explicit transactions.
+    gate: StdMutex<TxnGate>,
+    gate_cond: Condvar,
+    /// Read side: held by every mutating statement across its memory
+    /// apply + WAL append, and by COMMIT across the commit marker + fsync.
+    /// Write side: the checkpoint — so a snapshot never captures half a
+    /// statement and a transaction's WAL records never straddle a prune.
+    ckpt_latch: RwLock<()>,
+    /// Session state behind [`RecDb::execute`]: `BEGIN` through the
+    /// engine-level API lands here. Statements outside one of its explicit
+    /// transactions bypass it entirely and run concurrently.
+    default_session: Mutex<TxnState>,
 }
 
 impl Default for RecDb {
@@ -224,14 +305,23 @@ impl RecDb {
             "RecDbConfig::data_dir requires RecDb::open_with_config (recovery can fail)"
         );
         let wall = profile_clock_or_wall(&config);
+        let metrics = Arc::new(Registry::new());
+        let locks = LockTable::new();
+        locks.attach_metrics(Arc::clone(&metrics));
         RecDb {
-            catalog: Catalog::new(),
-            recommenders: Vec::new(),
+            catalog: RwLock::new(Catalog::new()),
+            recommenders: RwLock::new(Vec::new()),
             config,
-            clock: 0,
+            clock: AtomicU64::new(0),
             durability: None,
-            metrics: Arc::new(Registry::new()),
+            metrics,
             wall,
+            locks,
+            next_txn: AtomicU64::new(1),
+            gate: StdMutex::new(TxnGate::default()),
+            gate_cond: Condvar::new(),
+            ckpt_latch: RwLock::new(()),
+            default_session: Mutex::new(TxnState::default()),
         }
     }
 
@@ -252,10 +342,13 @@ impl RecDb {
     ///
     /// 1. Restore the newest checkpoint (`catalog.meta` + page files),
     ///    verifying every page checksum under `config.recovery`.
-    /// 2. Replay WAL records with LSN beyond the checkpoint through the
-    ///    same catalog paths the live engine uses, so replay reproduces
+    /// 2. Scan the WAL once to find committed transactions: a transaction's
+    ///    [`WalRecord::InTxn`] records replay only if its `TxnCommit`
+    ///    marker made it to disk (a later `TxnAbort` unmarks it).
+    /// 3. Replay surviving records with LSN beyond the checkpoint through
+    ///    the same catalog paths the live engine uses, so replay reproduces
     ///    identical record ids.
-    /// 3. Rebuild recommender models from their recovered definitions —
+    /// 4. Rebuild recommender models from their recovered definitions —
     ///    models are derived state and are never logged.
     pub fn open_with_config(config: RecDbConfig) -> EngineResult<Self> {
         let Some(dir) = config.data_dir.clone() else {
@@ -264,37 +357,68 @@ impl RecDb {
         std::fs::create_dir_all(&dir)
             .map_err(|e| EngineError::Storage(StorageError::io("create data dir", e)))?;
         let snapshot = read_snapshot(&dir, config.recovery).map_err(corruption_to_engine)?;
-        let (catalog, meta, checkpoint_lsn) = match snapshot {
+        let (mut catalog, meta, checkpoint_lsn) = match snapshot {
             Some(s) => (s.catalog, s.meta, s.lsn),
             None => (Catalog::new(), Vec::new(), 0),
         };
         let mut defs = decode_recommender_meta(&meta)?;
         let opened = Wal::open(&dir.join(WAL_FILE), checkpoint_lsn)?;
         let salvage = matches!(config.recovery, RecoveryMode::SalvageToLastGood);
-        let wall = profile_clock_or_wall(&config);
-        let mut db = RecDb {
-            catalog,
-            recommenders: Vec::new(),
-            config,
-            clock: 0,
-            durability: None,
-            metrics: Arc::new(Registry::new()),
-            wall,
-        };
+        let metrics = Arc::new(Registry::new());
         if let Some(bytes) = opened.truncated {
-            db.metrics
+            metrics
                 .counter("recdb_recovery_truncated_bytes_total")
                 .add(bytes);
         }
+        // Pass 1: which transactions committed, and the highest txn id the
+        // log has ever seen (the id counter must restart past it, or a new
+        // uncommitted transaction could alias an old commit marker).
+        let mut committed: BTreeSet<TxnId> = BTreeSet::new();
+        let mut max_txn: TxnId = 0;
+        for (_, record) in &opened.records {
+            match record {
+                WalRecord::TxnBegin { txn } | WalRecord::InTxn { txn, .. } => {
+                    max_txn = max_txn.max(*txn);
+                }
+                WalRecord::TxnCommit { txn } => {
+                    max_txn = max_txn.max(*txn);
+                    committed.insert(*txn);
+                }
+                // An abort marker *after* a commit marker unmarks it: the
+                // abort path writes one when the commit fsync fails, and
+                // the live engine rolled the transaction back.
+                WalRecord::TxnAbort { txn } => {
+                    max_txn = max_txn.max(*txn);
+                    committed.remove(txn);
+                }
+                _ => {}
+            }
+        }
+        // Pass 2: redo. Bare records (auto-committed statements) always
+        // replay; wrapped ones only if their transaction committed.
+        let mut clock = 0u64;
         let mut replayed = 0u64;
         for (lsn, record) in opened.records {
             if lsn <= checkpoint_lsn {
                 // Already reflected in the restored pages.
                 continue;
             }
-            db.clock += 1;
+            let record = match record {
+                WalRecord::TxnBegin { .. }
+                | WalRecord::TxnCommit { .. }
+                | WalRecord::TxnAbort { .. } => continue,
+                WalRecord::InTxn { txn, record } => {
+                    if committed.contains(&txn) {
+                        *record
+                    } else {
+                        continue;
+                    }
+                }
+                other => other,
+            };
+            clock += 1;
             replayed += 1;
-            match db.replay_record(record, &mut defs) {
+            match replay_record(&mut catalog, record, &mut defs) {
                 Ok(()) => {}
                 // Salvaged (blanked) pages make previously valid record
                 // ids dangle; in salvage mode those redo ops are skipped.
@@ -302,9 +426,10 @@ impl RecDb {
                 Err(e) => return Err(e),
             }
         }
-        db.metrics
+        metrics
             .counter("recdb_recovery_replayed_records_total")
             .add(replayed);
+        let mut recommenders = Vec::new();
         for def in defs {
             let algorithm: Algorithm = def
                 .algorithm
@@ -312,22 +437,38 @@ impl RecDb {
                 .map_err(|_| recdb_exec::ExecError::UnknownAlgorithm(def.algorithm.clone()))?;
             let rec = Recommender::create(
                 &def.name,
-                &db.catalog,
+                &catalog,
                 &def.table,
                 &def.users,
                 &def.items,
                 &def.ratings,
                 algorithm,
-                db.config.train,
-                db.config.hotness_threshold,
-                db.clock,
+                config.train,
+                config.hotness_threshold,
+                clock,
             )?;
-            db.recommenders.push(rec);
+            recommenders.push(rec);
         }
         let mut wal = opened.wal;
-        wal.attach_metrics(Arc::clone(&db.metrics));
-        db.durability = Some(Durability { dir, wal });
-        Ok(db)
+        wal.attach_metrics(Arc::clone(&metrics));
+        let wall = profile_clock_or_wall(&config);
+        let locks = LockTable::new();
+        locks.attach_metrics(Arc::clone(&metrics));
+        Ok(RecDb {
+            catalog: RwLock::new(catalog),
+            recommenders: RwLock::new(recommenders),
+            config,
+            clock: AtomicU64::new(clock),
+            durability: Some(Mutex::new(Durability { dir, wal })),
+            metrics,
+            wall,
+            locks,
+            next_txn: AtomicU64::new(max_txn + 1),
+            gate: StdMutex::new(TxnGate::default()),
+            gate_cond: Condvar::new(),
+            ckpt_latch: RwLock::new(()),
+            default_session: Mutex::new(TxnState::default()),
+        })
     }
 
     /// Whether this engine persists to a data directory.
@@ -337,123 +478,106 @@ impl RecDb {
 
     /// The data directory, for durable engines.
     pub fn data_dir(&self) -> Option<&Path> {
-        self.durability.as_ref().map(|d| d.dir.as_path())
+        self.durability.as_ref()?;
+        self.config.data_dir.as_deref()
+    }
+
+    /// Open a new [`Session`] — one logical connection with its own
+    /// `BEGIN`/`COMMIT`/`ROLLBACK` state. Sessions are cheap; create one
+    /// per thread of work.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
     }
 
     /// Snapshot all heap pages and catalog/recommender metadata to the
     /// data directory, then prune the WAL records the snapshot covers.
     /// A no-op for in-memory engines.
-    pub fn checkpoint(&mut self) -> EngineResult<()> {
-        let RecDb {
-            catalog,
-            recommenders,
-            durability,
-            ..
-        } = self;
-        let Some(dur) = durability else {
+    ///
+    /// The checkpoint first *drains* explicit transactions: new `BEGIN`s
+    /// wait, and the snapshot proceeds once open transactions finish (a
+    /// transaction's WAL records must never straddle the prune point).
+    /// If they do not finish within [`RecDbConfig::lock_timeout`] the
+    /// checkpoint gives up with [`EngineError::CheckpointContended`].
+    pub fn checkpoint(&self) -> EngineResult<()> {
+        if self.durability.is_none() {
             return Ok(());
-        };
-        let meta = encode_recommender_meta(recommenders);
+        }
+        let _drain = self.drain_explicit_txns()?;
+        let _ckpt = self.ckpt_latch.write();
+        let mut catalog = self.catalog.write();
+        let meta = encode_recommender_meta(&self.recommenders.read());
+        let dur = self.durability.as_ref().expect("checked durable above");
+        let mut dur = dur.lock();
         let lsn = dur.wal.last_lsn();
-        write_snapshot(&dur.dir, catalog, &meta, lsn)?;
+        write_snapshot(&dur.dir, &mut catalog, &meta, lsn)?;
         dur.wal.prune(lsn)?;
         Ok(())
     }
 
-    /// Append `record` to the WAL and fsync. Called *after* the in-memory
-    /// mutation succeeds; the statement only reports success once the
-    /// record is durable. No-op for in-memory engines.
-    fn log_and_commit(&mut self, record: WalRecord) -> EngineResult<()> {
-        let Some(dur) = &mut self.durability else {
-            return Ok(());
-        };
-        dur.wal.append(&record)?;
-        dur.wal.commit()?;
-        Ok(())
-    }
-
-    /// Redo one WAL record during recovery. Uses the same catalog entry
-    /// points as the live engine (so heap appends land on the same record
-    /// ids), but skips logging, recommender statistics, and maintenance —
-    /// models are rebuilt once, after the whole tail is replayed.
-    fn replay_record(
-        &mut self,
-        record: WalRecord,
-        defs: &mut Vec<RecommenderDef>,
-    ) -> EngineResult<()> {
-        match record {
-            WalRecord::CreateTable { name, schema } => {
-                self.catalog.create_table(&name, schema)?;
+    /// Close the transaction gate and wait for open explicit transactions
+    /// to finish. The returned guard reopens the gate on drop (success or
+    /// error paths alike).
+    fn drain_explicit_txns(&self) -> EngineResult<DrainGuard<'_>> {
+        let budget = self.config.lock_timeout;
+        let started = Instant::now();
+        let mut gate = lock_gate(&self.gate);
+        loop {
+            if !gate.draining && gate.active == 0 {
+                break;
             }
-            WalRecord::DropTable { name } => {
-                self.catalog.drop_table(&name)?;
-                defs.retain(|d| !d.table.eq_ignore_ascii_case(&name));
-            }
-            WalRecord::Insert { table, tuples } => {
-                let t = self.catalog.table_mut(&table)?;
-                for tuple in tuples {
-                    t.insert(tuple)?;
-                }
-            }
-            WalRecord::Delete { table, rids } => {
-                let t = self.catalog.table_mut(&table)?;
-                for rid in rids {
-                    t.delete(rid)?;
-                }
-            }
-            WalRecord::Update { table, changes } => {
-                let t = self.catalog.table_mut(&table)?;
-                for (rid, tuple) in changes {
-                    t.delete(rid)?;
-                    t.insert(tuple)?;
-                }
-            }
-            WalRecord::CreateIndex {
-                table,
-                index,
-                columns,
-            } => {
-                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
-                self.catalog
-                    .table_mut(&table)?
-                    .create_index(&index, &cols)?;
-            }
-            WalRecord::DropIndex { table, index } => {
-                self.catalog.table_mut(&table)?.drop_index(&index)?;
-            }
-            WalRecord::CreateRecommender {
-                name,
-                table,
-                users,
-                items,
-                ratings,
-                algorithm,
-            } => {
-                defs.retain(|d| !d.name.eq_ignore_ascii_case(&name));
-                defs.push(RecommenderDef {
-                    name,
-                    table,
-                    users,
-                    items,
-                    ratings,
-                    algorithm,
+            let waited = started.elapsed();
+            if waited >= budget {
+                return Err(EngineError::CheckpointContended {
+                    active: gate.active,
+                    waited,
                 });
             }
-            WalRecord::DropRecommender { name } => {
-                defs.retain(|d| !d.name.eq_ignore_ascii_case(&name));
-            }
+            let (next, _) = self
+                .gate_cond
+                .wait_timeout(gate, DRAIN_POLL)
+                .unwrap_or_else(|e| e.into_inner());
+            gate = next;
         }
-        Ok(())
+        gate.draining = true;
+        drop(gate);
+        Ok(DrainGuard {
+            gate: &self.gate,
+            cond: &self.gate_cond,
+        })
     }
 
-    /// The table catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Count an explicit transaction in (BEGIN). Waits while a checkpoint
+    /// is draining — BEGIN has no timeout budget of its own; the
+    /// checkpoint's drain is bounded, so the wait is short.
+    fn enter_txn_gate(&self) {
+        let mut gate = lock_gate(&self.gate);
+        while gate.draining {
+            let (next, _) = self
+                .gate_cond
+                .wait_timeout(gate, DRAIN_POLL)
+                .unwrap_or_else(|e| e.into_inner());
+            gate = next;
+        }
+        gate.active += 1;
     }
 
-    /// Mutable catalog access (dataset loaders).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// Count an explicit transaction out (COMMIT/ROLLBACK/abort).
+    fn exit_txn_gate(&self) {
+        lock_gate(&self.gate).active -= 1;
+        self.gate_cond.notify_all();
+    }
+
+    /// The table catalog (shared read guard).
+    pub fn catalog(&self) -> CatalogRef<'_> {
+        CatalogRef(self.catalog.read())
+    }
+
+    /// Mutable catalog access, bypassing the lock table *and the WAL*.
+    /// This is the bulk-loading backdoor for dataset loaders on a
+    /// freshly-opened engine; concurrent sessions must use SQL (or
+    /// [`RecDb::insert_tuples`]) instead.
+    pub fn catalog_mut(&self) -> CatalogMut<'_> {
+        CatalogMut(self.catalog.write())
     }
 
     /// Engine configuration.
@@ -463,7 +587,7 @@ impl RecDb {
 
     /// Current logical clock tick.
     pub fn clock(&self) -> u64 {
-        self.clock
+        self.clock.load(Ordering::Relaxed)
     }
 
     /// The engine-wide metric registry (see `docs/OBSERVABILITY.md` for
@@ -483,72 +607,104 @@ impl RecDb {
         self.metrics.render()
     }
 
-    /// Look up a recommender by name.
-    pub fn recommender(&self, name: &str) -> Option<&Recommender> {
-        self.recommenders
-            .iter()
-            .find(|r| r.name().eq_ignore_ascii_case(name))
+    /// The lock table (introspection: tests assert on held locks).
+    pub fn lock_table(&self) -> &LockTable {
+        &self.locks
     }
 
-    /// Look up a recommender mutably by name.
-    pub fn recommender_mut(&mut self, name: &str) -> Option<&mut Recommender> {
-        self.recommenders
-            .iter_mut()
-            .find(|r| r.name().eq_ignore_ascii_case(name))
+    /// Look up a recommender by name (shared read guard).
+    pub fn recommender(&self, name: &str) -> Option<RecommenderRef<'_>> {
+        let recs = self.recommenders.read();
+        let idx = recs
+            .iter()
+            .position(|r| r.name().eq_ignore_ascii_case(name))?;
+        Some(RecommenderRef { recs, idx })
+    }
+
+    /// Look up a recommender mutably by name (write guard: blocks the
+    /// read path for as long as it is held).
+    pub fn recommender_mut(&self, name: &str) -> Option<RecommenderMut<'_>> {
+        let recs = self.recommenders.write();
+        let idx = recs
+            .iter()
+            .position(|r| r.name().eq_ignore_ascii_case(name))?;
+        Some(RecommenderMut { recs, idx })
     }
 
     /// Names of all recommenders.
-    pub fn recommender_names(&self) -> Vec<&str> {
-        self.recommenders.iter().map(|r| r.name()).collect()
+    pub fn recommender_names(&self) -> Vec<String> {
+        self.recommenders
+            .read()
+            .iter()
+            .map(|r| r.name().to_owned())
+            .collect()
     }
 
     /// Execute one SQL statement under the engine's configured resource
     /// limits ([`RecDbConfig::governor`]).
-    pub fn execute(&mut self, sql: &str) -> EngineResult<QueryResult> {
+    ///
+    /// Statements run through an internal default session: a `BEGIN` here
+    /// opens a transaction that subsequent [`RecDb::execute`] calls join.
+    /// Statements outside such a transaction auto-commit and run fully
+    /// concurrently. For independent concurrent transactions, give each
+    /// thread its own [`RecDb::session`].
+    pub fn execute(&self, sql: &str) -> EngineResult<QueryResult> {
         let guard = self.config.governor.guard();
         self.execute_with_guard(sql, guard)
     }
 
     /// Execute one SQL statement under an explicit [`QueryGuard`],
     /// overriding the configured defaults. Keep a
-    /// [`QueryGuard::cancel_handle`] to cancel from another thread.
+    /// [`QueryGuard::cancel_handle`] to cancel from another thread; a
+    /// cancelled statement aborts its transaction and releases its locks,
+    /// including while parked in a lock wait.
     ///
     /// The statement runs inside a panic boundary: a panicking operator or
     /// model build surfaces as [`EngineError::Internal`] instead of
     /// unwinding through the caller, and the engine keeps serving.
-    pub fn execute_with_guard(
-        &mut self,
-        sql: &str,
-        guard: QueryGuard,
-    ) -> EngineResult<QueryResult> {
+    pub fn execute_with_guard(&self, sql: &str, guard: QueryGuard) -> EngineResult<QueryResult> {
         let statement = parse(sql)?;
-        self.clock += 1;
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.apply(statement, &guard)));
-        match outcome {
-            Ok(result) => result.map_err(|e| flatten_guard_error_counted(&self.metrics, e)),
-            Err(payload) => Err(EngineError::Internal(panic_message(payload.as_ref()))),
-        }
+        self.execute_default(statement, guard)
     }
 
-    /// Execute a `;`-separated script.
-    pub fn execute_script(&mut self, sql: &str) -> EngineResult<Vec<QueryResult>> {
+    /// Execute a `;`-separated script, stopping at the first error.
+    pub fn execute_script(&self, sql: &str) -> EngineResult<Vec<QueryResult>> {
         let statements = parse_many(sql)?;
         statements
             .into_iter()
             .map(|s| {
                 let guard = self.config.governor.guard();
-                self.clock += 1;
-                let outcome = catch_unwind(AssertUnwindSafe(|| self.apply(s, &guard)));
-                match outcome {
-                    Ok(result) => result.map_err(|e| flatten_guard_error_counted(&self.metrics, e)),
-                    Err(payload) => Err(EngineError::Internal(panic_message(payload.as_ref()))),
-                }
+                self.execute_default(s, guard)
             })
             .collect()
     }
 
+    /// Route one statement through the default session if it concerns an
+    /// open default-session transaction (or starts one); otherwise run it
+    /// as a free-standing auto-committed statement that holds no session
+    /// lock — concurrent `execute` callers proceed in parallel.
+    fn execute_default(
+        &self,
+        statement: Statement,
+        guard: QueryGuard,
+    ) -> EngineResult<QueryResult> {
+        let mut state = self.default_session.lock();
+        if state.txn.is_some()
+            || matches!(
+                statement,
+                Statement::Begin | Statement::Commit | Statement::Rollback
+            )
+        {
+            self.execute_statement(&mut state, statement, guard)
+        } else {
+            drop(state);
+            let mut ephemeral = TxnState::default();
+            self.execute_statement(&mut ephemeral, statement, guard)
+        }
+    }
+
     /// Execute a SELECT and return its rows (convenience).
-    pub fn query(&mut self, sql: &str) -> EngineResult<ResultSet> {
+    pub fn query(&self, sql: &str) -> EngineResult<ResultSet> {
         match self.execute(sql)? {
             QueryResult::Rows(r) => Ok(r),
             _ => Err(EngineError::Exec(recdb_exec::ExecError::Unsupported(
@@ -559,7 +715,7 @@ impl RecDb {
 
     /// Execute a SELECT under an explicit [`QueryGuard`] and return its
     /// rows.
-    pub fn query_with_guard(&mut self, sql: &str, guard: QueryGuard) -> EngineResult<ResultSet> {
+    pub fn query_with_guard(&self, sql: &str, guard: QueryGuard) -> EngineResult<ResultSet> {
         match self.execute_with_guard(sql, guard)? {
             QueryResult::Rows(r) => Ok(r),
             _ => Err(EngineError::Exec(recdb_exec::ExecError::Unsupported(
@@ -575,17 +731,352 @@ impl RecDb {
                 "EXPLAIN is only available for SELECT".into(),
             )));
         };
-        let plan = optimize(build_logical(&select, &self.catalog)?);
+        let catalog = self.catalog.read();
+        let plan = optimize(build_logical(&select, &catalog)?);
         Ok(plan.explain())
     }
 
-    fn apply(&mut self, statement: Statement, guard: &QueryGuard) -> EngineResult<QueryResult> {
+    /// The heart of statement execution: tick the clock, dispatch
+    /// transaction control directly, and run everything else inside the
+    /// session's (implicit or explicit) transaction under a panic
+    /// boundary. Any failure — error, governor verdict, lock timeout, or
+    /// contained panic — aborts the transaction: undo is applied and every
+    /// lock is released before the error returns.
+    pub(crate) fn execute_statement(
+        &self,
+        state: &mut TxnState,
+        statement: Statement,
+        guard: QueryGuard,
+    ) -> EngineResult<QueryResult> {
+        self.clock.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .counter_with(
                 "recdb_statements_total",
                 &[("kind", statement_kind(&statement))],
             )
             .inc();
+        match statement {
+            Statement::Begin => return self.begin_txn(state),
+            Statement::Commit => {
+                return self
+                    .commit_txn(state, &guard)
+                    .map_err(|e| flatten_guard_error_counted(&self.metrics, e));
+            }
+            Statement::Rollback => return self.rollback_txn(state),
+            _ => {}
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.run_statement(state, statement, &guard)
+        }));
+        match outcome {
+            Ok(Ok(result)) => {
+                if state.txn.as_ref().is_some_and(|t| t.implicit) {
+                    let txn = state.txn.take().expect("checked implicit txn present");
+                    self.finish_autocommit(txn, &guard)
+                        .map_err(|e| flatten_guard_error_counted(&self.metrics, e))?;
+                }
+                Ok(result)
+            }
+            Ok(Err(e)) => {
+                let e = flatten_guard_error_counted(&self.metrics, e);
+                self.abort_failed_statement(state, &e);
+                Err(e)
+            }
+            Err(payload) => {
+                let e = EngineError::Internal(panic_message(payload.as_ref()));
+                self.abort_failed_statement(state, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Abort the transaction a failed statement ran in (if any). Inside an
+    /// explicit transaction this rolls back the *whole* transaction, as in
+    /// PostgreSQL without savepoints.
+    fn abort_failed_statement(&self, state: &mut TxnState, error: &EngineError) {
+        if let Some(txn) = state.txn.take() {
+            let outcome = if matches!(error, EngineError::LockTimeout { .. }) {
+                "timeout"
+            } else {
+                "abort"
+            };
+            self.abort_txn(txn, outcome);
+        }
+    }
+
+    /// `BEGIN`: open an explicit transaction on this session.
+    fn begin_txn(&self, state: &mut TxnState) -> EngineResult<QueryResult> {
+        if state.txn.is_some() {
+            return Err(EngineError::TransactionActive);
+        }
+        self.enter_txn_gate();
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        state.txn = Some(ActiveTxn::new(id, false));
+        Ok(QueryResult::TransactionStarted)
+    }
+
+    /// `COMMIT`: make the transaction durable (commit marker + fsync),
+    /// apply its deferred recommender side effects, and release its locks.
+    ///
+    /// Fail point: `txn::commit` fires before the commit marker; an armed
+    /// fault rolls the transaction back instead.
+    fn commit_txn(&self, state: &mut TxnState, guard: &QueryGuard) -> EngineResult<QueryResult> {
+        let Some(txn) = state.txn.take() else {
+            return Err(EngineError::NoActiveTransaction);
+        };
+        if let Err(e) = recdb_fault::fail_point("txn::commit") {
+            self.abort_txn(txn, "abort");
+            return Err(e.into());
+        }
+        if txn.wrote_wal {
+            let result = {
+                let _ckpt = self.ckpt_latch.read();
+                let dur = self.durability.as_ref().expect("wrote_wal implies durable");
+                let mut dur = dur.lock();
+                dur.wal
+                    .append(&WalRecord::TxnCommit { txn: txn.id })
+                    .and_then(|_lsn| dur.wal.commit())
+            };
+            if let Err(e) = result {
+                // The marker may or may not be durable; the abort path
+                // writes a TxnAbort that unmarks it at recovery if it is.
+                self.abort_txn(txn, "abort");
+                return Err(e.into());
+            }
+        }
+        // Past this point the transaction IS committed: a failing deferred
+        // maintenance rebuild surfaces its error but undoes nothing.
+        let deferred = self.apply_deferred(&txn, guard);
+        self.locks.release_all(txn.id);
+        self.exit_txn_gate();
+        self.count_txn("commit");
+        deferred?;
+        Ok(QueryResult::TransactionCommitted)
+    }
+
+    /// `ROLLBACK`: undo the transaction and release its locks.
+    ///
+    /// Fail point: `txn::rollback` — the rollback itself still runs (undo
+    /// must never be skipped); the armed fault only poisons the reported
+    /// outcome.
+    fn rollback_txn(&self, state: &mut TxnState) -> EngineResult<QueryResult> {
+        let Some(txn) = state.txn.take() else {
+            return Err(EngineError::NoActiveTransaction);
+        };
+        let fault = recdb_fault::fail_point("txn::rollback");
+        self.abort_txn(txn, "abort");
+        fault?;
+        Ok(QueryResult::TransactionRolledBack)
+    }
+
+    /// Roll a transaction back: apply its physical undo log in reverse,
+    /// write a best-effort `TxnAbort` marker, release every lock, and
+    /// leave the transaction gate. Infallible — undo operations restore
+    /// captured pre-images and cannot meaningfully fail halfway.
+    pub(crate) fn abort_txn(&self, mut txn: ActiveTxn, outcome: &'static str) {
+        {
+            // Under the checkpoint latch: a snapshot must not capture the
+            // half-undone (or half-done) state of an aborting statement.
+            let _ckpt = self.ckpt_latch.read();
+            if !txn.undo.is_empty() {
+                let mut catalog = self.catalog.write();
+                while let Some(op) = txn.undo.pop() {
+                    self.undo_op(&mut catalog, op);
+                }
+            }
+            if txn.wrote_wal {
+                if let Some(dur) = &self.durability {
+                    let mut dur = dur.lock();
+                    // Best effort: recovery treats a missing commit marker
+                    // as an abort anyway.
+                    let _ = dur.wal.append(&WalRecord::TxnAbort { txn: txn.id });
+                    let _ = dur.wal.commit();
+                }
+            }
+        }
+        self.locks.release_all(txn.id);
+        if !txn.implicit {
+            self.exit_txn_gate();
+        }
+        self.count_txn(outcome);
+    }
+
+    /// Apply one undo operation. Best-effort by construction: each op
+    /// restores a state this transaction itself captured, so a missing
+    /// table here means a later undo op (processed first, in reverse
+    /// order) already covers it.
+    fn undo_op(&self, catalog: &mut Catalog, op: UndoOp) {
+        match op {
+            UndoOp::TableTail {
+                name,
+                page_count,
+                last_page,
+            } => {
+                if let Ok(t) = catalog.table_mut(&name) {
+                    t.rollback_tail(page_count, last_page);
+                }
+            }
+            UndoOp::TablePages { name, pages } => {
+                if let Ok(t) = catalog.table_mut(&name) {
+                    t.rollback_pages(pages);
+                }
+            }
+            UndoOp::CreatedTable { name } => {
+                let _ = catalog.drop_table(&name);
+            }
+            UndoOp::DroppedTable {
+                table,
+                recommenders,
+            } => {
+                catalog.restore_table(*table);
+                self.recommenders.write().extend(recommenders);
+            }
+            UndoOp::CreatedIndex { table, index } => {
+                if let Ok(t) = catalog.table_mut(&table) {
+                    let _ = t.drop_index(&index);
+                }
+            }
+            UndoOp::DroppedIndex {
+                table,
+                index,
+                columns,
+            } => {
+                if let Ok(t) = catalog.table_mut(&table) {
+                    let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                    let _ = t.create_index(&index, &cols);
+                }
+            }
+            UndoOp::CreatedRecommender { name } => {
+                self.recommenders
+                    .write()
+                    .retain(|r| !r.name().eq_ignore_ascii_case(&name));
+            }
+            UndoOp::DroppedRecommender { recommender } => {
+                self.recommenders.write().push(*recommender);
+            }
+        }
+    }
+
+    /// Finish an implicit (auto-commit) transaction after its one
+    /// statement succeeded: apply deferred recommender side effects under
+    /// the still-held locks, then release them.
+    fn finish_autocommit(&self, txn: ActiveTxn, guard: &QueryGuard) -> EngineResult<()> {
+        let deferred = self.apply_deferred(&txn, guard);
+        self.locks.release_all(txn.id);
+        self.count_txn("commit");
+        deferred
+    }
+
+    /// Commit-time recommender side effects: item-statistics updates for
+    /// every rating the transaction wrote, then the N% maintenance pass
+    /// over the tables it touched. Runs while the transaction still holds
+    /// its X locks, so the rebuild trains on exactly the committed state.
+    fn apply_deferred(&self, txn: &ActiveTxn, guard: &QueryGuard) -> EngineResult<()> {
+        if !txn.deferred_stats.is_empty() {
+            let now = self.clock();
+            let mut recs = self.recommenders.write();
+            for (name, item) in &txn.deferred_stats {
+                if let Some(rec) = recs.iter_mut().find(|r| r.name() == name) {
+                    rec.record_insert(*item, now);
+                }
+            }
+        }
+        for table in &txn.touched {
+            self.run_auto_maintenance(table, guard)?;
+        }
+        Ok(())
+    }
+
+    /// Count one finished transaction in `recdb_txn_total{outcome=…}`.
+    fn count_txn(&self, outcome: &'static str) {
+        self.metrics
+            .counter_with("recdb_txn_total", &[("outcome", outcome)])
+            .inc();
+    }
+
+    /// The table locks a statement needs, deduplicated and in
+    /// deterministic (sorted) order so multi-lock statements from
+    /// different sessions can never deadlock each other.
+    fn statement_locks(&self, statement: &Statement) -> EngineResult<Vec<(String, LockMode)>> {
+        use LockMode::{Exclusive, Shared};
+        let mut locks: Vec<(String, LockMode)> = match statement {
+            Statement::CreateTable { name, .. } | Statement::DropTable { name } => {
+                vec![(name.to_ascii_lowercase(), Exclusive)]
+            }
+            Statement::Insert { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::CreateIndex { table, .. }
+            | Statement::DropIndex { table, .. } => {
+                vec![(table.to_ascii_lowercase(), Exclusive)]
+            }
+            Statement::CreateRecommender { ratings_table, .. } => {
+                vec![(ratings_table.to_ascii_lowercase(), Exclusive)]
+            }
+            Statement::DropRecommender { name } => {
+                // Resolve the recommender to its ratings table; dropping
+                // is serialized with writers of that table.
+                let recs = self.recommenders.read();
+                let rec = recs
+                    .iter()
+                    .find(|r| r.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| EngineError::RecommenderNotFound(name.clone()))?;
+                vec![(rec.ratings_table().to_owned(), Exclusive)]
+            }
+            Statement::Select(select) | Statement::ExplainAnalyze(select) => select
+                .from
+                .iter()
+                .map(|t| (t.table.to_ascii_lowercase(), Shared))
+                .collect(),
+            Statement::Explain(_) | Statement::Begin | Statement::Commit | Statement::Rollback => {
+                Vec::new()
+            }
+        };
+        // Sort by table, exclusive first, then keep the strongest mode
+        // per table (dedup_by drops the *later* element of a pair).
+        locks.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| (b.1 == Exclusive).cmp(&(a.1 == Exclusive)))
+        });
+        locks.dedup_by(|later, earlier| later.0 == earlier.0);
+        Ok(locks)
+    }
+
+    /// Lazily open the implicit transaction a free-standing statement
+    /// runs in, and return the transaction id.
+    fn ensure_txn(&self, state: &mut TxnState) -> TxnId {
+        if state.txn.is_none() {
+            let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+            state.txn = Some(ActiveTxn::new(id, true));
+        }
+        state.txn.as_ref().expect("just ensured").id
+    }
+
+    /// The active transaction, after [`RecDb::ensure_txn`].
+    fn active(state: &mut TxnState) -> &mut ActiveTxn {
+        state
+            .txn
+            .as_mut()
+            .expect("statement with locks runs inside a transaction")
+    }
+
+    /// Acquire the statement's locks, then dispatch it. Runs inside the
+    /// panic boundary of [`RecDb::execute_statement`].
+    fn run_statement(
+        &self,
+        state: &mut TxnState,
+        statement: Statement,
+        guard: &QueryGuard,
+    ) -> EngineResult<QueryResult> {
+        let needed = self.statement_locks(&statement)?;
+        if !needed.is_empty() {
+            let txn_id = self.ensure_txn(state);
+            for (table, mode) in &needed {
+                self.locks
+                    .acquire(txn_id, table, *mode, self.config.lock_timeout, Some(guard))
+                    .map_err(lock_to_engine)?;
+            }
+        }
         match statement {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::from_pairs(
@@ -594,21 +1085,42 @@ impl RecDb {
                         .map(|c| Ok((c.name.as_str(), map_type(&c.type_name)?)))
                         .collect::<EngineResult<Vec<_>>>()?,
                 );
-                self.catalog.create_table(&name, schema.clone())?;
-                self.log_and_commit(WalRecord::CreateTable {
-                    name: name.to_ascii_lowercase(),
-                    schema,
-                })?;
+                let lower = name.to_ascii_lowercase();
+                let txn = Self::active(state);
+                let _ckpt = self.ckpt_latch.read();
+                self.catalog.write().create_table(&name, schema.clone())?;
+                txn.note_created_table(&lower);
+                self.log_statement(
+                    txn,
+                    WalRecord::CreateTable {
+                        name: lower,
+                        schema,
+                    },
+                )?;
                 Ok(QueryResult::TableCreated(name))
             }
             Statement::DropTable { name } => {
-                self.catalog.drop_table(&name)?;
-                // Recommenders created on the table are dropped with it.
-                self.recommenders
-                    .retain(|r| !r.ratings_table().eq_ignore_ascii_case(&name));
-                self.log_and_commit(WalRecord::DropTable {
-                    name: name.to_ascii_lowercase(),
-                })?;
+                let lower = name.to_ascii_lowercase();
+                let txn = Self::active(state);
+                let _ckpt = self.ckpt_latch.read();
+                let table = self.catalog.write().take_table(&lower)?;
+                // Recommenders created on the table are dropped with it
+                // (and restored with it on rollback).
+                let dropped = {
+                    let mut recs = self.recommenders.write();
+                    let mut dropped = Vec::new();
+                    let mut k = 0;
+                    while k < recs.len() {
+                        if recs[k].ratings_table().eq_ignore_ascii_case(&lower) {
+                            dropped.push(recs.remove(k));
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    dropped
+                };
+                txn.note_dropped_table(table, dropped);
+                self.log_statement(txn, WalRecord::DropTable { name: lower })?;
                 Ok(QueryResult::TableDropped(name))
             }
             Statement::Insert { table, rows } => {
@@ -616,7 +1128,7 @@ impl RecDb {
                     .iter()
                     .map(const_tuple)
                     .collect::<EngineResult<Vec<Tuple>>>()?;
-                let n = self.insert_tuples_governed(&table, tuples, guard)?;
+                let n = self.insert_into(state, &table, tuples)?;
                 Ok(QueryResult::Inserted(n))
             }
             Statement::CreateRecommender {
@@ -627,15 +1139,35 @@ impl RecDb {
                 ratings_column,
                 algorithm,
             } => {
-                if self.recommender(&name).is_some() {
+                // Cheap early check; re-checked under the write lock
+                // before publishing (same-name creations on *different*
+                // tables are not serialized by the table lock).
+                if self
+                    .recommenders
+                    .read()
+                    .iter()
+                    .any(|r| r.name().eq_ignore_ascii_case(&name))
+                {
                     return Err(EngineError::RecommenderExists(name));
                 }
                 let algorithm: Algorithm = algorithm
                     .parse()
                     .map_err(|_| recdb_exec::ExecError::UnknownAlgorithm(algorithm.clone()))?;
-                let rec = Recommender::create_governed(
+                // Scan under a short read latch, then train with no
+                // engine latch held — the table's X lock (already ours)
+                // keeps the scanned matrix authoritative.
+                let matrix = {
+                    let catalog = self.catalog.read();
+                    load_matrix(
+                        &catalog,
+                        &ratings_table,
+                        &users_column,
+                        &items_column,
+                        &ratings_column,
+                    )?
+                };
+                let rec = Recommender::create_from_matrix(
                     &name,
-                    &self.catalog,
                     &ratings_table,
                     &users_column,
                     &items_column,
@@ -643,7 +1175,8 @@ impl RecDb {
                     algorithm,
                     self.config.train,
                     self.config.hotness_threshold,
-                    self.clock,
+                    self.clock(),
+                    matrix,
                     Some(guard),
                 )?;
                 let build_time = rec.build_time();
@@ -656,20 +1189,43 @@ impl RecDb {
                     ratings: rec.ratings_column().to_owned(),
                     algorithm: rec.algorithm().name().to_owned(),
                 };
-                self.recommenders.push(rec);
-                self.log_and_commit(log_record)?;
+                let txn = Self::active(state);
+                let _ckpt = self.ckpt_latch.read();
+                {
+                    let mut recs = self.recommenders.write();
+                    if recs.iter().any(|r| r.name().eq_ignore_ascii_case(&name)) {
+                        return Err(EngineError::RecommenderExists(name));
+                    }
+                    txn.push_undo(UndoOp::CreatedRecommender {
+                        name: rec.name().to_owned(),
+                    });
+                    recs.push(rec);
+                }
+                self.log_statement(txn, log_record)?;
                 Ok(QueryResult::RecommenderCreated { name, build_time })
             }
             Statement::DropRecommender { name } => {
-                let before = self.recommenders.len();
-                self.recommenders
-                    .retain(|r| !r.name().eq_ignore_ascii_case(&name));
-                if self.recommenders.len() == before {
-                    return Err(EngineError::RecommenderNotFound(name));
+                let txn = Self::active(state);
+                let _ckpt = self.ckpt_latch.read();
+                {
+                    let mut recs = self.recommenders.write();
+                    let Some(pos) = recs
+                        .iter()
+                        .position(|r| r.name().eq_ignore_ascii_case(&name))
+                    else {
+                        return Err(EngineError::RecommenderNotFound(name));
+                    };
+                    let rec = recs.remove(pos);
+                    txn.push_undo(UndoOp::DroppedRecommender {
+                        recommender: Box::new(rec),
+                    });
                 }
-                self.log_and_commit(WalRecord::DropRecommender {
-                    name: name.to_ascii_lowercase(),
-                })?;
+                self.log_statement(
+                    txn,
+                    WalRecord::DropRecommender {
+                        name: name.to_ascii_lowercase(),
+                    },
+                )?;
                 Ok(QueryResult::RecommenderDropped(name))
             }
             Statement::CreateIndex {
@@ -678,24 +1234,67 @@ impl RecDb {
                 columns,
             } => {
                 let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
-                self.catalog.table_mut(&table)?.create_index(&name, &cols)?;
-                self.log_and_commit(WalRecord::CreateIndex {
-                    table: table.to_ascii_lowercase(),
+                let lower = table.to_ascii_lowercase();
+                let txn = Self::active(state);
+                let _ckpt = self.ckpt_latch.read();
+                self.catalog
+                    .write()
+                    .table_mut(&lower)?
+                    .create_index(&name, &cols)?;
+                txn.push_undo(UndoOp::CreatedIndex {
+                    table: lower.clone(),
                     index: name.clone(),
-                    columns,
-                })?;
+                });
+                self.log_statement(
+                    txn,
+                    WalRecord::CreateIndex {
+                        table: lower,
+                        index: name.clone(),
+                        columns,
+                    },
+                )?;
                 Ok(QueryResult::IndexCreated(name))
             }
             Statement::DropIndex { name, table } => {
-                self.catalog.table_mut(&table)?.drop_index(&name)?;
-                self.log_and_commit(WalRecord::DropIndex {
-                    table: table.to_ascii_lowercase(),
+                let lower = table.to_ascii_lowercase();
+                let txn = Self::active(state);
+                let _ckpt = self.ckpt_latch.read();
+                let columns = {
+                    let mut catalog = self.catalog.write();
+                    let t = catalog.table_mut(&lower)?;
+                    // Capture the key columns first so rollback can
+                    // re-create the index.
+                    let ordinals = t.index(&name)?.key_columns().to_vec();
+                    let columns: Vec<String> = ordinals
+                        .iter()
+                        .map(|&o| {
+                            t.schema()
+                                .column(o)
+                                .expect("index key ordinal within schema")
+                                .name
+                                .clone()
+                        })
+                        .collect();
+                    t.drop_index(&name)?;
+                    columns
+                };
+                txn.push_undo(UndoOp::DroppedIndex {
+                    table: lower.clone(),
                     index: name.clone(),
-                })?;
+                    columns,
+                });
+                self.log_statement(
+                    txn,
+                    WalRecord::DropIndex {
+                        table: lower,
+                        index: name.clone(),
+                    },
+                )?;
                 Ok(QueryResult::IndexDropped(name))
             }
             Statement::Explain(select) => {
-                let plan = optimize(build_logical(&select, &self.catalog)?);
+                let catalog = self.catalog.read();
+                let plan = optimize(build_logical(&select, &catalog)?);
                 let schema = Schema::from_pairs(&[("plan", DataType::Text)]);
                 let rows = plan
                     .explain()
@@ -709,7 +1308,7 @@ impl RecDb {
                 Ok(QueryResult::Rows(rows))
             }
             Statement::Delete { table, filter } => {
-                let n = self.apply_delete(&table, filter.as_ref(), guard)?;
+                let n = self.apply_delete(state, &table, filter.as_ref())?;
                 Ok(QueryResult::Deleted(n))
             }
             Statement::Update {
@@ -717,7 +1316,7 @@ impl RecDb {
                 assignments,
                 filter,
             } => {
-                let n = self.apply_update(&table, &assignments, filter.as_ref(), guard)?;
+                let n = self.apply_update(state, &table, &assignments, filter.as_ref())?;
                 Ok(QueryResult::Updated(n))
             }
             Statement::Select(select) => {
@@ -727,7 +1326,45 @@ impl RecDb {
                     .add(rows.len() as u64);
                 Ok(QueryResult::Rows(rows))
             }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                unreachable!("transaction control dispatched in execute_statement")
+            }
         }
+    }
+
+    /// Append a statement's redo record for the enclosing transaction.
+    /// Implicit transactions append + fsync immediately (plain records,
+    /// byte-compatible with the pre-transaction WAL format); explicit
+    /// transactions wrap records in [`WalRecord::InTxn`] and defer the
+    /// fsync to COMMIT. Callers hold the checkpoint latch across the
+    /// memory apply and this call.
+    fn log_statement(&self, txn: &mut ActiveTxn, record: WalRecord) -> EngineResult<()> {
+        let Some(dur) = &self.durability else {
+            return Ok(());
+        };
+        let mut dur = dur.lock();
+        if txn.implicit {
+            let result = dur.wal.append(&record).and_then(|_lsn| dur.wal.commit());
+            if result.is_err() {
+                // The record may or may not have reached disk. Keep the
+                // applied mutation in memory — a crash-and-reopen that
+                // finds the record would replay it, and live state must
+                // not diverge from that outcome. (This preserves the
+                // engine's pre-transaction fault-injection semantics.)
+                txn.undo.clear();
+            }
+            result?;
+        } else {
+            if !txn.wrote_wal {
+                txn.wrote_wal = true;
+                dur.wal.append(&WalRecord::TxnBegin { txn: txn.id })?;
+            }
+            dur.wal.append(&WalRecord::InTxn {
+                txn: txn.id,
+                record: Box::new(record),
+            })?;
+        }
+        Ok(())
     }
 
     /// Record one model (re)build duration in the per-algorithm histogram.
@@ -741,76 +1378,83 @@ impl RecDb {
             .observe(u64::try_from(build_time.as_micros()).unwrap_or(u64::MAX));
     }
 
-    /// Delete rows matching `filter` (all rows when `None`), updating
-    /// recommender statistics and running the N% rule.
+    /// Delete rows matching `filter` (all rows when `None`). Recommender
+    /// statistics and the N% rule are deferred to commit.
     fn apply_delete(
-        &mut self,
+        &self,
+        state: &mut TxnState,
         table: &str,
         filter: Option<&Expr>,
-        guard: &QueryGuard,
     ) -> EngineResult<usize> {
-        let (rids, touched_items) = {
-            let t = self.catalog.table(table)?;
+        let lower = table.to_ascii_lowercase();
+        let (rids, touched) = {
+            let catalog = self.catalog.read();
+            let t = catalog.table(table)?;
             let schema = t.schema().clone();
             let bound = filter.map(|f| bind(f, &schema)).transpose()?;
-            let item_ordinals = self.recommender_item_ordinals(table)?;
+            let item_ordinals = self.recommender_item_ordinals(&catalog, table)?;
             let mut rids = Vec::new();
-            let mut touched: Vec<(usize, i64)> = Vec::new();
+            let mut touched: Vec<(String, i64)> = Vec::new();
             for (rid, tuple) in t.heap().scan() {
-                let keep = match &bound {
+                let hit = match &bound {
                     Some(b) => b.eval_predicate(&tuple)?,
                     None => true,
                 };
-                if keep {
+                if hit {
                     rids.push(rid);
-                    for &(k, ord) in &item_ordinals {
-                        if let Some(item) = tuple.get(ord).and_then(recdb_storage::Value::as_int) {
-                            touched.push((k, item));
+                    for (rec, ord) in &item_ordinals {
+                        if let Some(item) = tuple.get(*ord).and_then(recdb_storage::Value::as_int) {
+                            touched.push((rec.clone(), item));
                         }
                     }
                 }
             }
             (rids, touched)
         };
+        let txn = Self::active(state);
+        let _ckpt = self.ckpt_latch.read();
         {
-            let t = self.catalog.table_mut(table)?;
+            let mut catalog = self.catalog.write();
+            txn.save_pages(&catalog, &lower)?;
+            let t = catalog.table_mut(&lower)?;
             for rid in &rids {
                 t.delete(*rid)?;
             }
         }
         let n = rids.len();
-        self.log_and_commit(WalRecord::Delete {
-            table: table.to_ascii_lowercase(),
-            rids,
-        })?;
-        let now = self.clock;
-        for (k, item) in touched_items {
-            self.recommenders[k].record_insert(item, now);
-        }
-        self.run_auto_maintenance(table, guard)?;
+        self.log_statement(
+            txn,
+            WalRecord::Delete {
+                table: lower.clone(),
+                rids,
+            },
+        )?;
+        txn.defer_stats(lower, touched);
         Ok(n)
     }
 
     /// Rewrite rows matching `filter` with the SET assignments applied.
     fn apply_update(
-        &mut self,
+        &self,
+        state: &mut TxnState,
         table: &str,
         assignments: &[(String, Expr)],
         filter: Option<&Expr>,
-        guard: &QueryGuard,
     ) -> EngineResult<usize> {
-        let (rids, new_tuples, touched_items) = {
-            let t = self.catalog.table(table)?;
+        let lower = table.to_ascii_lowercase();
+        let (rids, new_tuples, touched) = {
+            let catalog = self.catalog.read();
+            let t = catalog.table(table)?;
             let schema = t.schema().clone();
             let bound = filter.map(|f| bind(f, &schema)).transpose()?;
             let sets: Vec<(usize, recdb_exec::BoundExpr)> = assignments
                 .iter()
                 .map(|(col, e)| Ok((schema.resolve(col)?, bind(e, &schema)?)))
                 .collect::<EngineResult<_>>()?;
-            let item_ordinals = self.recommender_item_ordinals(table)?;
+            let item_ordinals = self.recommender_item_ordinals(&catalog, table)?;
             let mut rids = Vec::new();
             let mut new_tuples = Vec::new();
-            let mut touched: Vec<(usize, i64)> = Vec::new();
+            let mut touched: Vec<(String, i64)> = Vec::new();
             for (rid, tuple) in t.heap().scan() {
                 let hit = match &bound {
                     Some(b) => b.eval_predicate(&tuple)?,
@@ -824,9 +1468,9 @@ impl RecDb {
                     values[*ordinal] = expr.eval(&tuple)?;
                 }
                 let new_tuple = Tuple::new(values);
-                for &(k, ord) in &item_ordinals {
-                    if let Some(item) = new_tuple.get(ord).and_then(recdb_storage::Value::as_int) {
-                        touched.push((k, item));
+                for (rec, ord) in &item_ordinals {
+                    if let Some(item) = new_tuple.get(*ord).and_then(recdb_storage::Value::as_int) {
+                        touched.push((rec.clone(), item));
                     }
                 }
                 rids.push(rid);
@@ -834,154 +1478,234 @@ impl RecDb {
             }
             (rids, new_tuples, touched)
         };
+        let txn = Self::active(state);
+        let _ckpt = self.ckpt_latch.read();
         {
-            let t = self.catalog.table_mut(table)?;
+            let mut catalog = self.catalog.write();
+            txn.save_pages(&catalog, &lower)?;
+            let t = catalog.table_mut(&lower)?;
             for (rid, new_tuple) in rids.iter().zip(&new_tuples) {
                 t.delete(*rid)?;
                 t.insert(new_tuple.clone())?;
             }
         }
         let n = rids.len();
-        self.log_and_commit(WalRecord::Update {
-            table: table.to_ascii_lowercase(),
-            changes: rids.into_iter().zip(new_tuples).collect(),
-        })?;
-        let now = self.clock;
-        for (k, item) in touched_items {
-            self.recommenders[k].record_insert(item, now);
-        }
-        self.run_auto_maintenance(table, guard)?;
+        self.log_statement(
+            txn,
+            WalRecord::Update {
+                table: lower.clone(),
+                changes: rids.into_iter().zip(new_tuples).collect(),
+            },
+        )?;
+        txn.defer_stats(lower, touched);
         Ok(n)
     }
 
-    /// `(recommender index, item-column ordinal)` pairs for recommenders
+    /// `(recommender name, item-column ordinal)` pairs for recommenders
     /// created on `table`.
-    fn recommender_item_ordinals(&self, table: &str) -> EngineResult<Vec<(usize, usize)>> {
+    fn recommender_item_ordinals(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+    ) -> EngineResult<Vec<(String, usize)>> {
         let table_key = table.to_ascii_lowercase();
-        let t = self.catalog.table(table)?;
+        let t = catalog.table(table)?;
         self.recommenders
+            .read()
             .iter()
-            .enumerate()
-            .filter(|(_, r)| r.ratings_table() == table_key)
-            .map(|(k, r)| Ok((k, t.schema().resolve(r.items_column())?)))
+            .filter(|r| r.ratings_table() == table_key)
+            .map(|r| Ok((r.name().to_owned(), t.schema().resolve(r.items_column())?)))
             .collect()
     }
 
     /// Run the N% rule for every recommender on `table`. A cancelled or
-    /// faulted rebuild leaves the previous model serving (the swap in
-    /// [`Recommender::maintain_governed`] is atomic).
-    fn run_auto_maintenance(&mut self, table: &str, guard: &QueryGuard) -> EngineResult<()> {
+    /// faulted rebuild leaves the previous model serving (the publish in
+    /// [`Recommender::publish`] is atomic and only reached on success).
+    fn run_auto_maintenance(&self, table: &str, guard: &QueryGuard) -> EngineResult<()> {
         if !self.config.auto_maintenance {
             return Ok(());
         }
         let table_key = table.to_ascii_lowercase();
-        let RecDb {
-            catalog,
-            recommenders,
-            config,
-            metrics,
-            ..
-        } = self;
-        for rec in recommenders.iter_mut() {
-            if rec.ratings_table() == table_key
-                && rec.needs_maintenance(config.maintenance_threshold_pct)
-            {
-                rec.maintain_governed(catalog, Some(guard))?;
-                metrics
-                    .histogram_with(
-                        "recdb_model_build_micros",
-                        MODEL_BUILD_BUCKETS,
-                        &[("algorithm", rec.algorithm().name())],
-                    )
-                    .observe(u64::try_from(rec.build_time().as_micros()).unwrap_or(u64::MAX));
-            }
+        let due: Vec<String> = self
+            .recommenders
+            .read()
+            .iter()
+            .filter(|r| {
+                r.ratings_table() == table_key
+                    && r.needs_maintenance(self.config.maintenance_threshold_pct)
+            })
+            .map(|r| r.name().to_owned())
+            .collect();
+        for name in due {
+            self.rebuild_recommender(&name, guard)?;
         }
         Ok(())
     }
 
-    /// Insert pre-built tuples into a table, updating recommender
-    /// statistics and running the N% maintenance rule. This is also the
-    /// bulk-loading path used by the dataset loaders.
-    pub fn insert_tuples(&mut self, table: &str, tuples: Vec<Tuple>) -> EngineResult<usize> {
-        let guard = self.config.governor.guard();
-        self.insert_tuples_governed(table, tuples, &guard)
+    /// Rebuild one recommender's model: capture its inputs under a brief
+    /// read lock, scan the ratings under a brief catalog read latch, train
+    /// with *no* engine lock held, and publish under a brief write lock.
+    /// Readers serve the previous model throughout.
+    fn rebuild_recommender(&self, name: &str, guard: &QueryGuard) -> EngineResult<()> {
+        let (algorithm, train, index, table, users, items, ratings) = {
+            let recs = self.recommenders.read();
+            let Some(rec) = recs.iter().find(|r| r.name() == name) else {
+                return Ok(()); // dropped concurrently — nothing to rebuild
+            };
+            (
+                rec.algorithm(),
+                rec.train_config(),
+                rec.index(),
+                rec.ratings_table().to_owned(),
+                rec.users_column().to_owned(),
+                rec.items_column().to_owned(),
+                rec.ratings_column().to_owned(),
+            )
+        };
+        let matrix = {
+            let catalog = self.catalog.read();
+            load_matrix(&catalog, &table, &users, &items, &ratings)?
+        };
+        let staged =
+            Recommender::stage_rebuild(algorithm, &train, index.as_deref(), matrix, Some(guard))?;
+        self.observe_model_build(algorithm, staged.build_time());
+        let mut recs = self.recommenders.write();
+        if let Some(rec) = recs.iter_mut().find(|r| r.name() == name) {
+            rec.publish(staged);
+        }
+        Ok(())
     }
 
-    fn insert_tuples_governed(
-        &mut self,
+    /// Insert pre-built tuples into a table as one auto-committed
+    /// transaction, updating recommender statistics and running the N%
+    /// maintenance rule. This is also the bulk-loading path used by the
+    /// dataset loaders.
+    pub fn insert_tuples(&self, table: &str, tuples: Vec<Tuple>) -> EngineResult<usize> {
+        let guard = self.config.governor.guard();
+        let mut state = TxnState::default();
+        let lower = table.to_ascii_lowercase();
+        let result = (|| {
+            let txn_id = self.ensure_txn(&mut state);
+            self.locks
+                .acquire(
+                    txn_id,
+                    &lower,
+                    LockMode::Exclusive,
+                    self.config.lock_timeout,
+                    Some(&guard),
+                )
+                .map_err(lock_to_engine)?;
+            self.insert_into(&mut state, table, tuples)
+        })();
+        match result {
+            Ok(n) => {
+                let txn = state.txn.take().expect("insert ran inside a transaction");
+                self.finish_autocommit(txn, &guard)
+                    .map_err(|e| flatten_guard_error_counted(&self.metrics, e))?;
+                Ok(n)
+            }
+            Err(e) => {
+                let e = flatten_guard_error_counted(&self.metrics, e);
+                self.abort_failed_statement(&mut state, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// The INSERT body: capture the append-only undo pre-image, append
+    /// the tuples, log, and defer recommender statistics to commit.
+    /// Callers hold the table's X lock.
+    fn insert_into(
+        &self,
+        state: &mut TxnState,
         table: &str,
         tuples: Vec<Tuple>,
-        guard: &QueryGuard,
     ) -> EngineResult<usize> {
+        let lower = table.to_ascii_lowercase();
         let n = tuples.len();
-        // Pre-resolve, per recommender on this table, the item-column
-        // ordinal in the table schema.
-        let item_ordinals = self.recommender_item_ordinals(table)?;
-        {
-            let t = self.catalog.table_mut(table)?;
+        let touched = {
+            let catalog = self.catalog.read();
+            let item_ordinals = self.recommender_item_ordinals(&catalog, table)?;
+            let mut touched: Vec<(String, i64)> = Vec::new();
             for tuple in &tuples {
-                // Record item updates before the tuple moves into the heap.
-                for &(k, ord) in &item_ordinals {
-                    if let Some(item) = tuple.get(ord).and_then(recdb_storage::Value::as_int) {
-                        self.recommenders[k].record_insert(item, self.clock);
+                for (rec, ord) in &item_ordinals {
+                    if let Some(item) = tuple.get(*ord).and_then(recdb_storage::Value::as_int) {
+                        touched.push((rec.clone(), item));
                     }
                 }
+            }
+            touched
+        };
+        let txn = Self::active(state);
+        let _ckpt = self.ckpt_latch.read();
+        {
+            let mut catalog = self.catalog.write();
+            txn.save_tail(&catalog, &lower)?;
+            let t = catalog.table_mut(&lower)?;
+            for tuple in &tuples {
                 t.insert(tuple.clone())?;
             }
         }
-        self.log_and_commit(WalRecord::Insert {
-            table: table.to_ascii_lowercase(),
-            tuples,
-        })?;
-        self.run_auto_maintenance(table, guard)?;
+        self.log_statement(
+            txn,
+            WalRecord::Insert {
+                table: lower.clone(),
+                tuples,
+            },
+        )?;
+        txn.defer_stats(lower, touched);
         Ok(n)
     }
 
     /// Pre-compute the full RecScoreIndex for every user of a recommender
-    /// (§IV-C pre-computation).
-    pub fn materialize(&mut self, recommender: &str) -> EngineResult<()> {
+    /// (§IV-C pre-computation). Holds the recommender write lock for the
+    /// duration — recommendation queries wait; run it at load time.
+    pub fn materialize(&self, recommender: &str) -> EngineResult<()> {
         let threads = self.config.build_threads;
         let guard = self.config.governor.guard();
-        let metrics = Arc::clone(&self.metrics);
-        let rec = self
-            .recommender_mut(recommender)
+        let mut recs = self.recommenders.write();
+        let rec = recs
+            .iter_mut()
+            .find(|r| r.name().eq_ignore_ascii_case(recommender))
             .ok_or_else(|| EngineError::RecommenderNotFound(recommender.to_owned()))?;
         let result = rec.materialize_all_governed(threads, Some(&guard));
-        metrics
+        self.metrics
             .gauge_with("recdb_materialized_entries", &[("recommender", rec.name())])
             .set(rec.materialized_entries() as i64);
-        result.map_err(|e| flatten_guard_error_counted(&metrics, e))
+        result.map_err(|e| flatten_guard_error_counted(&self.metrics, e))
     }
 
     /// Run one cache-manager pass (Algorithm 4) for a recommender at the
     /// current tick.
     pub fn run_cache_manager(
-        &mut self,
+        &self,
         recommender: &str,
     ) -> EngineResult<crate::cache::CacheDecision> {
-        let now = self.clock;
-        let metrics = Arc::clone(&self.metrics);
-        let rec = self
-            .recommender_mut(recommender)
+        let now = self.clock();
+        let mut recs = self.recommenders.write();
+        let rec = recs
+            .iter_mut()
+            .find(|r| r.name().eq_ignore_ascii_case(recommender))
             .ok_or_else(|| EngineError::RecommenderNotFound(recommender.to_owned()))?;
         let decision = rec.run_cache_manager(now);
-        metrics
+        self.metrics
             .counter("recdb_cache_admitted_total")
             .add(decision.admitted.len() as u64);
-        metrics
+        self.metrics
             .counter("recdb_cache_evicted_total")
             .add(decision.evicted.len() as u64);
-        metrics
+        self.metrics
             .gauge_with("recdb_materialized_entries", &[("recommender", rec.name())])
             .set(rec.materialized_entries() as i64);
         Ok(decision)
     }
 
     fn run_select(&self, select: &SelectStatement, guard: &QueryGuard) -> EngineResult<ResultSet> {
-        let plan = optimize(build_logical(select, &self.catalog)?);
+        let catalog = self.catalog.read();
+        let plan = optimize(build_logical(select, &catalog)?);
         self.record_query_stats(&plan);
-        let ctx = ExecContext::new(&self.catalog, self, guard.clone())
-            .with_metrics(Arc::clone(&self.metrics));
+        let ctx =
+            ExecContext::new(&catalog, self, guard.clone()).with_metrics(Arc::clone(&self.metrics));
         Ok(execute_plan(&plan, &ctx)?)
     }
 
@@ -995,10 +1719,11 @@ impl RecDb {
         select: &SelectStatement,
         guard: &QueryGuard,
     ) -> EngineResult<ResultSet> {
-        let plan = optimize(build_logical(select, &self.catalog)?);
+        let catalog = self.catalog.read();
+        let plan = optimize(build_logical(select, &catalog)?);
         self.record_query_stats(&plan);
-        let ctx = ExecContext::new(&self.catalog, self, guard.clone())
-            .with_metrics(Arc::clone(&self.metrics));
+        let ctx =
+            ExecContext::new(&catalog, self, guard.clone()).with_metrics(Arc::clone(&self.metrics));
         let (rows, profile) = execute_plan_profiled(&plan, &ctx, Arc::clone(&self.wall))?;
         self.metrics
             .counter("recdb_rows_returned_total")
@@ -1021,14 +1746,15 @@ impl RecDb {
         let Some(users) = &node.user_ids else {
             return;
         };
-        let Some(rec) = self.recommenders.iter().find(|r| {
+        let recs = self.recommenders.read();
+        let Some(rec) = recs.iter().find(|r| {
             r.ratings_table().eq_ignore_ascii_case(&node.ratings_table)
                 && r.algorithm() == node.algorithm
         }) else {
             return;
         };
         for &u in users {
-            rec.record_query(u, self.clock);
+            rec.record_query(u, self.clock());
         }
     }
 }
@@ -1040,21 +1766,189 @@ impl RecommenderProvider for RecDb {
         algorithm: Algorithm,
     ) -> Option<Arc<recdb_algo::RecModel>> {
         self.recommenders
+            .read()
             .iter()
             .find(|r| {
                 r.ratings_table().eq_ignore_ascii_case(ratings_table) && r.algorithm() == algorithm
             })
-            .map(|r| r.model())
+            .map(Recommender::model)
     }
 
     fn rec_index(&self, ratings_table: &str, algorithm: Algorithm) -> Option<Arc<RecScoreIndex>> {
         self.recommenders
+            .read()
             .iter()
             .find(|r| {
                 r.ratings_table().eq_ignore_ascii_case(ratings_table) && r.algorithm() == algorithm
             })
-            .and_then(|r| r.index())
+            .and_then(Recommender::index)
     }
+}
+
+/// Shared read access to the catalog, [`Deref`]-transparent.
+pub struct CatalogRef<'a>(RwLockReadGuard<'a, Catalog>);
+
+impl Deref for CatalogRef<'_> {
+    type Target = Catalog;
+    fn deref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
+/// Exclusive access to the catalog, [`DerefMut`]-transparent. See
+/// [`RecDb::catalog_mut`] for the (narrow) intended use.
+pub struct CatalogMut<'a>(RwLockWriteGuard<'a, Catalog>);
+
+impl Deref for CatalogMut<'_> {
+    type Target = Catalog;
+    fn deref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
+impl DerefMut for CatalogMut<'_> {
+    fn deref_mut(&mut self) -> &mut Catalog {
+        &mut self.0
+    }
+}
+
+/// Shared read access to one recommender, [`Deref`]-transparent.
+pub struct RecommenderRef<'a> {
+    recs: RwLockReadGuard<'a, Vec<Recommender>>,
+    idx: usize,
+}
+
+impl Deref for RecommenderRef<'_> {
+    type Target = Recommender;
+    fn deref(&self) -> &Recommender {
+        &self.recs[self.idx]
+    }
+}
+
+/// Exclusive access to one recommender, [`DerefMut`]-transparent.
+pub struct RecommenderMut<'a> {
+    recs: RwLockWriteGuard<'a, Vec<Recommender>>,
+    idx: usize,
+}
+
+impl Deref for RecommenderMut<'_> {
+    type Target = Recommender;
+    fn deref(&self) -> &Recommender {
+        &self.recs[self.idx]
+    }
+}
+
+impl DerefMut for RecommenderMut<'_> {
+    fn deref_mut(&mut self) -> &mut Recommender {
+        &mut self.recs[self.idx]
+    }
+}
+
+/// Reopens the checkpoint drain gate when the checkpoint finishes (or
+/// fails), waking queued `BEGIN`s.
+struct DrainGuard<'a> {
+    gate: &'a StdMutex<TxnGate>,
+    cond: &'a Condvar,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        lock_gate(self.gate).draining = false;
+        self.cond.notify_all();
+    }
+}
+
+/// Lock the gate mutex ignoring poison (the gate is two plain integers;
+/// no invariant can tear).
+fn lock_gate(m: &StdMutex<TxnGate>) -> StdMutexGuard<'_, TxnGate> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Map a lock-layer failure to a first-class engine error.
+fn lock_to_engine(e: LockError) -> EngineError {
+    match e {
+        LockError::Timeout { table, waited } => EngineError::LockTimeout { table, waited },
+        LockError::Cancelled(g) => g.into(),
+        LockError::Fault(f) => f.into(),
+    }
+}
+
+/// Redo one WAL record during recovery. Uses the same catalog entry
+/// points as the live engine (so heap appends land on the same record
+/// ids), but skips logging, recommender statistics, and maintenance —
+/// models are rebuilt once, after the whole tail is replayed.
+fn replay_record(
+    catalog: &mut Catalog,
+    record: WalRecord,
+    defs: &mut Vec<RecommenderDef>,
+) -> EngineResult<()> {
+    match record {
+        WalRecord::CreateTable { name, schema } => {
+            catalog.create_table(&name, schema)?;
+        }
+        WalRecord::DropTable { name } => {
+            catalog.drop_table(&name)?;
+            defs.retain(|d| !d.table.eq_ignore_ascii_case(&name));
+        }
+        WalRecord::Insert { table, tuples } => {
+            let t = catalog.table_mut(&table)?;
+            for tuple in tuples {
+                t.insert(tuple)?;
+            }
+        }
+        WalRecord::Delete { table, rids } => {
+            let t = catalog.table_mut(&table)?;
+            for rid in rids {
+                t.delete(rid)?;
+            }
+        }
+        WalRecord::Update { table, changes } => {
+            let t = catalog.table_mut(&table)?;
+            for (rid, tuple) in changes {
+                t.delete(rid)?;
+                t.insert(tuple)?;
+            }
+        }
+        WalRecord::CreateIndex {
+            table,
+            index,
+            columns,
+        } => {
+            let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+            catalog.table_mut(&table)?.create_index(&index, &cols)?;
+        }
+        WalRecord::DropIndex { table, index } => {
+            catalog.table_mut(&table)?.drop_index(&index)?;
+        }
+        WalRecord::CreateRecommender {
+            name,
+            table,
+            users,
+            items,
+            ratings,
+            algorithm,
+        } => {
+            defs.retain(|d| !d.name.eq_ignore_ascii_case(&name));
+            defs.push(RecommenderDef {
+                name,
+                table,
+                users,
+                items,
+                ratings,
+                algorithm,
+            });
+        }
+        WalRecord::DropRecommender { name } => {
+            defs.retain(|d| !d.name.eq_ignore_ascii_case(&name));
+        }
+        // Transaction markers are consumed by the committed-set pass;
+        // they carry no redo work of their own.
+        WalRecord::TxnBegin { .. }
+        | WalRecord::TxnCommit { .. }
+        | WalRecord::TxnAbort { .. }
+        | WalRecord::InTxn { .. } => {}
+    }
+    Ok(())
 }
 
 /// Lift governor verdicts buried in the executor layer to first-class
@@ -1109,6 +2003,9 @@ fn statement_kind(statement: &Statement) -> &'static str {
         Statement::Explain(_) => "explain",
         Statement::ExplainAnalyze(_) => "explain_analyze",
         Statement::Select(_) => "select",
+        Statement::Begin => "begin",
+        Statement::Commit => "commit",
+        Statement::Rollback => "rollback",
     }
 }
 
@@ -1234,7 +2131,7 @@ mod tests {
 
     /// Stand up the paper's Figure 1 database through pure SQL.
     fn figure1_db() -> RecDb {
-        let mut db = RecDb::new();
+        let db = RecDb::new();
         db.execute_script(
             "CREATE TABLE users (uid INT, name TEXT, city TEXT);
              CREATE TABLE movies (mid INT, name TEXT, genre TEXT);
@@ -1252,13 +2149,20 @@ mod tests {
     }
 
     fn with_recommender() -> RecDb {
-        let mut db = figure1_db();
+        let db = figure1_db();
         db.execute(
             "CREATE RECOMMENDER GeneralRec ON ratings \
              USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF",
         )
         .unwrap();
         db
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<RecDb>();
+        check::<Arc<RecDb>>();
     }
 
     #[test]
@@ -1270,7 +2174,7 @@ mod tests {
 
     #[test]
     fn create_recommender_via_sql() {
-        let mut db = figure1_db();
+        let db = figure1_db();
         let result = db
             .execute(
                 "CREATE RECOMMENDER GeneralRec ON ratings \
@@ -1293,7 +2197,7 @@ mod tests {
 
     #[test]
     fn paper_query1_end_to_end() {
-        let mut db = with_recommender();
+        let db = with_recommender();
         let rows = db
             .query(
                 "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
@@ -1307,7 +2211,7 @@ mod tests {
 
     #[test]
     fn missing_recommender_reported_via_sql() {
-        let mut db = figure1_db();
+        let db = figure1_db();
         let err = db
             .query(
                 "SELECT R.uid FROM ratings AS R \
@@ -1319,7 +2223,7 @@ mod tests {
 
     #[test]
     fn drop_recommender_and_table_cascade() {
-        let mut db = with_recommender();
+        let db = with_recommender();
         db.execute("DROP RECOMMENDER GeneralRec").unwrap();
         assert!(db.recommender_names().is_empty());
         assert!(matches!(
@@ -1338,7 +2242,7 @@ mod tests {
 
     #[test]
     fn insert_triggers_n_percent_maintenance() {
-        let mut db = with_recommender();
+        let db = with_recommender();
         assert_eq!(
             db.recommender("GeneralRec").unwrap().model().trained_on(),
             7
@@ -1354,7 +2258,7 @@ mod tests {
 
     #[test]
     fn maintenance_can_be_deferred() {
-        let mut db = RecDb::with_config(RecDbConfig {
+        let db = RecDb::with_config(RecDbConfig {
             auto_maintenance: false,
             ..Default::default()
         });
@@ -1373,7 +2277,7 @@ mod tests {
 
     #[test]
     fn materialize_then_topk_uses_index() {
-        let mut db = with_recommender();
+        let db = with_recommender();
         db.materialize("GeneralRec").unwrap();
         assert_eq!(
             db.recommender("GeneralRec").unwrap().materialized_entries(),
@@ -1391,7 +2295,7 @@ mod tests {
 
     #[test]
     fn query_stats_recorded_for_user_predicates() {
-        let mut db = with_recommender();
+        let db = with_recommender();
         for _ in 0..3 {
             db.query(
                 "SELECT R.iid FROM ratings AS R \
@@ -1409,7 +2313,7 @@ mod tests {
 
     #[test]
     fn type_synonyms_in_create_table() {
-        let mut db = RecDb::new();
+        let db = RecDb::new();
         db.execute(
             "CREATE TABLE t (a INTEGER, b DOUBLE, c VARCHAR, d BOOLEAN, e GEOMETRY, f REGION)",
         )
@@ -1426,7 +2330,7 @@ mod tests {
 
     #[test]
     fn insert_constant_expressions() {
-        let mut db = RecDb::new();
+        let db = RecDb::new();
         db.execute("CREATE TABLE t (a INT, p POINT, r RECT)")
             .unwrap();
         db.execute("INSERT INTO t VALUES (1 + 2, POINT(1, 2), RECT(0, 0, 5, 5))")
@@ -1457,7 +2361,7 @@ mod tests {
 
     #[test]
     fn create_and_drop_index_via_sql() {
-        let mut db = figure1_db();
+        let db = figure1_db();
         assert!(matches!(
             db.execute("CREATE INDEX movies_mid ON movies (mid)")
                 .unwrap(),
@@ -1479,7 +2383,7 @@ mod tests {
 
     #[test]
     fn explain_statement_returns_plan_rows() {
-        let mut db = with_recommender();
+        let db = with_recommender();
         let rows = db
             .query(
                 "EXPLAIN SELECT R.iid FROM ratings AS R \
@@ -1500,7 +2404,7 @@ mod tests {
 
     #[test]
     fn clock_ticks_per_statement() {
-        let mut db = RecDb::new();
+        let db = RecDb::new();
         assert_eq!(db.clock(), 0);
         db.execute("CREATE TABLE t (a INT)").unwrap();
         db.execute("INSERT INTO t VALUES (1)").unwrap();
@@ -1509,7 +2413,7 @@ mod tests {
 
     #[test]
     fn delete_statement_removes_rows_and_retrains() {
-        let mut db = with_recommender();
+        let db = with_recommender();
         // Delete all of user 2's ratings (4 rows of 7 → well past N%).
         let result = db.execute("DELETE FROM ratings WHERE uid = 2").unwrap();
         assert!(matches!(result, QueryResult::Deleted(3)));
@@ -1521,7 +2425,7 @@ mod tests {
 
     #[test]
     fn update_statement_rewrites_rows() {
-        let mut db = with_recommender();
+        let db = with_recommender();
         let result = db
             .execute("UPDATE ratings SET ratingval = 5.0 WHERE uid = 1 AND iid = 1")
             .unwrap();
@@ -1537,7 +2441,7 @@ mod tests {
 
     #[test]
     fn update_with_expression_and_no_filter() {
-        let mut db = figure1_db();
+        let db = figure1_db();
         let result = db
             .execute("UPDATE ratings SET ratingval = ratingval + 1")
             .unwrap();
@@ -1550,7 +2454,7 @@ mod tests {
 
     #[test]
     fn delete_everything() {
-        let mut db = figure1_db();
+        let db = figure1_db();
         let result = db.execute("DELETE FROM ratings").unwrap();
         assert!(matches!(result, QueryResult::Deleted(7)));
         assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 0);
@@ -1558,7 +2462,7 @@ mod tests {
 
     #[test]
     fn aggregate_sql_through_engine() {
-        let mut db = figure1_db();
+        let db = figure1_db();
         let rows = db
             .query(
                 "SELECT genre, COUNT(*) AS n FROM movies GROUP BY genre \
@@ -1579,7 +2483,294 @@ mod tests {
 
     #[test]
     fn query_on_non_select_errors() {
-        let mut db = RecDb::new();
+        let db = RecDb::new();
         assert!(db.query("CREATE TABLE t (a INT)").is_err());
+    }
+
+    // ---- transactions & concurrency ----
+
+    #[test]
+    fn explicit_txn_commit_makes_writes_visible() {
+        let db = figure1_db();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        assert!(session.in_transaction());
+        session
+            .execute("INSERT INTO ratings VALUES (9, 9, 4.0)")
+            .unwrap();
+        session
+            .execute("INSERT INTO ratings VALUES (9, 8, 3.0)")
+            .unwrap();
+        assert!(matches!(
+            session.execute("COMMIT").unwrap(),
+            QueryResult::TransactionCommitted
+        ));
+        assert!(!session.in_transaction());
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 9);
+        assert!(!db.lock_table().is_locked("ratings"), "locks released");
+    }
+
+    #[test]
+    fn rollback_undoes_inserts_deletes_and_updates() {
+        let db = figure1_db();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        session
+            .execute("INSERT INTO ratings VALUES (9, 9, 4.0)")
+            .unwrap();
+        session
+            .execute("DELETE FROM ratings WHERE uid = 2")
+            .unwrap();
+        session
+            .execute("UPDATE ratings SET ratingval = 0.0 WHERE uid = 1")
+            .unwrap();
+        session.execute("ROLLBACK").unwrap();
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 7);
+        let rows = db
+            .query("SELECT ratingval FROM ratings WHERE uid = 1 AND iid = 1")
+            .unwrap();
+        assert_eq!(rows.value(0, "ratingval").unwrap(), &Value::Float(1.5));
+        assert!(!db.lock_table().is_locked("ratings"));
+    }
+
+    #[test]
+    fn rollback_restores_ddl() {
+        let db = with_recommender();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        session.execute("CREATE TABLE scratch (a INT)").unwrap();
+        session.execute("INSERT INTO scratch VALUES (1)").unwrap();
+        session
+            .execute("CREATE INDEX r_uid ON ratings (uid)")
+            .unwrap();
+        session.execute("DROP RECOMMENDER GeneralRec").unwrap();
+        session.execute("DROP TABLE movies").unwrap();
+        session.execute("ROLLBACK").unwrap();
+        assert!(db.catalog().table("scratch").is_err(), "created table gone");
+        assert!(db
+            .catalog()
+            .table("ratings")
+            .unwrap()
+            .index("r_uid")
+            .is_err());
+        assert_eq!(db.recommender_names(), vec!["generalrec"]);
+        assert_eq!(db.catalog().table("movies").unwrap().tuple_count(), 3);
+    }
+
+    #[test]
+    fn rollback_recreates_dropped_index() {
+        let db = figure1_db();
+        db.execute("CREATE INDEX movies_mid ON movies (mid)")
+            .unwrap();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        session.execute("DROP INDEX movies_mid ON movies").unwrap();
+        session.execute("ROLLBACK").unwrap();
+        assert!(db
+            .catalog()
+            .table("movies")
+            .unwrap()
+            .index("movies_mid")
+            .is_ok());
+    }
+
+    #[test]
+    fn transaction_control_errors() {
+        let db = RecDb::new();
+        let mut session = db.session();
+        assert!(matches!(
+            session.execute("COMMIT").unwrap_err(),
+            EngineError::NoActiveTransaction
+        ));
+        assert!(matches!(
+            session.execute("ROLLBACK").unwrap_err(),
+            EngineError::NoActiveTransaction
+        ));
+        session.execute("BEGIN").unwrap();
+        assert!(matches!(
+            session.execute("BEGIN").unwrap_err(),
+            EngineError::TransactionActive
+        ));
+        session.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn statement_failure_aborts_whole_transaction() {
+        let db = figure1_db();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        session
+            .execute("INSERT INTO ratings VALUES (9, 9, 4.0)")
+            .unwrap();
+        // A failing statement rolls the whole transaction back.
+        session
+            .execute("INSERT INTO nosuch VALUES (1)")
+            .unwrap_err();
+        assert!(!session.in_transaction());
+        assert!(matches!(
+            session.execute("COMMIT").unwrap_err(),
+            EngineError::NoActiveTransaction
+        ));
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 7);
+        assert!(!db.lock_table().is_locked("ratings"));
+    }
+
+    #[test]
+    fn contended_write_times_out() {
+        let db = RecDb::with_config(RecDbConfig {
+            lock_timeout: Duration::ZERO,
+            ..Default::default()
+        });
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let mut writer = db.session();
+        writer.execute("BEGIN").unwrap();
+        writer.execute("INSERT INTO t VALUES (1)").unwrap();
+        let mut other = db.session();
+        other.execute("BEGIN").unwrap();
+        let err = other.execute("INSERT INTO t VALUES (2)").unwrap_err();
+        assert!(
+            matches!(err, EngineError::LockTimeout { ref table, .. } if table == "t"),
+            "{err}"
+        );
+        // The timed-out transaction was rolled back; the writer commits.
+        assert!(!other.in_transaction());
+        writer.execute("COMMIT").unwrap();
+        assert_eq!(db.catalog().table("t").unwrap().tuple_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_share_locks() {
+        // Zero lock timeout: if readers blocked each other at all, the
+        // second SELECT would fail instead of sharing the lock.
+        let db = RecDb::with_config(RecDbConfig {
+            lock_timeout: Duration::ZERO,
+            ..Default::default()
+        });
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        let mut r1 = db.session();
+        let mut r2 = db.session();
+        r1.execute("BEGIN").unwrap();
+        r2.execute("BEGIN").unwrap();
+        assert_eq!(r1.query("SELECT * FROM t").unwrap().len(), 1);
+        assert_eq!(r2.query("SELECT * FROM t").unwrap().len(), 1);
+        // But a writer cannot join the shared lock.
+        let mut w = db.session();
+        w.execute("BEGIN").unwrap();
+        assert!(matches!(
+            w.execute("INSERT INTO t VALUES (2)").unwrap_err(),
+            EngineError::LockTimeout { .. }
+        ));
+        r1.execute("COMMIT").unwrap();
+        r2.execute("COMMIT").unwrap();
+    }
+
+    #[test]
+    fn dropping_session_rolls_back_open_transaction() {
+        let db = figure1_db();
+        {
+            let mut session = db.session();
+            session.execute("BEGIN").unwrap();
+            session
+                .execute("INSERT INTO ratings VALUES (9, 9, 4.0)")
+                .unwrap();
+        }
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 7);
+        assert!(!db.lock_table().is_locked("ratings"));
+    }
+
+    #[test]
+    fn txn_outcomes_are_counted() {
+        let db = RecDb::with_config(RecDbConfig {
+            lock_timeout: Duration::ZERO,
+            ..Default::default()
+        });
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let mut s = db.session();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        s.execute("COMMIT").unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (2)").unwrap();
+        s.execute("ROLLBACK").unwrap();
+        let mut holder = db.session();
+        holder.execute("BEGIN").unwrap();
+        holder.execute("INSERT INTO t VALUES (3)").unwrap();
+        let mut loser = db.session();
+        loser.execute("BEGIN").unwrap();
+        loser.execute("INSERT INTO t VALUES (4)").unwrap_err();
+        holder.execute("COMMIT").unwrap();
+        let snap = db.metrics_snapshot();
+        // CREATE TABLE + two INSERT auto-commits + two explicit commits.
+        assert!(snap.counter("recdb_txn_total{outcome=\"commit\"}") >= 3);
+        assert_eq!(snap.counter("recdb_txn_total{outcome=\"abort\"}"), 1);
+        assert_eq!(snap.counter("recdb_txn_total{outcome=\"timeout\"}"), 1);
+    }
+
+    #[test]
+    fn engine_level_execute_joins_default_session_txn() {
+        let db = figure1_db();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO ratings VALUES (9, 9, 4.0)")
+            .unwrap();
+        db.execute("ROLLBACK").unwrap();
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 7);
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO ratings VALUES (9, 9, 4.0)")
+            .unwrap();
+        db.execute("COMMIT").unwrap();
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 8);
+    }
+
+    #[test]
+    fn arc_shared_engine_serves_parallel_readers() {
+        let db = Arc::new(with_recommender());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let rows = db
+                            .query(
+                                "SELECT R.iid FROM ratings AS R \
+                                 RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                                 WHERE R.uid = 1",
+                            )
+                            .unwrap();
+                        assert_eq!(rows.len(), 2);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panic_during_write_statement_releases_locks() {
+        let _x = recdb_fault::exclusive();
+        recdb_fault::clear();
+        let db = figure1_db();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        session
+            .execute("INSERT INTO ratings VALUES (9, 9, 4.0)")
+            .unwrap();
+        assert!(db.lock_table().is_locked("ratings"));
+        // The next write panics at its lock acquisition; the boundary
+        // must contain it, abort the whole transaction, and release the
+        // ratings lock already held.
+        recdb_fault::arm_panic("txn::lock_acquire", 1);
+        let err = session.execute("INSERT INTO users VALUES (9, 'Mal', 'X')");
+        assert!(
+            matches!(err.unwrap_err(), EngineError::Internal(_)),
+            "panic surfaces as a contained internal error"
+        );
+        assert!(!session.in_transaction());
+        assert!(!db.lock_table().is_locked("ratings"), "locks released");
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 7);
+        // The engine keeps serving.
+        db.execute("INSERT INTO ratings VALUES (9, 9, 4.0)")
+            .unwrap();
+        assert_eq!(db.catalog().table("ratings").unwrap().tuple_count(), 8);
+        recdb_fault::clear();
     }
 }

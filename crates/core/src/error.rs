@@ -56,6 +56,28 @@ pub enum EngineError {
     /// A panic was caught at the engine boundary; the statement failed
     /// but the engine itself keeps serving.
     Internal(String),
+    /// A table lock could not be granted before the configured
+    /// [`crate::engine::RecDbConfig::lock_timeout`] elapsed. The enclosing
+    /// transaction has been rolled back; retry it from BEGIN.
+    LockTimeout {
+        /// The table whose lock was contended.
+        table: String,
+        /// How long the statement waited before giving up.
+        waited: Duration,
+    },
+    /// `BEGIN` was issued while this session already has an open
+    /// transaction (the engine does not nest transactions).
+    TransactionActive,
+    /// `COMMIT` or `ROLLBACK` was issued with no open transaction.
+    NoActiveTransaction,
+    /// A checkpoint gave up waiting for open explicit transactions to
+    /// finish. Committed data is unaffected; retry once they complete.
+    CheckpointContended {
+        /// Open explicit transactions when the checkpoint gave up.
+        active: usize,
+        /// How long the checkpoint waited for them to drain.
+        waited: Duration,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -93,6 +115,22 @@ impl fmt::Display for EngineError {
                 "statement exceeded its {resource} budget: used {used} of {budget}"
             ),
             EngineError::Internal(msg) => write!(f, "internal error (panic contained): {msg}"),
+            EngineError::LockTimeout { table, waited } => write!(
+                f,
+                "lock timeout on table `{table}` after {:.3}s",
+                waited.as_secs_f64()
+            ),
+            EngineError::TransactionActive => {
+                write!(f, "a transaction is already in progress")
+            }
+            EngineError::NoActiveTransaction => {
+                write!(f, "no transaction is in progress")
+            }
+            EngineError::CheckpointContended { active, waited } => write!(
+                f,
+                "checkpoint timed out after {:.3}s waiting for {active} open transaction(s)",
+                waited.as_secs_f64()
+            ),
         }
     }
 }
@@ -236,6 +274,28 @@ mod tests {
             .expect("Wal chains its cause")
             .to_string()
             .contains("byte 64"));
+    }
+
+    #[test]
+    fn transaction_errors_display() {
+        let e = EngineError::LockTimeout {
+            table: "ratings".into(),
+            waited: Duration::from_millis(250),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`ratings`") && msg.contains("0.250"), "{msg}");
+        assert!(EngineError::TransactionActive
+            .to_string()
+            .contains("already in progress"));
+        assert!(EngineError::NoActiveTransaction
+            .to_string()
+            .contains("no transaction"));
+        let e = EngineError::CheckpointContended {
+            active: 2,
+            waited: Duration::from_secs(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('2') && msg.contains("checkpoint"), "{msg}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! ```
 //! use recdb_core::RecDb;
 //!
-//! let mut db = RecDb::new();
+//! let db = RecDb::new();
 //! db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)").unwrap();
 //! db.execute("INSERT INTO ratings VALUES (1, 1, 5.0), (2, 1, 4.0), (2, 2, 3.0)").unwrap();
 //! db.execute("CREATE RECOMMENDER Rec ON ratings USERS FROM uid ITEMS FROM iid \
@@ -30,11 +30,16 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod recommender;
+pub mod session;
 
 pub use cache::{CacheDecision, CacheManager, UsageStats};
-pub use engine::{GovernorConfig, QueryResult, RecDb, RecDbConfig};
+pub use engine::{
+    CatalogMut, CatalogRef, GovernorConfig, QueryResult, RecDb, RecDbConfig, RecommenderMut,
+    RecommenderRef,
+};
 pub use error::{EngineError, EngineResult};
-pub use recommender::Recommender;
+pub use recommender::{Recommender, StagedRebuild};
+pub use session::Session;
 // Re-export the guard types so engine callers can build per-call limits
 // and cancel handles without depending on the guard crate directly.
 pub use recdb_guard::{GuardError, QueryGuard};

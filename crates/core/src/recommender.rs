@@ -52,6 +52,24 @@ impl std::fmt::Debug for Recommender {
     }
 }
 
+/// Fully trained rebuild artifacts, computed off to the side. The
+/// concurrent engine captures a recommender's inputs under a brief read
+/// lock, trains with no engine lock held, and publishes the result with
+/// [`Recommender::publish`] under a brief write lock — readers keep
+/// serving the previous model for the whole rebuild.
+pub struct StagedRebuild {
+    model: Arc<RecModel>,
+    index: Option<Arc<RecScoreIndex>>,
+    build_time: Duration,
+}
+
+impl StagedRebuild {
+    /// Wall-clock time the staged build took (the Table II metric).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+}
+
 impl Recommender {
     /// Build ("initialize", §III-A) a recommender by scanning the ratings
     /// table and training the model.
@@ -108,13 +126,42 @@ impl Recommender {
             items_column,
             ratings_column,
         )?;
-        let started = Instant::now();
-        let model = build_model(algorithm, matrix, &train_config, governor)?;
+        Self::create_from_matrix(
+            name,
+            ratings_table,
+            users_column,
+            items_column,
+            ratings_column,
+            algorithm,
+            train_config,
+            hotness_threshold,
+            now,
+            matrix,
+            governor,
+        )
+    }
+
+    /// As [`Recommender::create_governed`], from an already-scanned ratings
+    /// matrix. The concurrent engine scans the table under a short catalog
+    /// read latch, drops it, and trains here with no engine lock held.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_from_matrix(
+        name: &str,
+        ratings_table: &str,
+        users_column: &str,
+        items_column: &str,
+        ratings_column: &str,
+        algorithm: Algorithm,
+        train_config: TrainConfig,
+        hotness_threshold: f64,
+        now: u64,
+        matrix: RatingsMatrix,
+        governor: Option<&QueryGuard>,
+    ) -> EngineResult<Self> {
         // The materialization stage of the build pipeline: nothing exists
         // to refresh on create, but the stage (and its fault site) still
         // runs so injected failures cover the whole CREATE path.
-        let index = refresh_index(None, &model, governor)?;
-        let build_time = started.elapsed();
+        let staged = Self::stage_rebuild(algorithm, &train_config, None, matrix, governor)?;
         Ok(Recommender {
             name: name.to_ascii_lowercase(),
             ratings_table: ratings_table.to_ascii_lowercase(),
@@ -123,10 +170,10 @@ impl Recommender {
             ratings_column: ratings_column.to_owned(),
             algorithm,
             train_config,
-            model: Arc::new(model),
-            build_time,
+            model: staged.model,
+            build_time: staged.build_time,
             pending_updates: 0,
-            index,
+            index: staged.index,
             stats: Mutex::new(UsageStats::new(now)),
             cache_manager: Mutex::new(CacheManager::new(hotness_threshold)),
         })
@@ -160,6 +207,11 @@ impl Recommender {
     /// The algorithm from USING.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The training configuration this recommender was created with.
+    pub fn train_config(&self) -> TrainConfig {
+        self.train_config
     }
 
     /// The trained model.
@@ -232,21 +284,45 @@ impl Recommender {
             &self.items_column,
             &self.ratings_column,
         )?;
-        let started = Instant::now();
-        let model = Arc::new(build_model(
+        let staged = Self::stage_rebuild(
             self.algorithm,
-            matrix,
             &self.train_config,
+            self.index.as_deref(),
+            matrix,
             governor,
-        )?);
-        let index = refresh_index(self.index.as_deref(), &model, governor)?;
-        let build_time = started.elapsed();
-        // All fallible work is done — publish the staged artifacts.
-        self.model = model;
-        self.build_time = build_time;
-        self.pending_updates = 0;
-        self.index = index;
+        )?;
+        self.publish(staged);
         Ok(())
+    }
+
+    /// Train a model on `matrix` and refresh `old_index` against it,
+    /// without borrowing any recommender: all fallible work happens here,
+    /// and nothing is visible until [`Recommender::publish`].
+    pub fn stage_rebuild(
+        algorithm: Algorithm,
+        config: &TrainConfig,
+        old_index: Option<&RecScoreIndex>,
+        matrix: RatingsMatrix,
+        governor: Option<&QueryGuard>,
+    ) -> EngineResult<StagedRebuild> {
+        let started = Instant::now();
+        let model = Arc::new(build_model(algorithm, matrix, config, governor)?);
+        let index = refresh_index(old_index, &model, governor)?;
+        Ok(StagedRebuild {
+            model,
+            index,
+            build_time: started.elapsed(),
+        })
+    }
+
+    /// Swap staged rebuild artifacts in and reset the pending-update
+    /// counter. Infallible by design: callers hold a write lock for just
+    /// this call.
+    pub fn publish(&mut self, staged: StagedRebuild) {
+        self.model = staged.model;
+        self.build_time = staged.build_time;
+        self.pending_updates = 0;
+        self.index = staged.index;
     }
 
     /// Pre-compute the full unseen-item score list for one user and mark it

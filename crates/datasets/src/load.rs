@@ -164,7 +164,7 @@ mod tests {
             d.users.len()
         );
         // SQL sees the data.
-        let mut db = db;
+        let db = db;
         let rows = db.query("SELECT * FROM movies WHERE mid = 1").unwrap();
         assert_eq!(rows.len(), 1);
     }

@@ -60,13 +60,16 @@ impl OnTopEngine {
         config: &TrainConfig,
     ) -> EngineResult<Self> {
         let started = Instant::now();
-        let matrix = load_matrix(
-            db.catalog(),
-            ratings_table,
-            users_column,
-            items_column,
-            ratings_column,
-        )?;
+        let matrix = {
+            let catalog = db.catalog();
+            load_matrix(
+                &catalog,
+                ratings_table,
+                users_column,
+                items_column,
+                ratings_column,
+            )?
+        };
         let model = RecModel::train(algorithm, matrix, config);
         Ok(OnTopEngine {
             algorithm,
@@ -130,7 +133,7 @@ pub struct OnTopDb {
 
 impl OnTopDb {
     /// Wrap a database. The predictions table is created eagerly.
-    pub fn new(mut db: RecDb) -> EngineResult<Self> {
+    pub fn new(db: RecDb) -> EngineResult<Self> {
         if !db.catalog().contains(PREDICTIONS_TABLE) {
             db.catalog_mut().create_table(
                 PREDICTIONS_TABLE,
@@ -212,9 +215,12 @@ impl OnTopDb {
         residual_sql: &str,
     ) -> EngineResult<ResultSet> {
         let rows = self.engine(ratings_table, algorithm)?.predict_rows(scope);
-        let table = self.db.catalog_mut().table_mut(PREDICTIONS_TABLE)?;
-        table.truncate();
-        table.insert_many(rows)?;
+        {
+            let mut catalog = self.db.catalog_mut();
+            let table = catalog.table_mut(PREDICTIONS_TABLE)?;
+            table.truncate();
+            table.insert_many(rows)?;
+        }
         self.db.query(residual_sql)
     }
 }
@@ -225,7 +231,7 @@ mod tests {
 
     /// Figure 1 world loaded into a fresh database.
     fn base_db() -> RecDb {
-        let mut db = RecDb::new();
+        let db = RecDb::new();
         db.execute_script(
             "CREATE TABLE movies (mid INT, name TEXT, genre TEXT);
              CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
@@ -295,7 +301,7 @@ mod tests {
     #[test]
     fn ontop_matches_recdb_answers() {
         // Same data, same algorithm → identical recommendation sets.
-        let mut recdb = base_db();
+        let recdb = base_db();
         recdb
             .execute(
                 "CREATE RECOMMENDER R ON ratings USERS FROM uid ITEMS FROM iid \

@@ -340,6 +340,12 @@ pub enum Statement {
     ExplainAnalyze(SelectStatement),
     /// A SELECT (with or without RECOMMEND).
     Select(SelectStatement),
+    /// `BEGIN` / `START TRANSACTION` — open an explicit transaction.
+    Begin,
+    /// `COMMIT` — make the current transaction's changes durable.
+    Commit,
+    /// `ROLLBACK` / `ABORT` — undo the current transaction's changes.
+    Rollback,
 }
 
 impl fmt::Display for BinaryOp {

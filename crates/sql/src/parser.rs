@@ -4,7 +4,10 @@
 //!
 //! ```text
 //! statement      := create_table | drop_table | insert | create_rec
-//!                 | drop_rec | select
+//!                 | drop_rec | select | begin | commit | rollback
+//! begin          := (BEGIN | START TRANSACTION) [TRANSACTION | WORK]
+//! commit         := COMMIT [TRANSACTION | WORK]
+//! rollback       := (ROLLBACK | ABORT) [TRANSACTION | WORK]
 //! create_table   := CREATE TABLE ident '(' col_def (',' col_def)* ')'
 //! drop_table     := DROP TABLE ident
 //! insert         := INSERT INTO ident VALUES row (',' row)*
@@ -211,6 +214,12 @@ impl Parser {
         }
     }
 
+    /// Swallow the optional `TRANSACTION` / `WORK` noise word after a
+    /// transaction-control keyword.
+    fn eat_txn_noise_word(&mut self) {
+        let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
+    }
+
     fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.peek_keyword("CREATE") {
             match self.peek_at(1) {
@@ -286,6 +295,26 @@ impl Parser {
                 assignments,
                 filter,
             });
+        }
+        if self.peek_keyword("BEGIN") {
+            self.pos += 1;
+            self.eat_txn_noise_word();
+            return Ok(Statement::Begin);
+        }
+        if self.peek_keyword("START") {
+            self.pos += 1;
+            self.expect_keyword("TRANSACTION")?;
+            return Ok(Statement::Begin);
+        }
+        if self.peek_keyword("COMMIT") {
+            self.pos += 1;
+            self.eat_txn_noise_word();
+            return Ok(Statement::Commit);
+        }
+        if self.peek_keyword("ROLLBACK") || self.peek_keyword("ABORT") {
+            self.pos += 1;
+            self.eat_txn_noise_word();
+            return Ok(Statement::Rollback);
         }
         if self.peek_keyword("EXPLAIN") {
             self.pos += 1;
@@ -1101,6 +1130,31 @@ mod tests {
             parse_many("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
                 .unwrap();
         assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn parse_transaction_control() {
+        for (sql, expected) in [
+            ("BEGIN", Statement::Begin),
+            ("begin transaction", Statement::Begin),
+            ("BEGIN WORK", Statement::Begin),
+            ("START TRANSACTION", Statement::Begin),
+            ("COMMIT", Statement::Commit),
+            ("commit work", Statement::Commit),
+            ("COMMIT TRANSACTION", Statement::Commit),
+            ("ROLLBACK", Statement::Rollback),
+            ("rollback transaction", Statement::Rollback),
+            ("ABORT", Statement::Rollback),
+        ] {
+            assert_eq!(parse(sql).unwrap(), expected, "{sql}");
+        }
+        // START alone is not a statement, and trailing garbage is caught.
+        assert!(parse("START").is_err());
+        assert!(parse("BEGIN COMMIT").is_err());
+        let stmts = parse_many("BEGIN; INSERT INTO t VALUES (1); COMMIT;").unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(stmts[0], Statement::Begin);
+        assert_eq!(stmts[2], Statement::Commit);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use crate::error::{StorageError, StorageResult};
 use crate::heap::{HeapTable, Rid};
 use crate::index::BTreeIndex;
+use crate::page::Page;
 use crate::schema::Schema;
 use crate::stats::IoStats;
 use crate::tuple::Tuple;
@@ -150,6 +151,43 @@ impl Table {
             idx.clear();
         }
     }
+
+    /// Clone every heap page — the pre-image a transaction captures
+    /// before its first scattered write to this table (DELETE/UPDATE).
+    pub fn snapshot_pages(&self) -> Vec<Page> {
+        self.heap.pages().to_vec()
+    }
+
+    /// The heap extent an append-only pre-image needs: the page count and
+    /// a copy of the current last page (see [`Table::rollback_tail`]).
+    pub fn snapshot_tail(&self) -> (usize, Option<Page>) {
+        let pages = self.heap.pages();
+        (pages.len(), pages.last().cloned())
+    }
+
+    /// Undo appends past a [`Table::snapshot_tail`] point and rebuild the
+    /// secondary indexes from the restored heap.
+    pub fn rollback_tail(&mut self, page_count: usize, last_page: Option<Page>) {
+        self.heap.rollback_tail(page_count, last_page);
+        self.rebuild_indexes();
+    }
+
+    /// Restore a full [`Table::snapshot_pages`] pre-image and rebuild the
+    /// secondary indexes from it.
+    pub fn rollback_pages(&mut self, pages: Vec<Page>) {
+        self.heap.rollback_pages(pages);
+        self.rebuild_indexes();
+    }
+
+    fn rebuild_indexes(&mut self) {
+        let heap = &self.heap;
+        for idx in &mut self.indexes {
+            idx.clear();
+            for (rid, tuple) in heap.scan() {
+                idx.insert(idx.key_of(&tuple), rid);
+            }
+        }
+    }
 }
 
 /// The database catalog: a named collection of tables sharing one set of
@@ -197,6 +235,19 @@ impl Catalog {
             .remove(&name.to_ascii_lowercase())
             .map(|_| ())
             .ok_or_else(|| StorageError::TableNotFound(name.to_owned()))
+    }
+
+    /// Remove a table and hand it back whole (heap, indexes and all) —
+    /// the pre-image a transaction keeps so `DROP TABLE` can be undone.
+    pub fn take_table(&mut self, name: &str) -> StorageResult<Table> {
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::TableNotFound(name.to_owned()))
+    }
+
+    /// Re-install a table removed with [`Catalog::take_table`].
+    pub fn restore_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_owned(), table);
     }
 
     /// Look up a table.
@@ -362,5 +413,64 @@ mod tests {
         t.truncate();
         assert_eq!(t.tuple_count(), 0);
         assert!(t.index("i").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rollback_tail_undoes_appends_and_resyncs_indexes() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("r", ratings_schema()).unwrap();
+        t.create_index("i", &["uid"]).unwrap();
+        t.insert(row(1, 1, 1.0)).unwrap();
+        t.heap_mut().take_dirty_pages(); // pretend a checkpoint ran
+
+        let (pages, last) = t.snapshot_tail();
+        t.insert(row(2, 2, 2.0)).unwrap();
+        t.insert(row(3, 3, 3.0)).unwrap();
+        t.rollback_tail(pages, last);
+
+        assert_eq!(t.tuple_count(), 1);
+        assert_eq!(t.index("i").unwrap().len(), 1);
+        assert!(
+            t.heap().is_dirty(),
+            "a rolled-back table diverges from the checkpoint image"
+        );
+        // The heap is byte-identical to the pre-append state, so a fresh
+        // insert lands at the same rid an untouched run would assign.
+        let rid = t.insert(row(4, 4, 4.0)).unwrap();
+        assert_eq!(rid, Rid::new(0, 1));
+    }
+
+    #[test]
+    fn rollback_pages_restores_deleted_rows() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("r", ratings_schema()).unwrap();
+        t.create_index("i", &["uid"]).unwrap();
+        let rid1 = t.insert(row(1, 1, 1.0)).unwrap();
+        t.insert(row(2, 2, 2.0)).unwrap();
+
+        let snapshot = t.snapshot_pages();
+        t.delete(rid1).unwrap();
+        assert_eq!(t.tuple_count(), 1);
+        t.rollback_pages(snapshot);
+
+        assert_eq!(t.tuple_count(), 2);
+        assert_eq!(t.get(rid1).unwrap(), row(1, 1, 1.0));
+        assert_eq!(t.index("i").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn take_and_restore_table_roundtrip() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("R", ratings_schema()).unwrap();
+        t.create_index("i", &["uid"]).unwrap();
+        t.insert(row(1, 1, 1.0)).unwrap();
+
+        let taken = cat.take_table("r").unwrap();
+        assert!(!cat.contains("r"));
+        cat.restore_table(taken);
+        let t = cat.table("R").unwrap();
+        assert_eq!(t.tuple_count(), 1);
+        assert_eq!(t.index("i").unwrap().len(), 1);
+        assert!(cat.take_table("missing").is_err());
     }
 }

@@ -213,6 +213,37 @@ impl HeapTable {
         self.dirty.clear();
     }
 
+    /// Undo a transaction's appends: truncate back to `page_count` pages
+    /// and restore the saved image of what was then the last page. Unlike
+    /// [`HeapTable::restore_pages`] the result diverges from the last
+    /// checkpoint image, so every affected page number is marked dirty.
+    pub fn rollback_tail(&mut self, page_count: usize, last_page: Option<Page>) {
+        let affected = self.pages.len().max(page_count);
+        self.pages.truncate(page_count);
+        if let Some(page) = last_page {
+            if page_count > 0 {
+                self.pages[page_count - 1] = page;
+            }
+        }
+        self.live_tuples = self.pages.iter().map(|p| p.live_count() as u64).sum();
+        for pno in page_count.saturating_sub(1)..affected {
+            self.dirty.insert(pno as u32);
+        }
+    }
+
+    /// Undo arbitrary mutations by restoring a full pre-transaction page
+    /// snapshot. Every page number covered by either image is marked
+    /// dirty (contrast [`HeapTable::restore_pages`], which installs a
+    /// checkpoint image and counts as clean).
+    pub fn rollback_pages(&mut self, pages: Vec<Page>) {
+        let affected = self.pages.len().max(pages.len());
+        self.live_tuples = pages.iter().map(|p| p.live_count() as u64).sum();
+        self.pages = pages;
+        for pno in 0..affected {
+            self.dirty.insert(pno as u32);
+        }
+    }
+
     /// Whether any page changed since the last checkpoint.
     pub fn is_dirty(&self) -> bool {
         !self.dirty.is_empty()

@@ -90,6 +90,33 @@ pub enum WalRecord {
         /// Recommender name.
         name: String,
     },
+    /// First write of an explicit transaction (informational: recovery
+    /// keys committedness off [`WalRecord::TxnCommit`] alone).
+    TxnBegin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// The transaction's changes are durable once this record is fsynced
+    /// — recovery replays a transaction's [`WalRecord::InTxn`] records
+    /// only when its commit record made it to the log.
+    TxnCommit {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// The transaction rolled back (best-effort marker; an aborted
+    /// transaction with no abort record is equally invisible to replay).
+    TxnAbort {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A statement executed inside an explicit transaction. The wrapped
+    /// record is replayed at recovery only if `TxnCommit { txn }` follows.
+    InTxn {
+        /// Owning transaction id.
+        txn: u64,
+        /// The statement's ordinary redo record.
+        record: Box<WalRecord>,
+    },
 }
 
 const TAG_CREATE_TABLE: u8 = 1;
@@ -101,6 +128,10 @@ const TAG_CREATE_INDEX: u8 = 6;
 const TAG_DROP_INDEX: u8 = 7;
 const TAG_CREATE_RECOMMENDER: u8 = 8;
 const TAG_DROP_RECOMMENDER: u8 = 9;
+const TAG_TXN_BEGIN: u8 = 10;
+const TAG_TXN_COMMIT: u8 = 11;
+const TAG_TXN_ABORT: u8 = 12;
+const TAG_IN_TXN: u8 = 13;
 
 fn put_rid(buf: &mut Vec<u8>, rid: Rid) {
     codec::put_u32(buf, rid.page);
@@ -199,6 +230,23 @@ impl WalRecord {
             WalRecord::DropRecommender { name } => {
                 codec::put_u8(buf, TAG_DROP_RECOMMENDER);
                 codec::put_str(buf, name);
+            }
+            WalRecord::TxnBegin { txn } => {
+                codec::put_u8(buf, TAG_TXN_BEGIN);
+                codec::put_u64(buf, *txn);
+            }
+            WalRecord::TxnCommit { txn } => {
+                codec::put_u8(buf, TAG_TXN_COMMIT);
+                codec::put_u64(buf, *txn);
+            }
+            WalRecord::TxnAbort { txn } => {
+                codec::put_u8(buf, TAG_TXN_ABORT);
+                codec::put_u64(buf, *txn);
+            }
+            WalRecord::InTxn { txn, record } => {
+                codec::put_u8(buf, TAG_IN_TXN);
+                codec::put_u64(buf, *txn);
+                record.encode_into(buf);
             }
         }
     }
@@ -305,6 +353,28 @@ impl WalRecord {
             TAG_DROP_RECOMMENDER => WalRecord::DropRecommender {
                 name: r.take_str()?,
             },
+            TAG_TXN_BEGIN => WalRecord::TxnBegin { txn: r.take_u64()? },
+            TAG_TXN_COMMIT => WalRecord::TxnCommit { txn: r.take_u64()? },
+            TAG_TXN_ABORT => WalRecord::TxnAbort { txn: r.take_u64()? },
+            TAG_IN_TXN => {
+                let txn = r.take_u64()?;
+                let inner = Self::decode_from(r)?;
+                if matches!(
+                    inner,
+                    WalRecord::TxnBegin { .. }
+                        | WalRecord::TxnCommit { .. }
+                        | WalRecord::TxnAbort { .. }
+                        | WalRecord::InTxn { .. }
+                ) {
+                    return Err(StorageError::Corrupt(
+                        "wal InTxn record wraps a transaction marker".into(),
+                    ));
+                }
+                WalRecord::InTxn {
+                    txn,
+                    record: Box::new(inner),
+                }
+            }
             other => {
                 return Err(StorageError::Corrupt(format!(
                     "unknown wal record tag {other}"
@@ -370,6 +440,16 @@ mod tests {
             WalRecord::DropRecommender {
                 name: "movierec".into(),
             },
+            WalRecord::TxnBegin { txn: 42 },
+            WalRecord::TxnCommit { txn: u64::MAX },
+            WalRecord::TxnAbort { txn: 7 },
+            WalRecord::InTxn {
+                txn: 42,
+                record: Box::new(WalRecord::Insert {
+                    table: "ratings".into(),
+                    tuples: vec![Tuple::new(vec![Value::Int(1), Value::Float(4.5)])],
+                }),
+            },
         ]
     }
 
@@ -407,5 +487,24 @@ mod tests {
     #[test]
     fn unknown_tag_is_rejected() {
         assert!(WalRecord::decode(&[200, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn in_txn_must_wrap_a_plain_record() {
+        // A nested InTxn (or a wrapped transaction marker) is never
+        // produced by the engine and is rejected as corruption.
+        let nested = WalRecord::InTxn {
+            txn: 1,
+            record: Box::new(WalRecord::TxnCommit { txn: 1 }),
+        };
+        assert!(WalRecord::decode(&nested.encode()).is_err());
+        let double = WalRecord::InTxn {
+            txn: 1,
+            record: Box::new(WalRecord::InTxn {
+                txn: 2,
+                record: Box::new(WalRecord::DropTable { name: "t".into() }),
+            }),
+        };
+        assert!(WalRecord::decode(&double.encode()).is_err());
     }
 }

@@ -105,10 +105,12 @@ fn main() {
         "\nmaterialized entries in RecScoreIndex: {}",
         rec.materialized_entries()
     );
+    // Release the read guard before taking the write side below.
+    drop(rec);
 
     // Latency comparison: materialize user 1 fully, leave user 50 online.
     db.recommender_mut("cached").unwrap().materialize_user(1);
-    let topk = |db: &mut RecDb, user: i64| {
+    let topk = |db: &RecDb, user: i64| {
         let sql = format!(
             "SELECT R.iid, R.ratingval FROM ratings AS R \
              RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
@@ -120,8 +122,8 @@ fn main() {
         }
         t.elapsed() / 20
     };
-    let hot = topk(&mut db, 1);
-    let cold = topk(&mut db, 50);
+    let hot = topk(&db, 1);
+    let cold = topk(&db, 50);
     println!("\ntop-10 latency, materialized user 1 (IndexRecommend): {hot:?}");
     println!("top-10 latency, online user 50 (FilterRecommend+Sort): {cold:?}");
     println!(

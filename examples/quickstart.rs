@@ -11,7 +11,7 @@
 use recdb::core::RecDb;
 
 fn main() {
-    let mut db = RecDb::new();
+    let db = RecDb::new();
 
     db.execute_script(
         "CREATE TABLE users (uid INT, name TEXT, city TEXT);

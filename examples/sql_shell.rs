@@ -37,7 +37,8 @@ fn seed(db: &mut RecDb) {
 fn describe(db: &RecDb) {
     println!("tables:");
     for name in db.catalog().table_names() {
-        let t = db.catalog().table(name).expect("listed table exists");
+        let catalog = db.catalog();
+        let t = catalog.table(name).expect("listed table exists");
         let cols: Vec<String> = t
             .schema()
             .columns()
@@ -48,7 +49,7 @@ fn describe(db: &RecDb) {
     }
     println!("recommenders:");
     for name in db.recommender_names() {
-        let r = db.recommender(name).expect("listed recommender exists");
+        let r = db.recommender(&name).expect("listed recommender exists");
         println!(
             "  {name} ON {} USING {} — trained on {} ratings, {} materialized entries",
             r.ratings_table(),
@@ -119,6 +120,9 @@ fn main() {
             }
             Ok(QueryResult::IndexCreated(name)) => println!("CREATE INDEX {name}"),
             Ok(QueryResult::IndexDropped(name)) => println!("DROP INDEX {name}"),
+            Ok(QueryResult::TransactionStarted) => println!("BEGIN"),
+            Ok(QueryResult::TransactionCommitted) => println!("COMMIT"),
+            Ok(QueryResult::TransactionRolledBack) => println!("ROLLBACK"),
             Err(e) => eprintln!("error: {e}"),
         }
     }

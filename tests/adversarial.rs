@@ -72,7 +72,7 @@ const TOKENS: &[&str] = &[
 ];
 
 fn db_with_table() -> RecDb {
-    let mut db = RecDb::new();
+    let db = RecDb::new();
     db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)")
         .expect("create table");
     db.execute("INSERT INTO ratings VALUES (1, 1, 5.0), (1, 2, 3.0), (2, 1, 4.0), (2, 3, 2.5)")
@@ -148,7 +148,7 @@ proptest! {
     /// error; a recommender over an empty table must not divide by zero.
     #[test]
     fn empty_and_dropped_tables_do_not_panic(case in 0u8..4) {
-        let mut db = RecDb::new();
+        let db = RecDb::new();
         db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)")
             .expect("create table");
         match case {
@@ -192,7 +192,7 @@ proptest! {
         lim in 0usize..6,
     ) {
         let cmp = ["=", "<>", "<", ">"][cmp_idx];
-        let mut db = db_with_table();
+        let db = db_with_table();
         let before = db.query("SELECT uid FROM ratings").expect("count").len();
         let deleted = match db.execute(&format!("DELETE FROM ratings WHERE uid {cmp} {uid}")) {
             Ok(recdb::core::QueryResult::Deleted(n)) => n,

@@ -42,7 +42,7 @@ fn sorted_pairs(r: &ResultSet) -> Vec<(i64, i64, i64)> {
 #[test]
 fn recdb_and_ontop_agree_for_every_algorithm() {
     for algo in Algorithm::ALL {
-        let mut db = loaded_db();
+        let db = loaded_db();
         db.execute(&format!(
             "CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid \
              RATINGS FROM ratingval USING {algo}"
@@ -83,7 +83,7 @@ fn recdb_and_ontop_agree_for_every_algorithm() {
 #[test]
 fn index_and_online_paths_agree() {
     for algo in [Algorithm::ItemCosCF, Algorithm::UserCosCF, Algorithm::Svd] {
-        let mut db = loaded_db();
+        let db = loaded_db();
         db.execute(&format!(
             "CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid \
              RATINGS FROM ratingval USING {algo}"
@@ -124,19 +124,26 @@ fn maintenance_keeps_index_fresh() {
     db.materialize("r").unwrap();
 
     // Find an unseen pair for user 1 that is currently in the index.
-    let rec = db.recommender("r").unwrap();
-    let idx = rec.index().unwrap();
-    let (item, _) = idx
-        .iter_desc(1, None, None)
-        .next()
-        .expect("entry for user 1");
+    // Scope the read guard: holding it across the INSERT below would
+    // block the engine's commit-time recommender update.
+    let (item, _) = {
+        let rec = db.recommender("r").unwrap();
+        let idx = rec.index().unwrap();
+        let entry = idx
+            .iter_desc(1, None, None)
+            .next()
+            .expect("entry for user 1");
+        entry
+    };
 
     // User 1 rates it → maintenance fires → it must leave the index.
     db.execute(&format!("INSERT INTO ratings VALUES (1, {item}, 5.0)"))
         .unwrap();
-    let rec = db.recommender("r").unwrap();
-    assert_eq!(rec.pending_updates(), 0, "maintenance ran");
-    let idx = rec.index().unwrap();
+    let (pending, idx) = {
+        let rec = db.recommender("r").unwrap();
+        (rec.pending_updates(), rec.index().unwrap())
+    };
+    assert_eq!(pending, 0, "maintenance ran");
     assert_eq!(idx.get(1, item), None, "now-rated pair dematerialized");
     assert!(idx.is_complete(1), "user list re-materialized in full");
     // And the query no longer recommends the rated item.
@@ -157,7 +164,7 @@ fn maintenance_keeps_index_fresh() {
 /// operator and agree with manually filtered full output.
 #[test]
 fn composed_query_matches_manual_filtering() {
-    let mut db = loaded_db();
+    let db = loaded_db();
     db.execute(
         "CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid \
          RATINGS FROM ratingval USING ItemCosCF",

@@ -34,7 +34,7 @@ fn counters_move_across_a_scripted_durable_session() {
     let dir = temp_dir("session");
     let _ = std::fs::remove_dir_all(&dir);
     {
-        let mut db = RecDb::open(&dir).expect("open durable engine");
+        let db = RecDb::open(&dir).expect("open durable engine");
         db.execute_script(SCHEMA).expect("schema + recommender");
 
         // A plain scan, so the SeqScan rows counter moves too.
@@ -90,7 +90,7 @@ fn counters_move_across_a_scripted_durable_session() {
 
 #[test]
 fn cache_manager_decisions_are_counted() {
-    let mut db = RecDb::with_config(RecDbConfig {
+    let db = RecDb::with_config(RecDbConfig {
         // Admit everything Algorithm 4 considers, so the workload below
         // is guaranteed to move the admission counter.
         hotness_threshold: 0.0,
@@ -128,7 +128,7 @@ fn cache_manager_decisions_are_counted() {
 
 #[test]
 fn explain_analyze_row_counts_match_actual_cardinality() {
-    let mut db = RecDb::new();
+    let db = RecDb::new();
     db.execute_script(SCHEMA).expect("schema + recommender");
     let expected = db.query(TOPK).expect("plain query").len();
     assert!(expected > 0);
@@ -164,7 +164,7 @@ fn explain_analyze_row_counts_match_actual_cardinality() {
 #[test]
 fn manual_clock_makes_explain_analyze_deterministic() {
     let run = || -> Vec<String> {
-        let mut db = RecDb::with_config(RecDbConfig {
+        let db = RecDb::with_config(RecDbConfig {
             profile_clock: Some(Arc::new(ManualClock::new())),
             ..RecDbConfig::default()
         });
@@ -189,7 +189,7 @@ fn manual_clock_makes_explain_analyze_deterministic() {
 
 #[test]
 fn governor_cancellations_are_counted_by_cause() {
-    let mut db = RecDb::with_config(RecDbConfig {
+    let db = RecDb::with_config(RecDbConfig {
         governor: GovernorConfig {
             row_budget: Some(3),
             ..GovernorConfig::default()
@@ -210,9 +210,49 @@ fn governor_cancellations_are_counted_by_cause() {
     );
 }
 
+/// Transaction outcomes and lock waits feed their counters: commits,
+/// rollbacks, and a lock timeout each land in `recdb_txn_total`, and the
+/// contended acquisition shows up in `recdb_lock_waits_total` plus the
+/// `recdb_lock_wait_micros` histogram.
+#[test]
+fn transaction_and_lock_metrics_are_counted() {
+    let db = RecDb::with_config(RecDbConfig {
+        lock_timeout: std::time::Duration::ZERO, // contended writes fail fast
+        auto_maintenance: false,
+        ..RecDbConfig::default()
+    });
+    db.execute("CREATE TABLE t (a INT)").expect("create"); // autocommit = commit #1
+    let mut writer = db.session();
+    writer.execute("BEGIN").expect("begin");
+    writer.execute("INSERT INTO t VALUES (1)").expect("insert");
+    writer.execute("COMMIT").expect("commit"); // commit #2
+    writer.execute("BEGIN").expect("begin");
+    writer.execute("INSERT INTO t VALUES (2)").expect("insert");
+    writer.execute("ROLLBACK").expect("rollback"); // abort #1
+
+    // Hold an exclusive lock open and contend from a second session.
+    writer.execute("BEGIN").expect("begin");
+    writer.execute("INSERT INTO t VALUES (3)").expect("insert");
+    let mut other = db.session();
+    other
+        .execute("INSERT INTO t VALUES (4)")
+        .expect_err("zero-timeout contended write must time out"); // timeout #1
+    writer.execute("COMMIT").expect("commit"); // commit #3
+
+    let snap = db.metrics_snapshot();
+    assert_eq!(snap.counter("recdb_txn_total{outcome=\"commit\"}"), 3);
+    assert_eq!(snap.counter("recdb_txn_total{outcome=\"abort\"}"), 1);
+    assert_eq!(snap.counter("recdb_txn_total{outcome=\"timeout\"}"), 1);
+    assert_eq!(snap.counter("recdb_lock_waits_total"), 1, "{snap:?}");
+    let waits = snap
+        .histogram("recdb_lock_wait_micros")
+        .expect("lock wait histogram");
+    assert_eq!(waits.count, 1);
+}
+
 #[test]
 fn prometheus_render_is_well_formed() {
-    let mut db = RecDb::new();
+    let db = RecDb::new();
     db.execute_script(SCHEMA).expect("schema + recommender");
     db.query("SELECT uid, iid FROM ratings")
         .expect("plain scan");

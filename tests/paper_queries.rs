@@ -10,7 +10,7 @@ use recdb::core::{QueryResult, RecDb};
 
 /// The Figure 1 database.
 fn figure1() -> RecDb {
-    let mut db = RecDb::new();
+    let db = RecDb::new();
     db.execute_script(
         "CREATE TABLE users (uid INT, name TEXT, city TEXT, age INT, gender TEXT);
          CREATE TABLE movies (mid INT, name TEXT, director TEXT, genre TEXT);
@@ -34,7 +34,7 @@ fn figure1() -> RecDb {
 
 /// §V's POI database: hotels and restaurants with locations, city regions.
 fn poi_db() -> RecDb {
-    let mut db = RecDb::new();
+    let db = RecDb::new();
     db.execute_script(
         "CREATE TABLE hotels (vid INT, name TEXT, geom POINT);
          CREATE TABLE restaurants (vid INT, name TEXT, address TEXT, geom POINT);
@@ -62,7 +62,7 @@ fn poi_db() -> RecDb {
 
 #[test]
 fn recommender1_generalrec() {
-    let mut db = figure1();
+    let db = figure1();
     let result = db
         .execute(
             "Create Recommender GeneralRec On Ratings \
@@ -75,7 +75,7 @@ fn recommender1_generalrec() {
 
 #[test]
 fn query1_top10_for_user1() {
-    let mut db = figure1();
+    let db = figure1();
     db.execute(
         "Create Recommender GeneralRec On Ratings \
          Users From uid Item From iid Ratings From ratingval Using ItemCosCF",
@@ -100,7 +100,7 @@ fn query1_top10_for_user1() {
 
 #[test]
 fn query2_all_pairs_prediction() {
-    let mut db = figure1();
+    let db = figure1();
     db.execute(
         "Create Recommender GeneralRec On Ratings \
          Users From uid Item From iid Ratings From ratingval Using ItemCosCF",
@@ -118,7 +118,7 @@ fn query2_all_pairs_prediction() {
 
 #[test]
 fn query3_selective_items() {
-    let mut db = figure1();
+    let db = figure1();
     db.execute(
         "Create Recommender GeneralRec On Ratings \
          Users From uid Item From iid Ratings From ratingval Using ItemCosCF",
@@ -137,7 +137,7 @@ fn query3_selective_items() {
 
 #[test]
 fn query4_action_movies_join() {
-    let mut db = figure1();
+    let db = figure1();
     db.execute(
         "Create Recommender GeneralRec On Ratings \
          Users From uid Item From iid Ratings From ratingval Using ItemCosCF",
@@ -157,7 +157,7 @@ fn query4_action_movies_join() {
 
 #[test]
 fn query5_svd_top5_action() {
-    let mut db = figure1();
+    let db = figure1();
     db.execute(
         "Create Recommender SvdRec On Ratings \
          Users From uid Item From iid Ratings From ratingval Using SVD",
@@ -187,7 +187,7 @@ fn query5_svd_top5_action() {
 
 #[test]
 fn recommenders_2_and_3_poi() {
-    let mut db = poi_db();
+    let db = poi_db();
     db.execute(
         "Create Recommender POI_ItemCosCF_Rec On HotelRatings \
          Users From uid Item From iid Ratings From ratingval Using ItemCosCF",
@@ -210,7 +210,7 @@ fn recommenders_2_and_3_poi() {
 
 #[test]
 fn query6_st_contains() {
-    let mut db = poi_db();
+    let db = poi_db();
     db.execute(
         "Create Recommender POI_ItemCosCF_Rec On HotelRatings \
          Users From uid Item From iid Ratings From ratingval Using ItemCosCF",
@@ -236,7 +236,7 @@ fn query6_st_contains() {
 
 #[test]
 fn query7_st_dwithin() {
-    let mut db = poi_db();
+    let db = poi_db();
     db.execute(
         "Create Recommender POI_UserPearCF_Rec On RestRatings \
          Users From uid Item From iid Ratings From ratingval Using UserPearCF",
@@ -259,7 +259,7 @@ fn query7_st_dwithin() {
 
 #[test]
 fn query8_cscore_combined_ranking() {
-    let mut db = poi_db();
+    let db = poi_db();
     db.execute(
         "Create Recommender POI_UserPearCF_Rec On RestRatings \
          Users From uid Item From iid Ratings From ratingval Using UserPearCF",
@@ -282,7 +282,7 @@ fn query8_cscore_combined_ranking() {
 
 #[test]
 fn drop_recommender_statement() {
-    let mut db = figure1();
+    let db = figure1();
     db.execute(
         "Create Recommender GeneralRec On Ratings \
          Users From uid Item From iid Ratings From ratingval Using ItemCosCF",

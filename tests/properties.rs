@@ -28,7 +28,7 @@ fn ratings_strategy() -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
 }
 
 fn db_with(ratings: &[(i64, i64, f64)], algorithm: &str) -> RecDb {
-    let mut db = RecDb::new();
+    let db = RecDb::new();
     db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)")
         .unwrap();
     let values: Vec<String> = ratings
@@ -49,9 +49,10 @@ fn run_naive_and_optimized(db: &RecDb, sql: &str) -> (ResultSet, ResultSet) {
     let Statement::Select(select) = parse(sql).unwrap() else {
         panic!("not a select")
     };
-    let ctx = ExecContext::new(db.catalog(), db, recdb::guard::QueryGuard::unlimited());
-    let naive = build_logical(&select, db.catalog()).unwrap();
-    let optimized = optimize(build_logical(&select, db.catalog()).unwrap());
+    let catalog = db.catalog();
+    let ctx = ExecContext::new(&catalog, db, recdb::guard::QueryGuard::unlimited());
+    let naive = build_logical(&select, &catalog).unwrap();
+    let optimized = optimize(build_logical(&select, &catalog).unwrap());
     (
         execute_plan(&naive, &ctx).unwrap(),
         execute_plan(&optimized, &ctx).unwrap(),
@@ -108,7 +109,7 @@ proptest! {
         ratings in ratings_strategy(),
         user in 1i64..12,
     ) {
-        let mut db = db_with(&ratings, "ItemCosCF");
+        let db = db_with(&ratings, "ItemCosCF");
         db.execute("CREATE TABLE movies (mid INT, genre TEXT)").unwrap();
         let rows: Vec<String> = (1..12)
             .map(|m| format!("({m}, '{}')", if m % 2 == 0 { "Action" } else { "Drama" }))
@@ -132,7 +133,7 @@ proptest! {
         ratings in ratings_strategy(),
         user in 1i64..12,
     ) {
-        let mut db = db_with(&ratings, "ItemCosCF");
+        let db = db_with(&ratings, "ItemCosCF");
         let sql = format!(
             "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
              RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
@@ -152,7 +153,7 @@ proptest! {
         algo_idx in 0usize..6,
     ) {
         let algorithm = recdb::algo::Algorithm::ALL[algo_idx];
-        let mut db = db_with(&ratings, algorithm.name());
+        let db = db_with(&ratings, algorithm.name());
         let rows = db.query(&format!(
             "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
              RECOMMEND R.iid TO R.uid ON R.ratingval USING {algorithm}"
@@ -179,7 +180,7 @@ proptest! {
         x in -1e3f64..1e3,
         y in -1e3f64..1e3,
     ) {
-        let mut db = RecDb::new();
+        let db = RecDb::new();
         db.execute("CREATE TABLE t (a INT, b FLOAT, s TEXT, f BOOL, p POINT)").unwrap();
         db.execute(&format!(
             "INSERT INTO t VALUES ({a}, {b:?}, '{s}', {flag}, POINT({x:?}, {y:?}))"
@@ -200,7 +201,7 @@ proptest! {
         ratings in ratings_strategy(),
         k in 1usize..8,
     ) {
-        let mut db = db_with(&ratings, "ItemCosCF");
+        let db = db_with(&ratings, "ItemCosCF");
         let all = db.query(
             "SELECT R.ratingval FROM ratings AS R \
              RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF",

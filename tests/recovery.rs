@@ -94,7 +94,7 @@ fn crash_once(site: &'static str, nth: u64, tag: &str) {
     fault::clear();
     let dir = temp_dir(tag);
     let mut shadow = RecDb::new();
-    let mut db = RecDb::open(&dir).expect("open fresh durable engine");
+    let db = RecDb::open(&dir).expect("open fresh durable engine");
     assert!(db.is_durable());
 
     fault::arm_error(site, nth);
@@ -152,7 +152,7 @@ fn durable_engine_survives_clean_reopen_with_checkpoint() {
     let dir = temp_dir("clean");
     let mut shadow = RecDb::new();
     {
-        let mut db = RecDb::open(&dir).expect("open");
+        let db = RecDb::open(&dir).expect("open");
         assert_eq!(db.data_dir(), Some(dir.as_path()));
         for op in WORKLOAD {
             match *op {
@@ -182,7 +182,7 @@ fn uncheckpointed_commits_replay_from_the_log() {
     let dir = temp_dir("replay");
     let mut shadow = RecDb::new();
     {
-        let mut db = RecDb::open(&dir).expect("open");
+        let db = RecDb::open(&dir).expect("open");
         for op in WORKLOAD {
             if let Op::Sql(sql) = *op {
                 db.execute(sql).expect("workload");
@@ -205,7 +205,7 @@ fn torn_wal_tail_loses_only_the_torn_suffix() {
     let dir = temp_dir("torn");
     let mut shadow = RecDb::new();
     {
-        let mut db = RecDb::open(&dir).expect("open");
+        let db = RecDb::open(&dir).expect("open");
         for sql in [
             "CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)",
             "INSERT INTO ratings VALUES (1, 1, 5.0), (2, 1, 4.0)",
@@ -290,7 +290,7 @@ fn seeded_crash_sweep_recovers_committed_prefix() {
 fn corrupted_checkpoint(tag: &str) -> PathBuf {
     let dir = temp_dir(tag);
     {
-        let mut db = RecDb::open(&dir).expect("open");
+        let db = RecDb::open(&dir).expect("open");
         db.execute_script(
             "CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
              CREATE TABLE items (iid INT, name TEXT);
@@ -337,7 +337,7 @@ fn corrupted_page_in_salvage_mode_keeps_the_healthy_tables() {
     let _gate = fault::exclusive();
     fault::clear();
     let dir = corrupted_checkpoint("salvage");
-    let mut db = RecDb::open_with_config(RecDbConfig {
+    let db = RecDb::open_with_config(RecDbConfig {
         data_dir: Some(dir.clone()),
         recovery: RecoveryMode::SalvageToLastGood,
         ..RecDbConfig::default()
@@ -376,7 +376,7 @@ fn recommender_answers_survive_crash_and_reopen() {
          WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 5";
     let answers_before;
     {
-        let mut db = RecDb::open(&dir).expect("open");
+        let db = RecDb::open(&dir).expect("open");
         db.execute_script(
             "CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
              INSERT INTO ratings VALUES (1, 1, 1.5), (2, 2, 3.5), (2, 1, 4.5),
@@ -399,7 +399,7 @@ fn recommender_answers_survive_crash_and_reopen() {
         // No checkpoint: definition and ratings come back via the WAL,
         // and the model is rebuilt from the recovered rows.
     }
-    let mut db = RecDb::open(&dir).expect("reopen");
+    let db = RecDb::open(&dir).expect("reopen");
     assert_eq!(db.recommender_names(), vec!["generalrec"]);
     let rows = db.query(RECOMMEND).expect("recommend after recovery");
     let answers_after = (0..rows.len())
@@ -417,7 +417,7 @@ fn recommender_answers_survive_crash_and_reopen() {
     // log, reopen, and the recommender is still there.
     db.checkpoint().expect("checkpoint");
     drop(db);
-    let mut db = RecDb::open(&dir).expect("reopen from checkpoint");
+    let db = RecDb::open(&dir).expect("reopen from checkpoint");
     assert_eq!(db.recommender_names(), vec!["generalrec"]);
     assert!(!db.query(RECOMMEND).expect("recommend").is_empty());
 

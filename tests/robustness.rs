@@ -57,7 +57,7 @@ fn ratings_count(db: &mut RecDb) -> usize {
 /// deadline returns `Cancelled` — it neither hangs nor panics.
 #[test]
 fn zero_deadline_recommend_is_cancelled() {
-    let mut db = seeded_db();
+    let db = seeded_db();
     db.execute(CREATE_REC_SQL).expect("create recommender");
     let guard = QueryGuard::with_limits(Some(Duration::ZERO), None, None);
     match db.query_with_guard(RECOMMEND_SQL, guard) {
@@ -74,7 +74,7 @@ fn zero_deadline_recommend_is_cancelled() {
 /// A zero deadline also stops plain scans and model builds.
 #[test]
 fn zero_deadline_stops_scans_and_builds() {
-    let mut db = seeded_db();
+    let db = seeded_db();
     let expired = || QueryGuard::with_limits(Some(Duration::ZERO), None, None);
     match db.query_with_guard("SELECT uid FROM ratings", expired()) {
         Err(EngineError::Cancelled { .. }) => {}
@@ -92,7 +92,7 @@ fn zero_deadline_stops_scans_and_builds() {
 
 #[test]
 fn row_budget_trips_resource_exhausted() {
-    let mut db = seeded_db();
+    let db = seeded_db();
     let guard = QueryGuard::with_limits(None, Some(3), None);
     match db.query_with_guard("SELECT uid FROM ratings", guard) {
         Err(EngineError::ResourceExhausted {
@@ -106,7 +106,7 @@ fn row_budget_trips_resource_exhausted() {
 
 #[test]
 fn mem_budget_trips_on_sort_buffering() {
-    let mut db = seeded_db();
+    let db = seeded_db();
     let guard = QueryGuard::with_limits(None, None, Some(16));
     match db.query_with_guard("SELECT uid FROM ratings ORDER BY ratingval DESC", guard) {
         Err(EngineError::ResourceExhausted {
@@ -140,7 +140,7 @@ fn config_level_row_budget_governs_plain_queries() {
 /// A cancel handle flipped from another thread stops the statement.
 #[test]
 fn cross_thread_cancel_stops_statement() {
-    let mut db = seeded_db();
+    let db = seeded_db();
     let guard = QueryGuard::unlimited();
     let handle = guard.cancel_handle();
     std::thread::spawn(move || handle.cancel())
@@ -297,16 +297,74 @@ fn panic_faults_are_contained_as_internal_errors() {
     fault::clear();
 }
 
+/// Error-mode faults at the transaction sites abort the transaction
+/// cleanly and leave the engine serving.
+#[test]
+fn txn_fault_sites_abort_cleanly() {
+    let _gate = fault::exclusive();
+    fault::clear();
+    let mut db = seeded_db();
+    let before = ratings_count(&mut db);
+
+    // txn::lock_acquire — the write statement inside an explicit
+    // transaction fails to lock; the whole transaction aborts and the
+    // session is back in autocommit.
+    fault::arm_error("txn::lock_acquire", 1);
+    db.execute("BEGIN").expect("begin");
+    assert!(db
+        .execute("INSERT INTO ratings VALUES (1, 7, 2.0)")
+        .is_err());
+    match db.execute("COMMIT") {
+        Err(EngineError::NoActiveTransaction) => {}
+        other => panic!("txn aborted, COMMIT should have nothing: {other:?}"),
+    }
+    assert_eq!(ratings_count(&mut db), before);
+
+    // txn::commit — the commit marker is poisoned, so the transaction
+    // rolls back instead; its writes never become visible. Disarmed,
+    // the retry commits.
+    fault::arm_error("txn::commit", 1);
+    db.execute("BEGIN").expect("begin");
+    db.execute("INSERT INTO ratings VALUES (1, 7, 2.0)")
+        .expect("insert inside txn");
+    assert!(db.execute("COMMIT").is_err());
+    assert_eq!(ratings_count(&mut db), before, "faulted commit rolled back");
+    db.execute("BEGIN").expect("begin");
+    db.execute("INSERT INTO ratings VALUES (1, 7, 2.0)")
+        .expect("insert inside txn");
+    db.execute("COMMIT").expect("commit after disarm");
+    assert_eq!(ratings_count(&mut db), before + 1);
+
+    // txn::rollback — the undo still runs (it must never be skipped);
+    // only the reported outcome is poisoned.
+    fault::arm_error("txn::rollback", 1);
+    db.execute("BEGIN").expect("begin");
+    db.execute("INSERT INTO ratings VALUES (2, 7, 2.0)")
+        .expect("insert inside txn");
+    assert!(db.execute("ROLLBACK").is_err());
+    assert_eq!(
+        ratings_count(&mut db),
+        before + 1,
+        "rollback still undid the insert"
+    );
+    db.execute("BEGIN").expect("session back in autocommit");
+    db.execute("ROLLBACK").expect("clean rollback");
+    fault::clear();
+}
+
 // ---------------------------------------------------------------------
 // Seeded sweep (CI matrix drives RECDB_FAULT_SEED over [1, 7, 42])
 // ---------------------------------------------------------------------
 
-const ALL_SITES: [&str; 5] = [
+const ALL_SITES: [&str; 8] = [
     "storage::heap_append",
     "core::materialize_worker",
     "algo::svd_epoch",
     "algo::neighborhood_build",
     "exec::sort_materialize",
+    "txn::lock_acquire",
+    "txn::commit",
+    "txn::rollback",
 ];
 
 fn sweep_seed() -> u64 {
@@ -336,6 +394,12 @@ fn seeded_fault_sweep_never_corrupts_the_engine() {
              ITEMS FROM iid RATINGS FROM ratingval USING SVD",
         );
         let _ = db.execute("INSERT INTO ratings VALUES (4, 3, 2.5)");
+        let _ = db.execute("BEGIN");
+        let _ = db.execute("INSERT INTO ratings VALUES (5, 2, 4.0)");
+        let _ = db.execute("COMMIT");
+        let _ = db.execute("BEGIN");
+        let _ = db.execute("INSERT INTO ratings VALUES (6, 1, 3.5)");
+        let _ = db.execute("ROLLBACK");
         let _ = db.query("SELECT uid FROM ratings ORDER BY ratingval DESC");
         let _ = db.query(RECOMMEND_SQL);
 
