@@ -872,9 +872,15 @@ impl RecDb {
     /// Roll a transaction back: apply its physical undo log in reverse,
     /// write a best-effort `TxnAbort` marker, release every lock, and
     /// leave the transaction gate. Infallible — undo operations restore
-    /// captured pre-images and cannot meaningfully fail halfway.
+    /// captured pre-images and cannot meaningfully fail halfway, and a
+    /// panic anywhere in the undo/WAL section is contained so the lock
+    /// release below always runs. Without that containment an abandoned
+    /// session whose abort path panics (an armed `wal::append` fault, a
+    /// corrupted pre-image) would strand its X-locks until process exit
+    /// — and, aborting from `Session::drop` during an unwind, turn into
+    /// a double panic that kills the process.
     pub(crate) fn abort_txn(&self, mut txn: ActiveTxn, outcome: &'static str) {
-        {
+        let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // Under the checkpoint latch: a snapshot must not capture the
             // half-undone (or half-done) state of an aborting statement.
             let _ckpt = self.ckpt_latch.read();
@@ -893,6 +899,9 @@ impl RecDb {
                     let _ = dur.wal.commit();
                 }
             }
+        }));
+        if contained.is_err() {
+            self.metrics.counter("recdb_txn_abort_panics_total").inc();
         }
         self.locks.release_all(txn.id);
         if !txn.implicit {

@@ -1,0 +1,45 @@
+//! The RecDB serving layer: a fault-tolerant TCP front-end over a shared
+//! [`recdb_core::RecDb`], plus the companion wire protocol and client.
+//!
+//! The paper positions RecDB as a *system* answering recommendation
+//! queries for live applications; this crate is the network boundary
+//! that makes the engine's robustness stack (resource governor, WAL,
+//! strict 2PL) observable from outside the process:
+//!
+//! - [`protocol`] — length-prefixed frames, typed results, and the
+//!   [`EngineError`](recdb_core::EngineError) taxonomy on the wire with
+//!   a retryable/fatal bit per error.
+//! - [`server`] — the threaded front-end: admission control, read /
+//!   write / idle timeouts, per-request deadlines mapped onto
+//!   [`QueryGuard`](recdb_core::QueryGuard), deterministic fail points
+//!   (`server::accept`, `server::frame_read`, `server::frame_write`),
+//!   and graceful shutdown that drains, aborts leftover transactions,
+//!   and fsyncs.
+//! - [`client`] — reconnect + bounded exponential backoff keyed on the
+//!   retryable bit.
+//!
+//! ```no_run
+//! use recdb_core::RecDb;
+//! use recdb_server::{Client, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(RecDb::new());
+//! let server = Server::start(db, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! client.execute("CREATE TABLE ratings (userid INT, itemid INT, rating FLOAT)").unwrap();
+//! let report = server.shutdown();
+//! assert!(report.drained_within_deadline);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientConfig, ClientError, ClientResult};
+pub use protocol::{
+    classify, ErrorCode, ProtocolError, Request, Response, WireError, WireResult,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig, ShutdownReport};

@@ -16,6 +16,7 @@
 //! * [`fault`] — deterministic fault injection for robustness tests
 //! * [`obs`] — metrics registry, per-operator profiles, `EXPLAIN ANALYZE` data
 //! * [`core`] — the engine: recommender lifecycle, RecScoreIndex, caching
+//! * [`server`] — TCP serving layer: wire protocol, admission control, client
 //! * [`ontop`] — the OnTopDB baseline the paper compares against
 //! * [`datasets`] — seeded synthetic MovieLens / LDOS-CoMoDa / Yelp data
 //!
@@ -47,6 +48,7 @@
 //   durable.rs               — WAL + checkpoint crash/recovery cycle
 //   explain_analyze.rs       — EXPLAIN ANALYZE plan trees + Prometheus metrics
 //   sql_shell.rs             — interactive REPL over the full dialect
+//   server.rs                — TCP serving: server + reconnecting client
 pub use recdb_algo as algo;
 pub use recdb_core as core;
 pub use recdb_datasets as datasets;
@@ -55,6 +57,7 @@ pub use recdb_fault as fault;
 pub use recdb_guard as guard;
 pub use recdb_obs as obs;
 pub use recdb_ontop as ontop;
+pub use recdb_server as server;
 pub use recdb_spatial as spatial;
 pub use recdb_sql as sql;
 pub use recdb_storage as storage;

@@ -209,3 +209,86 @@ proptest! {
         prop_assert!(rows.len() <= lim.min(after));
     }
 }
+
+// ---------------------------------------------------------------------
+// Wire-level adversarial input: byte soup at a live server socket
+// ---------------------------------------------------------------------
+
+use recdb::server::{Client, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Read one length-prefixed frame off a raw socket, if the peer sends one.
+fn read_raw_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header).ok()?;
+    let mut payload = vec![0u8; u32::from_be_bytes(header) as usize];
+    stream.read_exact(&mut payload).ok()?;
+    Some(payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes thrown at the server socket — raw, or framed with
+    /// a *valid* length prefix around garbage, or framed with a hostile
+    /// oversized prefix — must never panic the server or wedge it. After
+    /// every abuse the server still answers a well-formed client.
+    #[test]
+    fn wire_byte_soup_never_kills_the_server(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..256),
+        mode in 0u8..3,
+        huge_len in 0x0100_0001u32..0xFFFF_FFFFu32,
+    ) {
+        let db = Arc::new(RecDb::new());
+        let server = Server::start(
+            Arc::clone(&db),
+            ServerConfig {
+                max_frame_bytes: 0x0100_0000, // 16 MiB default, explicit
+                read_timeout: std::time::Duration::from_millis(500),
+                idle_timeout: std::time::Duration::from_millis(500),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+
+        let mut raw = TcpStream::connect(server.addr()).expect("raw connect");
+        let _hello = read_raw_frame(&mut raw);
+        match mode {
+            0 => {
+                // Raw soup: whatever the first 4 bytes announce, the
+                // peer never delivers it; the read budget must reap us.
+                let _ = raw.write_all(&bytes);
+            }
+            1 => {
+                // A perfectly framed garbage payload: the server must
+                // answer malformed_frame (or a typed result, if the
+                // bytes happen to decode) and never panic.
+                let _ = raw.write_all(&(bytes.len() as u32).to_be_bytes());
+                let _ = raw.write_all(&bytes);
+                if let Some(reply) = read_raw_frame(&mut raw) {
+                    prop_assert!(!reply.is_empty());
+                }
+            }
+            _ => {
+                // Hostile length prefix beyond max_frame_bytes: clean
+                // frame_too_large error, close, no allocation.
+                let _ = raw.write_all(&huge_len.to_be_bytes());
+                if let Some(reply) = read_raw_frame(&mut raw) {
+                    let text = String::from_utf8_lossy(&reply).into_owned();
+                    prop_assert!(text.contains("frame_too_large"), "{}", text);
+                }
+            }
+        }
+        drop(raw);
+
+        // The server survived: a well-formed client gets service.
+        let mut probe = Client::connect(server.addr()).expect("server still accepting");
+        probe.ping().expect("server still serving");
+        drop(probe);
+        let report = server.shutdown();
+        prop_assert_eq!(report.leaked_connections, 0);
+        prop_assert_eq!(db.lock_table().held_count(), 0);
+    }
+}

@@ -422,3 +422,86 @@ fn seeded_fault_sweep_never_corrupts_the_engine() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Session teardown: abandoned transactions must release their locks
+// ---------------------------------------------------------------------
+
+/// Dropping a session with an explicit transaction still open (a crashed
+/// client, a dropped connection) rolls the transaction back and releases
+/// every lock — the serving layer depends on this for its own teardown.
+#[test]
+fn dropped_session_with_open_txn_releases_locks() {
+    let db = RecDb::new();
+    db.execute("CREATE TABLE t (a INT)").expect("create");
+    {
+        let mut session = db.session();
+        session.execute("BEGIN").expect("begin");
+        session.execute("INSERT INTO t VALUES (1)").expect("insert");
+        assert!(db.lock_table().held_count() > 0, "txn should hold locks");
+        // Session dropped here with the transaction open.
+    }
+    assert_eq!(
+        db.lock_table().held_count(),
+        0,
+        "Session::drop must abort the open transaction and release locks"
+    );
+    // The abandoned insert is gone and the table is immediately writable.
+    assert_eq!(db.query("SELECT a FROM t").expect("scan").len(), 0);
+    db.execute("INSERT INTO t VALUES (2)").expect("not locked");
+}
+
+/// The hard case: the abort path *itself* panics (armed `wal::append`
+/// fault while writing the TxnAbort marker). The panic must be contained
+/// inside `abort_txn` — locks still release, no panic escapes
+/// `Session::drop`, and the engine keeps serving.
+#[test]
+fn abort_path_panic_still_releases_locks() {
+    let _gate = fault::exclusive();
+    fault::clear();
+    let dir = std::env::temp_dir().join(format!(
+        "recdb-robustness-abortpanic-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = RecDb::open_with_config(RecDbConfig {
+            data_dir: Some(dir.clone()),
+            ..RecDbConfig::default()
+        })
+        .expect("open durable");
+        db.execute("CREATE TABLE t (a INT)").expect("create");
+        let escaped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut session = db.session();
+            session.execute("BEGIN").expect("begin");
+            session.execute("INSERT INTO t VALUES (1)").expect("insert");
+            // Arm AFTER the insert so the txn's own WAL writes go
+            // through; the next `wal::append` is the abort marker.
+            fault::arm_panic("wal::append", 1);
+            // Session::drop -> abort_txn -> WAL abort marker -> panic,
+            // which must be contained.
+        }));
+        let abort_fault_fired = fault::triggered("wal::append") > 0;
+        fault::clear();
+        assert!(escaped.is_ok(), "panic escaped Session::drop: {escaped:?}");
+        assert!(
+            abort_fault_fired,
+            "the armed abort-path fault never fired; test is vacuous"
+        );
+        assert_eq!(
+            db.lock_table().held_count(),
+            0,
+            "abort-path panic stranded locks"
+        );
+        assert!(
+            db.render_metrics()
+                .contains("recdb_txn_abort_panics_total 1"),
+            "contained panic not counted"
+        );
+        // Engine still serves reads and writes.
+        assert_eq!(db.query("SELECT a FROM t").expect("scan").len(), 0);
+        db.execute("INSERT INTO t VALUES (3)")
+            .expect("still writable");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
