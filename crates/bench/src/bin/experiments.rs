@@ -3,13 +3,15 @@
 //! reports.
 //!
 //! ```text
-//! experiments [table2|build|score|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|all]
+//! experiments [table2|build|score|pool|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|all]
 //! ```
 //!
 //! `build` measures serial-vs-parallel model-build wall time and writes
 //! the machine-readable `BENCH_build.json` at the repository root;
 //! `score` measures per-pair vs batched materialization scoring
-//! throughput and writes `BENCH_score.json` next to it.
+//! throughput and writes `BENCH_score.json` next to it; `pool` measures
+//! mixed-query throughput against the same engine squeezed into
+//! progressively smaller buffer pools and writes `BENCH_pool.json`.
 //!
 //! Absolute numbers will differ from the paper (the substrate is this
 //! repository's storage engine, not PostgreSQL 9.2 on the authors'
@@ -39,6 +41,10 @@ fn main() {
     }
     if run_all || arg == "score" {
         score_sweep();
+        ran = true;
+    }
+    if run_all || arg == "pool" {
+        pool_sweep();
         ran = true;
     }
     if run_all || arg == "fig6" {
@@ -77,7 +83,7 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown experiment `{arg}`; expected table2, build, score, \
-             fig6..fig12, ablations, or all"
+             pool, fig6..fig12, ablations, or all"
         );
         std::process::exit(2);
     }
@@ -303,6 +309,130 @@ fn score_sweep() {
         speedup
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_score.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Mixed-query throughput vs buffer-pool size, plus the
+/// `BENCH_pool.json` artifact. One engine per pool size runs the same
+/// workload — point SELECTs, a range filter, and IndexRecommend top-10 —
+/// over a multi-hundred-page ratings table; the sweep shows where the
+/// working set stops fitting and misses start to dominate.
+fn pool_sweep() {
+    use recdb_core::{RecDb, RecDbConfig};
+    header(
+        "Buffer pool: query throughput vs pool size (frames)",
+        "identical workload and answers at every size; only residency \
+         changes — see docs/STORAGE.md for the sizing guide",
+    );
+    let (users, items) = (250i64, 140i64);
+    let queries_per_rep = 120usize;
+    println!(
+        "{:<10} {:>12} {:>14} {:>10} {:>12}",
+        "frames", "queries/sec", "hit rate", "evictions", "heap pages"
+    );
+    let mut rows = Vec::new();
+    for &frames in &[8usize, 32, 128, 512, usize::MAX] {
+        let db = RecDb::with_config(RecDbConfig {
+            buffer_pool_pages: frames,
+            ..RecDbConfig::default()
+        });
+        db.execute("CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)")
+            .expect("create table");
+        let mut chunk = Vec::new();
+        for u in 0..users {
+            for i in 0..items {
+                if (u + i) % 4 == 0 {
+                    continue;
+                }
+                let val = f64::from(((u * 7 + i * 3) % 9 + 1) as i32) / 2.0;
+                chunk.push(format!("({u}, {i}, {val})"));
+                if chunk.len() == 500 {
+                    db.execute(&format!("INSERT INTO ratings VALUES {}", chunk.join(", ")))
+                        .expect("insert");
+                    chunk.clear();
+                }
+            }
+        }
+        if !chunk.is_empty() {
+            db.execute(&format!("INSERT INTO ratings VALUES {}", chunk.join(", ")))
+                .expect("insert");
+        }
+        db.execute(
+            "CREATE RECOMMENDER PoolRec ON ratings USERS FROM uid \
+             ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF",
+        )
+        .expect("create recommender");
+        db.materialize("PoolRec").expect("materialize");
+        let heap_pages = db
+            .catalog()
+            .table("ratings")
+            .expect("ratings table")
+            .heap()
+            .page_count();
+
+        let pool = db.buffer_pool();
+        // Warm once so every size starts from its steady-state residency.
+        let battery = |rep: usize| {
+            for q in 0..queries_per_rep {
+                let uid = ((q * 17 + rep * 7) as i64) % users;
+                let sql = match q % 3 {
+                    0 => format!("SELECT uid, iid, ratingval FROM ratings WHERE uid = {uid}"),
+                    1 => format!(
+                        "SELECT uid, iid FROM ratings WHERE ratingval > 4.0 AND iid < {}",
+                        (q % 20) + 5
+                    ),
+                    _ => format!(
+                        "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R \
+                         RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF \
+                         WHERE R.uid = {uid} ORDER BY R.ratingval DESC LIMIT 10"
+                    ),
+                };
+                db.query(&sql).expect("query");
+            }
+        };
+        battery(0);
+        let (h0, m0, e0) = (pool.hits(), pool.misses(), pool.evictions());
+        let t = time_median(REPS, || battery(1));
+        let accesses = (pool.hits() - h0) + (pool.misses() - m0);
+        let hit_rate = if accesses == 0 {
+            1.0
+        } else {
+            (pool.hits() - h0) as f64 / accesses as f64
+        };
+        let evictions = pool.evictions() - e0;
+        let qps = queries_per_rep as f64 / t.as_secs_f64().max(1e-12);
+        let label = if frames == usize::MAX {
+            "unbounded".to_owned()
+        } else {
+            frames.to_string()
+        };
+        println!(
+            "{label:<10} {qps:>12.0} {:>13.1}% {evictions:>10} {heap_pages:>12}",
+            hit_rate * 100.0
+        );
+        rows.push(format!(
+            "    {{\"frames\": {}, \"queries_per_sec\": {:.0}, \
+             \"hit_rate\": {:.4}, \"evictions\": {}, \"heap_pages\": {}}}",
+            if frames == usize::MAX { 0 } else { frames },
+            qps,
+            hit_rate,
+            evictions,
+            heap_pages
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"buffer_pool_sweep\",\n  \"reps\": {REPS},\n  \
+         \"queries_per_rep\": {queries_per_rep},\n  \
+         \"note\": \"mixed point-select / range-filter / IndexRecommend \
+         workload over a {users}x{items}-pair ratings world; frames = 0 \
+         means unbounded; hit_rate and evictions are deltas over the \
+         measured reps only (post warm-up)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -42,8 +42,8 @@ use recdb_guard::QueryGuard;
 use recdb_obs::{Clock, MetricsSnapshot, Registry, SystemClock};
 use recdb_sql::{parse, parse_many, Expr, SelectStatement, Statement};
 use recdb_storage::{
-    codec, read_snapshot, write_snapshot, Catalog, DataType, RecoveryMode, Schema, StorageError,
-    Tuple,
+    codec, read_snapshot_with, write_snapshot, BufferPool, Catalog, DataType, RecoveryMode, Schema,
+    StorageError, Tuple,
 };
 use recdb_txn::{LockError, LockMode, LockTable, TxnId};
 use recdb_wal::{Wal, WalRecord};
@@ -132,6 +132,16 @@ pub struct RecDbConfig {
     /// checkpoint spends waiting for open transactions to drain). A zero
     /// timeout never blocks: contended acquisitions fail immediately.
     pub lock_timeout: Duration,
+    /// Maximum resident frames in the engine's buffer pool. Every heap
+    /// page and RecScoreIndex node lives in (or is faulted into) one of
+    /// these 8 KiB frames; once all are in use the clock sweep evicts an
+    /// unpinned page, so tables and indexes far larger than
+    /// `buffer_pool_pages × 8 KiB` run in bounded decoded-page memory.
+    /// Durable engines spill evicted frames to scratch files under
+    /// `data_dir/pool/`; in-memory engines keep the encoded blocks on the
+    /// heap (the data has nowhere else to live). Values below 2 are
+    /// clamped up; see `docs/STORAGE.md` for sizing guidance.
+    pub buffer_pool_pages: usize,
 }
 
 impl Default for RecDbConfig {
@@ -147,6 +157,7 @@ impl Default for RecDbConfig {
             recovery: RecoveryMode::Strict,
             profile_clock: None,
             lock_timeout: Duration::from_secs(10),
+            buffer_pool_pages: 1024,
         }
     }
 }
@@ -257,7 +268,12 @@ pub struct RecDb {
     /// Logical clock: one tick per executed statement. Drives the usage
     /// histograms deterministically.
     clock: AtomicU64,
-    durability: Option<Mutex<Durability>>,
+    /// Shared with the eviction barrier closure installed on the pool,
+    /// which `try_lock`s it to flush the log before a dirty write-back.
+    durability: Option<Arc<Mutex<Durability>>>,
+    /// The engine-wide buffer pool: every catalog heap page and every
+    /// RecScoreIndex node pages through these frames.
+    pool: Arc<BufferPool>,
     /// Engine-wide metric registry. Shared (`Arc`) so the WAL and the
     /// executor record into the same cells.
     metrics: Arc<Registry>,
@@ -308,12 +324,15 @@ impl RecDb {
         let metrics = Arc::new(Registry::new());
         let locks = LockTable::new();
         locks.attach_metrics(Arc::clone(&metrics));
+        let pool = Arc::new(BufferPool::in_memory(config.buffer_pool_pages));
+        pool.attach_metrics(&metrics);
         RecDb {
-            catalog: RwLock::new(Catalog::new()),
+            catalog: RwLock::new(Catalog::with_pool(Arc::clone(&pool))),
             recommenders: RwLock::new(Vec::new()),
             config,
             clock: AtomicU64::new(0),
             durability: None,
+            pool,
             metrics,
             wall,
             locks,
@@ -356,15 +375,23 @@ impl RecDb {
         };
         std::fs::create_dir_all(&dir)
             .map_err(|e| EngineError::Storage(StorageError::io("create data dir", e)))?;
-        let snapshot = read_snapshot(&dir, config.recovery).map_err(corruption_to_engine)?;
+        // Evicted frames spill to scratch files under the data directory;
+        // recovery never reads them (crash safety stays checkpoint + WAL).
+        let pool = Arc::new(BufferPool::spilling(
+            config.buffer_pool_pages,
+            dir.join("pool"),
+        ));
+        let snapshot = read_snapshot_with(&dir, config.recovery, Arc::clone(&pool))
+            .map_err(corruption_to_engine)?;
         let (mut catalog, meta, checkpoint_lsn) = match snapshot {
             Some(s) => (s.catalog, s.meta, s.lsn),
-            None => (Catalog::new(), Vec::new(), 0),
+            None => (Catalog::with_pool(Arc::clone(&pool)), Vec::new(), 0),
         };
         let mut defs = decode_recommender_meta(&meta)?;
         let opened = Wal::open(&dir.join(WAL_FILE), checkpoint_lsn)?;
         let salvage = matches!(config.recovery, RecoveryMode::SalvageToLastGood);
         let metrics = Arc::new(Registry::new());
+        pool.attach_metrics(&metrics);
         if let Some(bytes) = opened.truncated {
             metrics
                 .counter("recdb_recovery_truncated_bytes_total")
@@ -454,12 +481,28 @@ impl RecDb {
         let wall = profile_clock_or_wall(&config);
         let locks = LockTable::new();
         locks.attach_metrics(Arc::clone(&metrics));
+        let durability = Arc::new(Mutex::new(Durability { dir, wal }));
+        // Flush-log-before-page: a dirty frame may carry effects whose WAL
+        // records are appended but not yet synced, so eviction write-back
+        // first forces the log. `try_lock`, not `lock`: the checkpoint
+        // holds the durability lock *while* faulting pages through the
+        // pool, and a blocking acquire here would deadlock. Skipping the
+        // flush when contended is safe — whoever holds the lock is either
+        // mid-fsync or about to fsync, and spill files are never read by
+        // recovery anyway.
+        let barrier_dur = Arc::clone(&durability);
+        pool.set_wal_barrier(move || {
+            if let Some(mut dur) = barrier_dur.try_lock() {
+                let _ = dur.wal.sync();
+            }
+        });
         Ok(RecDb {
             catalog: RwLock::new(catalog),
             recommenders: RwLock::new(recommenders),
             config,
             clock: AtomicU64::new(clock),
-            durability: Some(Mutex::new(Durability { dir, wal })),
+            durability: Some(durability),
+            pool,
             metrics,
             wall,
             locks,
@@ -474,6 +517,11 @@ impl RecDb {
     /// Whether this engine persists to a data directory.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// The engine-wide buffer pool (frame counters, hit/miss statistics).
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// The data directory, for durable engines.
@@ -922,12 +970,12 @@ impl RecDb {
                 last_page,
             } => {
                 if let Ok(t) = catalog.table_mut(&name) {
-                    t.rollback_tail(page_count, last_page);
+                    let _ = t.rollback_tail(page_count, last_page);
                 }
             }
             UndoOp::TablePages { name, pages } => {
                 if let Ok(t) = catalog.table_mut(&name) {
-                    t.rollback_pages(pages);
+                    let _ = t.rollback_pages(pages);
                 }
             }
             UndoOp::CreatedTable { name } => {
@@ -1187,6 +1235,7 @@ impl RecDb {
                     self.clock(),
                     matrix,
                     Some(guard),
+                    Arc::clone(&self.pool),
                 )?;
                 let build_time = rec.build_time();
                 self.observe_model_build(rec.algorithm(), build_time);
@@ -1575,8 +1624,14 @@ impl RecDb {
             let catalog = self.catalog.read();
             load_matrix(&catalog, &table, &users, &items, &ratings)?
         };
-        let staged =
-            Recommender::stage_rebuild(algorithm, &train, index.as_deref(), matrix, Some(guard))?;
+        let staged = Recommender::stage_rebuild(
+            algorithm,
+            &train,
+            index.as_deref(),
+            matrix,
+            Some(guard),
+            &self.pool,
+        )?;
         self.observe_model_build(algorithm, staged.build_time());
         let mut recs = self.recommenders.write();
         if let Some(rec) = recs.iter_mut().find(|r| r.name() == name) {

@@ -9,7 +9,7 @@ use recdb_algo::parallel::for_each_chunk;
 use recdb_algo::{Algorithm, Rating, RatingsMatrix, RecModel, TrainError};
 use recdb_exec::RecScoreIndex;
 use recdb_guard::QueryGuard;
-use recdb_storage::Catalog;
+use recdb_storage::{BufferPool, Catalog, DEFAULT_NODE_CAPACITY};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,6 +30,10 @@ pub struct Recommender {
     pending_updates: usize,
     /// Materialized score index, swapped wholesale on maintenance.
     index: Option<Arc<RecScoreIndex>>,
+    /// The buffer pool the materialized index pages through (the
+    /// engine's shared pool; standalone recommenders get an unbounded
+    /// private one).
+    pool: Arc<BufferPool>,
     /// Usage histograms, updated from `&self` query paths.
     stats: Mutex<UsageStats>,
     /// The Algorithm 4 manager.
@@ -138,6 +142,7 @@ impl Recommender {
             now,
             matrix,
             governor,
+            Arc::clone(catalog.pool()),
         )
     }
 
@@ -157,11 +162,19 @@ impl Recommender {
         now: u64,
         matrix: RatingsMatrix,
         governor: Option<&QueryGuard>,
+        index_pool: Arc<BufferPool>,
     ) -> EngineResult<Self> {
         // The materialization stage of the build pipeline: nothing exists
         // to refresh on create, but the stage (and its fault site) still
         // runs so injected failures cover the whole CREATE path.
-        let staged = Self::stage_rebuild(algorithm, &train_config, None, matrix, governor)?;
+        let staged = Self::stage_rebuild(
+            algorithm,
+            &train_config,
+            None,
+            matrix,
+            governor,
+            &index_pool,
+        )?;
         Ok(Recommender {
             name: name.to_ascii_lowercase(),
             ratings_table: ratings_table.to_ascii_lowercase(),
@@ -174,6 +187,7 @@ impl Recommender {
             build_time: staged.build_time,
             pending_updates: 0,
             index: staged.index,
+            pool: index_pool,
             stats: Mutex::new(UsageStats::new(now)),
             cache_manager: Mutex::new(CacheManager::new(hotness_threshold)),
         })
@@ -290,6 +304,7 @@ impl Recommender {
             self.index.as_deref(),
             matrix,
             governor,
+            &self.pool,
         )?;
         self.publish(staged);
         Ok(())
@@ -304,10 +319,11 @@ impl Recommender {
         old_index: Option<&RecScoreIndex>,
         matrix: RatingsMatrix,
         governor: Option<&QueryGuard>,
+        index_pool: &Arc<BufferPool>,
     ) -> EngineResult<StagedRebuild> {
         let started = Instant::now();
         let model = Arc::new(build_model(algorithm, matrix, config, governor)?);
-        let index = refresh_index(old_index, &model, governor)?;
+        let index = refresh_index(old_index, &model, governor, index_pool)?;
         Ok(StagedRebuild {
             model,
             index,
@@ -325,12 +341,17 @@ impl Recommender {
         self.index = staged.index;
     }
 
+    /// An empty index paging through this recommender's pool.
+    fn fresh_index(&self) -> RecScoreIndex {
+        RecScoreIndex::with_pool(Arc::clone(&self.pool), DEFAULT_NODE_CAPACITY)
+    }
+
     /// Pre-compute the full unseen-item score list for one user and mark it
     /// complete (the §IV-C pre-computation that IndexRecommend serves).
     pub fn materialize_user(&mut self, user: i64) {
         let mut index = match self.index.take() {
             Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
-            None => RecScoreIndex::new(),
+            None => self.fresh_index(),
         };
         materialize_user_into(&mut index, &self.model, user);
         self.index = Some(Arc::new(index));
@@ -415,7 +436,7 @@ impl Recommender {
         per_user.sort_unstable_by_key(|&(pos, _)| pos);
         let mut index = match self.index.take() {
             Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
-            None => RecScoreIndex::new(),
+            None => self.fresh_index(),
         };
         for (pos, entries) in per_user {
             let user = users[pos];
@@ -445,7 +466,7 @@ impl Recommender {
         }
         let mut index = match self.index.take() {
             Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
-            None => RecScoreIndex::new(),
+            None => self.fresh_index(),
         };
         for &(u, i) in &decision.evicted {
             index.remove(u, i);
@@ -502,13 +523,14 @@ fn refresh_index(
     old: Option<&RecScoreIndex>,
     model: &RecModel,
     governor: Option<&QueryGuard>,
+    pool: &Arc<BufferPool>,
 ) -> EngineResult<Option<Arc<RecScoreIndex>>> {
     if let Some(guard) = governor {
         recdb_fault::fail_point("core::materialize_worker")?;
         guard.check().map_err(EngineError::from)?;
     }
     let Some(old) = old else { return Ok(None) };
-    let mut fresh = RecScoreIndex::new();
+    let mut fresh = RecScoreIndex::with_pool(Arc::clone(pool), DEFAULT_NODE_CAPACITY);
     for user in old.users() {
         if let Some(guard) = governor {
             guard.check().map_err(EngineError::from)?;

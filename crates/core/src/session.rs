@@ -210,7 +210,7 @@ impl ActiveTxn {
         if self.data_saved.contains_key(table) {
             return Ok(());
         }
-        let (page_count, last_page) = catalog.table(table)?.snapshot_tail();
+        let (page_count, last_page) = catalog.table(table)?.snapshot_tail()?;
         self.undo.push(UndoOp::TableTail {
             name: table.to_owned(),
             page_count,
@@ -233,7 +233,7 @@ impl ActiveTxn {
         ) {
             return Ok(());
         }
-        let pages = catalog.table(table)?.snapshot_pages();
+        let pages = catalog.table(table)?.snapshot_pages()?;
         self.undo.push(UndoOp::TablePages {
             name: table.to_owned(),
             pages,

@@ -2,66 +2,126 @@
 //!
 //! The paper's structure (Figure 4) is a hash table from user id to a
 //! per-user B+-tree keyed by predicted rating, whose leaves point to items
-//! in descending score order. Here each per-user tree is a `BTreeMap`
-//! keyed by `(score, item)` with a total order on the score, plus an
-//! item → score side map so the cache manager can evict a specific
-//! user/item pair without knowing its score.
+//! in descending score order. Here the whole index is **disk-resident**:
+//! two paged [`recdb_storage::BTree`]s over a shared [`BufferPool`], so a
+//! materialized index far larger than RAM pages in and out of a bounded
+//! frame set instead of living in process heap.
+//!
+//! * the **forward tree** is keyed `(user, score, item)` with the score
+//!   (and the tie-breaking item id) encoded *descending*, so an ascending
+//!   leaf-chain scan of one user's key range yields items from best to
+//!   worst — exactly Algorithm 3's Phase II/III traversal;
+//! * the **reverse tree** is keyed `(user, item, score)`, giving the
+//!   cache manager an `O(log n)` point lookup of a pair's materialized
+//!   score without knowing it — needed to evict `(user, item)` from the
+//!   forward tree, whose key embeds the score.
+//!
+//! All three fields use order-preserving byte encodings (sign-flipped
+//! big-endian for `i64`, IEEE-754 total-order bits for `f64` — the same
+//! order as [`f64::total_cmp`]), packed into the tree's fixed 24-byte
+//! keys. Small per-user metadata (entry counts, the completeness set)
+//! stays in memory: it is O(users), not O(users × items).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use recdb_storage::{BTree, BufferPool, DEFAULT_NODE_CAPACITY};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A B+-tree key ordering floats totally (NaN-safe) then by item id.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct ScoreKey {
-    score: f64,
-    item: i64,
+/// Uniquifies pool file labels so two indexes sharing one spilling pool
+/// never collide on a spill-file name.
+static NEXT_INDEX_ID: AtomicU64 = AtomicU64::new(0);
+
+type Key = [u8; 24];
+
+/// Order-preserving encoding of an `i64`: flip the sign bit and emit
+/// big-endian, so unsigned byte order matches signed integer order.
+fn enc_i64(x: i64) -> [u8; 8] {
+    ((x as u64) ^ (1 << 63)).to_be_bytes()
 }
 
-impl Eq for ScoreKey {}
-
-impl PartialOrd for ScoreKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+fn dec_i64(b: &[u8]) -> i64 {
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(b);
+    (u64::from_be_bytes(arr) ^ (1 << 63)) as i64
 }
 
-impl Ord for ScoreKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.score
-            .total_cmp(&other.score)
-            .then_with(|| self.item.cmp(&other.item))
-    }
+/// Total-order bits of an `f64`, ascending: byte order matches
+/// [`f64::total_cmp`] (`-NaN < -∞ < … < +∞ < +NaN`, `-0.0 < +0.0`).
+fn enc_f64_asc(s: f64) -> [u8; 8] {
+    let bits = s.to_bits();
+    let ordered = if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    };
+    ordered.to_be_bytes()
 }
 
-/// Per-user score tree (the paper's `RecTree_u`).
-#[derive(Debug, Clone, Default)]
-struct RecTree {
-    tree: BTreeMap<ScoreKey, ()>,
-    by_item: HashMap<i64, f64>,
+fn dec_f64_asc(b: &[u8]) -> f64 {
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(b);
+    let ordered = u64::from_be_bytes(arr);
+    let bits = if ordered >> 63 == 1 {
+        ordered & !(1 << 63)
+    } else {
+        !ordered
+    };
+    f64::from_bits(bits)
 }
 
-impl RecTree {
-    fn insert(&mut self, item: i64, score: f64) {
-        if let Some(old) = self.by_item.insert(item, score) {
-            self.tree.remove(&ScoreKey { score: old, item });
+/// Forward-tree key `(user↑, score↓, item↓)`: ascending key order scans
+/// one user's entries from highest to lowest score, ties by item id
+/// descending (matching the previous in-heap implementation).
+fn fwd_key(user: i64, score: f64, item: i64) -> Key {
+    let mut k = [0u8; 24];
+    k[..8].copy_from_slice(&enc_i64(user));
+    let desc_score = enc_f64_asc(score).map(|b| !b);
+    k[8..16].copy_from_slice(&desc_score);
+    let desc_item = enc_i64(item).map(|b| !b);
+    k[16..].copy_from_slice(&desc_item);
+    k
+}
+
+fn fwd_decode(k: &Key) -> (i64, i64, f64) {
+    let user = dec_i64(&k[..8]);
+    let asc_score: Vec<u8> = k[8..16].iter().map(|b| !b).collect();
+    let score = dec_f64_asc(&asc_score);
+    let asc_item: Vec<u8> = k[16..].iter().map(|b| !b).collect();
+    let item = dec_i64(&asc_item);
+    (user, item, score)
+}
+
+/// Reverse-tree key `(user↑, item↑, score↑)` for point lookups.
+fn rev_key(user: i64, item: i64, score: f64) -> Key {
+    let mut k = [0u8; 24];
+    k[..8].copy_from_slice(&enc_i64(user));
+    k[8..16].copy_from_slice(&enc_i64(item));
+    k[16..].copy_from_slice(&enc_f64_asc(score));
+    k
+}
+
+/// The smallest key strictly greater than `k`, or `None` if `k` is the
+/// maximum key (used as an exclusive upper bound for inclusive ranges).
+fn successor(mut k: Key) -> Option<Key> {
+    for b in k.iter_mut().rev() {
+        if *b < u8::MAX {
+            *b += 1;
+            return Some(k);
         }
-        self.tree.insert(ScoreKey { score, item }, ());
+        *b = 0;
     }
-
-    fn remove(&mut self, item: i64) -> bool {
-        match self.by_item.remove(&item) {
-            Some(score) => {
-                self.tree.remove(&ScoreKey { score, item });
-                true
-            }
-            None => false,
-        }
-    }
+    None
 }
 
-/// The pre-computed score index: user → RecTree.
-#[derive(Debug, Clone, Default)]
+/// The pre-computed score index, paged through a buffer pool.
+#[derive(Debug, Clone)]
 pub struct RecScoreIndex {
-    trees: HashMap<i64, RecTree>,
+    /// `(user, score↓, item↓)` — serves descending-score traversals.
+    fwd: BTree,
+    /// `(user, item, score)` — serves `(user, item)` point lookups.
+    rev: BTree,
+    /// Materialized entries per user (O(users) memory).
+    counts: HashMap<i64, usize>,
     /// Users whose *entire* unseen-item list is materialized. Only these
     /// can serve IndexRecommend top-k queries soundly; partially-admitted
     /// users (Algorithm 4 admits per pair) only accelerate point lookups.
@@ -69,10 +129,47 @@ pub struct RecScoreIndex {
     entries: usize,
 }
 
+/// Pool faults during index maintenance are process-local invariant
+/// violations (a corrupt spill file, or every frame pinned at once) —
+/// the durable store is never involved, so there is no recovery path
+/// short of rebuilding the index. Surface them loudly.
+const POOL_FAULT: &str = "RecScoreIndex buffer-pool operation failed";
+
 impl RecScoreIndex {
-    /// An empty index.
+    /// An empty index over a private, unbounded in-memory pool.
     pub fn new() -> Self {
-        RecScoreIndex::default()
+        Self::with_pool(Arc::new(BufferPool::unbounded()), DEFAULT_NODE_CAPACITY)
+    }
+
+    /// An empty index paged through `pool`. `node_capacity` bounds keys
+    /// per tree node (tests shrink it to force splits early).
+    pub fn with_pool(pool: Arc<BufferPool>, node_capacity: usize) -> Self {
+        let id = NEXT_INDEX_ID.fetch_add(1, Ordering::Relaxed);
+        let fwd = BTree::create(
+            Arc::clone(&pool),
+            &format!("rec_index.{id}.fwd"),
+            node_capacity,
+        )
+        .expect(POOL_FAULT);
+        let rev =
+            BTree::create(pool, &format!("rec_index.{id}.rev"), node_capacity).expect(POOL_FAULT);
+        RecScoreIndex {
+            fwd,
+            rev,
+            counts: HashMap::new(),
+            complete: HashSet::new(),
+            entries: 0,
+        }
+    }
+
+    /// The pool this index pages through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.fwd.pool()
+    }
+
+    /// Node pages allocated across both trees (for sizing diagnostics).
+    pub fn node_pages(&self) -> u64 {
+        u64::from(self.fwd.node_pages()) + u64::from(self.rev.node_pages())
     }
 
     /// Number of materialized `(user, item, score)` entries.
@@ -87,22 +184,51 @@ impl RecScoreIndex {
 
     /// Number of users with at least one materialized entry.
     pub fn user_count(&self) -> usize {
-        self.trees.len()
+        self.counts.len()
     }
 
     /// Whether user `u` has any materialized entries.
     pub fn has_user(&self, user: i64) -> bool {
-        self.trees.contains_key(&user)
+        self.counts.contains_key(&user)
+    }
+
+    /// The materialized score for a pair, if present: a reverse-tree
+    /// range probe over the `(user, item)` prefix.
+    pub fn get(&self, user: i64, item: i64) -> Option<f64> {
+        let lo = rev_key(user, item, f64::from_bits(0xFFF8_0000_0000_0000)); // -NaN: minimum in total order
+        let hi = successor(rev_key(user, item, f64::from_bits(0x7FFF_FFFF_FFFF_FFFF)));
+        let mut found = None;
+        self.rev
+            .for_each_range(&lo, hi.as_ref(), |k| {
+                found = Some(dec_f64_asc(&k[16..]));
+                false
+            })
+            .expect(POOL_FAULT);
+        found
     }
 
     /// Materialize (or refresh) one entry.
     pub fn insert(&mut self, user: i64, item: i64, score: f64) {
-        let tree = self.trees.entry(user).or_default();
-        let before = tree.by_item.len();
-        tree.insert(item, score);
-        if tree.by_item.len() > before {
+        if let Some(old) = self.get(user, item) {
+            if old.to_bits() == score.to_bits() {
+                return;
+            }
+            self.fwd
+                .remove(&fwd_key(user, old, item))
+                .expect(POOL_FAULT);
+            self.rev
+                .remove(&rev_key(user, item, old))
+                .expect(POOL_FAULT);
+        } else {
+            *self.counts.entry(user).or_insert(0) += 1;
             self.entries += 1;
         }
+        self.fwd
+            .insert(fwd_key(user, score, item))
+            .expect(POOL_FAULT);
+        self.rev
+            .insert(rev_key(user, item, score))
+            .expect(POOL_FAULT);
     }
 
     /// Mark a user's list as fully materialized (every unseen item is
@@ -119,23 +245,86 @@ impl RecScoreIndex {
 
     /// Evict one entry; returns whether it was present.
     pub fn remove(&mut self, user: i64, item: i64) -> bool {
-        let Some(tree) = self.trees.get_mut(&user) else {
+        let Some(score) = self.get(user, item) else {
             return false;
         };
-        let removed = tree.remove(item);
-        if removed {
-            self.complete.remove(&user);
-            self.entries -= 1;
-            if tree.by_item.is_empty() {
-                self.trees.remove(&user);
+        self.fwd
+            .remove(&fwd_key(user, score, item))
+            .expect(POOL_FAULT);
+        self.rev
+            .remove(&rev_key(user, item, score))
+            .expect(POOL_FAULT);
+        self.complete.remove(&user);
+        self.entries -= 1;
+        match self.counts.get_mut(&user) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                self.counts.remove(&user);
             }
         }
-        removed
+        true
     }
 
-    /// The materialized score for a pair, if present.
-    pub fn get(&self, user: i64, item: i64) -> Option<f64> {
-        self.trees.get(&user)?.by_item.get(&item).copied()
+    /// Replace user `u`'s entire materialized list in one pass and mark
+    /// it complete — the bulk path for the engine's materializer, which
+    /// otherwise pays a point lookup per inserted pair.
+    pub fn replace_user_list(&mut self, user: i64, list: &[(i64, f64)]) {
+        for (item, score) in self.collect_desc(user, None, None) {
+            self.fwd
+                .remove(&fwd_key(user, score, item))
+                .expect(POOL_FAULT);
+            self.rev
+                .remove(&rev_key(user, item, score))
+                .expect(POOL_FAULT);
+            self.entries -= 1;
+        }
+        self.counts.remove(&user);
+        let mut added = 0usize;
+        for &(item, score) in list {
+            if self
+                .fwd
+                .insert(fwd_key(user, score, item))
+                .expect(POOL_FAULT)
+            {
+                added += 1;
+            }
+            self.rev
+                .insert(rev_key(user, item, score))
+                .expect(POOL_FAULT);
+        }
+        if added > 0 {
+            self.counts.insert(user, added);
+        }
+        self.entries += added;
+        self.complete.insert(user);
+    }
+
+    fn collect_desc(
+        &self,
+        user: i64,
+        min_score: Option<f64>,
+        max_score: Option<f64>,
+    ) -> Vec<(i64, f64)> {
+        if !self.has_user(user) {
+            return Vec::new();
+        }
+        // In the forward key space the *highest* score sorts first, so the
+        // range's low end carries the max bound and vice versa.
+        let lo = fwd_key(user, max_score.unwrap_or(f64::INFINITY), i64::MAX);
+        let hi = successor(fwd_key(
+            user,
+            min_score.unwrap_or(f64::NEG_INFINITY),
+            i64::MIN,
+        ));
+        let mut out = Vec::new();
+        self.fwd
+            .for_each_range(&lo, hi.as_ref(), |k| {
+                let (_, item, score) = fwd_decode(k);
+                out.push((item, score));
+                true
+            })
+            .expect(POOL_FAULT);
+        out
     }
 
     /// Iterate a user's `(item, score)` entries in **descending** score
@@ -147,42 +336,41 @@ impl RecScoreIndex {
         min_score: Option<f64>,
         max_score: Option<f64>,
     ) -> impl Iterator<Item = (i64, f64)> + '_ {
-        let lo = ScoreKey {
-            score: min_score.unwrap_or(f64::NEG_INFINITY),
-            item: i64::MIN,
-        };
-        let hi = ScoreKey {
-            score: max_score.unwrap_or(f64::INFINITY),
-            item: i64::MAX,
-        };
-        self.trees.get(&user).into_iter().flat_map(move |tree| {
-            tree.tree
-                .range(lo..=hi)
-                .rev()
-                .map(|(k, _)| (k.item, k.score))
-        })
+        self.collect_desc(user, min_score, max_score).into_iter()
     }
 
     /// All materialized users (arbitrary order).
     pub fn users(&self) -> impl Iterator<Item = i64> + '_ {
-        self.trees.keys().copied()
+        self.counts.keys().copied()
     }
 
-    /// Every materialized `(user, item, score)` entry (arbitrary order) —
-    /// used when re-scoring materialized entries after a model rebuild.
+    /// Every materialized `(user, item, score)` entry (user-major,
+    /// descending score within a user) — used when re-scoring
+    /// materialized entries after a model rebuild.
     pub fn iter_all(&self) -> impl Iterator<Item = (i64, i64, f64)> + '_ {
-        self.trees.iter().flat_map(|(&user, tree)| {
-            tree.by_item
-                .iter()
-                .map(move |(&item, &score)| (user, item, score))
-        })
+        let mut out = Vec::with_capacity(self.entries);
+        self.fwd
+            .for_each_range(&[0u8; 24], None, |k| {
+                out.push(fwd_decode(k));
+                true
+            })
+            .expect(POOL_FAULT);
+        out.into_iter()
     }
 
     /// Drop everything (used when the model is rebuilt from scratch).
     pub fn clear(&mut self) {
-        self.trees.clear();
+        self.fwd.clear().expect(POOL_FAULT);
+        self.rev.clear().expect(POOL_FAULT);
+        self.counts.clear();
         self.complete.clear();
         self.entries = 0;
+    }
+}
+
+impl Default for RecScoreIndex {
+    fn default() -> Self {
+        RecScoreIndex::new()
     }
 }
 
@@ -197,6 +385,48 @@ mod tests {
         idx.insert(1, 12, 5.0);
         idx.insert(2, 10, 3.0);
         idx
+    }
+
+    #[test]
+    fn i64_encoding_is_order_preserving() {
+        let vals = [i64::MIN, -7, -1, 0, 1, 42, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(enc_i64(w[0]) < enc_i64(w[1]), "{} < {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(dec_i64(&enc_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn f64_encoding_matches_total_cmp() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -5.5,
+            -0.0,
+            0.0,
+            1.0e-300,
+            2.0,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for w in vals.windows(2) {
+            assert!(enc_f64_asc(w[0]) < enc_f64_asc(w[1]), "{} < {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(dec_f64_asc(&enc_f64_asc(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn fwd_key_roundtrips_and_orders_descending() {
+        let (u, i, s) = fwd_decode(&fwd_key(3, 4.25, -9));
+        assert_eq!((u, i, s), (3, -9, 4.25));
+        // Higher score sorts first; ties broken by higher item id first.
+        assert!(fwd_key(1, 5.0, 2) < fwd_key(1, 4.0, 2));
+        assert!(fwd_key(1, 3.0, 8) < fwd_key(1, 3.0, 7));
+        // User is the major dimension.
+        assert!(fwd_key(1, -10.0, 0) < fwd_key(2, 10.0, 0));
     }
 
     #[test]
@@ -256,6 +486,17 @@ mod tests {
     }
 
     #[test]
+    fn negative_ids_and_scores_order_correctly() {
+        let mut idx = RecScoreIndex::new();
+        idx.insert(-5, -3, -1.5);
+        idx.insert(-5, -4, 2.5);
+        idx.insert(-5, 6, 0.0);
+        let got: Vec<(i64, f64)> = idx.iter_desc(-5, None, None).collect();
+        assert_eq!(got, vec![(-4, 2.5), (6, 0.0), (-3, -1.5)]);
+        assert_eq!(idx.get(-5, -3), Some(-1.5));
+    }
+
+    #[test]
     fn completeness_tracking() {
         let mut idx = sample();
         assert!(!idx.is_complete(1));
@@ -272,5 +513,50 @@ mod tests {
         idx.clear();
         assert!(idx.is_empty());
         assert_eq!(idx.user_count(), 0);
+    }
+
+    #[test]
+    fn replace_user_list_swaps_and_completes() {
+        let mut idx = sample();
+        idx.replace_user_list(1, &[(20, 9.0), (21, 8.0)]);
+        assert!(idx.is_complete(1));
+        let got: Vec<i64> = idx.iter_desc(1, None, None).map(|(i, _)| i).collect();
+        assert_eq!(got, vec![20, 21]);
+        assert_eq!(idx.len(), 3, "user 2's entry survives");
+        idx.replace_user_list(1, &[]);
+        assert!(!idx.has_user(1));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn iter_all_covers_every_entry() {
+        let idx = sample();
+        let mut all: Vec<(i64, i64, f64)> = idx.iter_all().collect();
+        all.sort_by_key(|a| (a.0, a.1));
+        assert_eq!(
+            all,
+            vec![(1, 10, 4.5), (1, 11, 2.0), (1, 12, 5.0), (2, 10, 3.0)]
+        );
+    }
+
+    #[test]
+    fn works_under_a_tiny_shared_pool() {
+        // Both trees page through 6 frames; the dataset spans far more
+        // node pages than that, so iteration exercises real eviction.
+        let pool = Arc::new(BufferPool::in_memory(6));
+        let mut idx = RecScoreIndex::with_pool(Arc::clone(&pool), 8);
+        for user in 0..20 {
+            for item in 0..50 {
+                idx.insert(user, item, (item % 11) as f64 - (user % 3) as f64);
+            }
+        }
+        assert_eq!(idx.len(), 20 * 50);
+        assert!(pool.evictions() > 0, "tiny pool must evict");
+        for user in 0..20 {
+            let scores: Vec<f64> = idx.iter_desc(user, None, None).map(|(_, s)| s).collect();
+            assert_eq!(scores.len(), 50);
+            assert!(scores.windows(2).all(|w| w[0] >= w[1]), "descending");
+        }
+        assert_eq!(pool.pinned_pages(), 0, "no pins may outlive a scan");
     }
 }

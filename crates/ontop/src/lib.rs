@@ -218,7 +218,7 @@ impl OnTopDb {
         {
             let mut catalog = self.db.catalog_mut();
             let table = catalog.table_mut(PREDICTIONS_TABLE)?;
-            table.truncate();
+            table.truncate()?;
             table.insert_many(rows)?;
         }
         self.db.query(residual_sql)

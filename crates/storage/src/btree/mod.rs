@@ -1,0 +1,554 @@
+//! A paged B+-tree over buffer-pool frames.
+//!
+//! This is the disk-resident index structure behind the engine's
+//! RecScoreIndex: fixed-width 24-byte keys (the index layer packs
+//! `(user id, score, item id)` into an order-preserving encoding), nodes
+//! stored one per 8 KiB block through the [`BufferPool`], and leaves
+//! chained left-to-right for range scans. The shape follows the classic
+//! textbook B+-tree (and the simpledb-style `index/btree` exemplars):
+//!
+//! * the **root is always page 0** of the tree's pool file, so the tree
+//!   needs no separate superblock — a root split copies both halves into
+//!   fresh pages and rewrites page 0 as a branch;
+//! * splits happen **preemptively on the way down**: any full child on
+//!   the descent path is split before descending into it, so an insert
+//!   into a leaf can never cascade upward. An injected failure at the
+//!   `storage::btree_split` fail point therefore leaves the tree valid —
+//!   completed splits stand on their own and the key is simply not
+//!   inserted;
+//! * deletes do not rebalance (like PostgreSQL's `nbtree`, which only
+//!   reclaims fully-empty pages). Empty leaves stay in the chain and are
+//!   skipped by scans; a `clear()` resets the file outright.
+//!
+//! Node fan-out is configurable (`max_keys`), clamped to what fits one
+//! block. Production trees use [`DEFAULT_NODE_CAPACITY`]; tests shrink it
+//! to force deep trees and splits from tiny datasets.
+
+pub mod node;
+
+use crate::error::StorageResult;
+use crate::pool::{BufferPool, FileId, FileKind, FrameData};
+use node::Node;
+pub use node::{Key, KEY_SIZE, MAX_BRANCH_KEYS, MAX_LEAF_KEYS, NO_PAGE};
+use std::sync::Arc;
+
+/// Default maximum keys per node (both leaf and branch). 256 keys × 24
+/// bytes fills ~75% of a block, leaving headroom for the header.
+pub const DEFAULT_NODE_CAPACITY: usize = 256;
+
+/// Page number of the root node, fixed for the life of the tree.
+const ROOT_PAGE: u32 = 0;
+
+/// A B+-tree of fixed-width keys, paged through a [`BufferPool`].
+#[derive(Debug)]
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    file: FileId,
+    max_keys: usize,
+    len: u64,
+}
+
+impl BTree {
+    /// Create an empty tree as a new file in `pool`. `label` names the
+    /// tree in corruption errors; `max_keys` bounds node fan-out (clamped
+    /// to `[4, block capacity]`).
+    pub fn create(pool: Arc<BufferPool>, label: &str, max_keys: usize) -> StorageResult<Self> {
+        let max_keys = max_keys.clamp(4, MAX_LEAF_KEYS.min(MAX_BRANCH_KEYS));
+        let file = pool.create_file(FileKind::Index, label);
+        let root = pool.allocate_page(file, FrameData::Node(Node::leaf()))?;
+        debug_assert_eq!(root, ROOT_PAGE);
+        Ok(BTree {
+            pool,
+            file,
+            max_keys,
+            len: 0,
+        })
+    }
+
+    /// Number of keys in the tree.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer pool this tree pages through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Node pages allocated so far (for sizing diagnostics).
+    pub fn node_pages(&self) -> u32 {
+        self.pool.page_count(self.file)
+    }
+
+    /// Configured maximum keys per node.
+    pub fn max_keys(&self) -> usize {
+        self.max_keys
+    }
+
+    /// Drop every key, resetting the file to a single empty root leaf.
+    pub fn clear(&mut self) -> StorageResult<()> {
+        self.pool.truncate_file(self.file, 0)?;
+        let root = self
+            .pool
+            .allocate_page(self.file, FrameData::Node(Node::leaf()))?;
+        debug_assert_eq!(root, ROOT_PAGE);
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Insert `key`. Returns `false` (without change) if it was already
+    /// present.
+    pub fn insert(&mut self, key: Key) -> StorageResult<bool> {
+        // Preemptive split: never descend into a full node.
+        let root_full = self
+            .pool
+            .with_node(self.file, ROOT_PAGE, |n| n.keys.len() >= self.max_keys)?;
+        if root_full {
+            self.split_root()?;
+        }
+        let mut pno = ROOT_PAGE;
+        loop {
+            enum Step {
+                Inserted(bool),
+                Descend { child: u32, idx: usize },
+            }
+            let step = self.pool.with_node_mut(self.file, pno, |n| {
+                if n.is_leaf {
+                    match n.keys.binary_search(&key) {
+                        Ok(_) => Step::Inserted(false),
+                        Err(at) => {
+                            n.keys.insert(at, key);
+                            Step::Inserted(true)
+                        }
+                    }
+                } else {
+                    let idx = n.keys.partition_point(|k| k <= &key);
+                    Step::Descend {
+                        child: n.children[idx],
+                        idx,
+                    }
+                }
+            })?;
+            match step {
+                Step::Inserted(added) => {
+                    if added {
+                        self.len += 1;
+                    }
+                    return Ok(added);
+                }
+                Step::Descend { child, idx, .. } => {
+                    let full = self
+                        .pool
+                        .with_node(self.file, child, |n| n.keys.len() >= self.max_keys)?;
+                    if full {
+                        self.split_child(pno, idx)?;
+                        // The split may have redirected our key to the new
+                        // right sibling; recompute the child from the
+                        // updated parent.
+                        pno = self.pool.with_node(self.file, pno, |n| {
+                            let idx = n.keys.partition_point(|k| k <= &key);
+                            n.children[idx]
+                        })?;
+                    } else {
+                        pno = child;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove `key`. Returns `false` if it was not present. No rebalance:
+    /// an emptied leaf stays in the chain until [`BTree::clear`].
+    pub fn remove(&mut self, key: &Key) -> StorageResult<bool> {
+        let mut pno = ROOT_PAGE;
+        loop {
+            let next = self.pool.with_node_mut(self.file, pno, |n| {
+                if n.is_leaf {
+                    match n.keys.binary_search(key) {
+                        Ok(at) => {
+                            n.keys.remove(at);
+                            Ok(true)
+                        }
+                        Err(_) => Ok(false),
+                    }
+                } else {
+                    let idx = n.keys.partition_point(|k| k <= key);
+                    Err(n.children[idx])
+                }
+            })?;
+            match next {
+                Ok(removed) => {
+                    if removed {
+                        self.len -= 1;
+                    }
+                    return Ok(removed);
+                }
+                Err(child) => pno = child,
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &Key) -> StorageResult<bool> {
+        let (leaf, _) = self.seek_leaf(key)?;
+        self.pool
+            .with_node(self.file, leaf, |n| n.keys.binary_search(key).is_ok())
+    }
+
+    /// Visit keys in `[lo, hi)` in ascending order (`hi = None` means "to
+    /// the end"). The callback returns `false` to stop early. Keys are
+    /// copied out one leaf at a time, so the callback runs without the
+    /// pool locked and may itself use the pool.
+    pub fn for_each_range(
+        &self,
+        lo: &Key,
+        hi: Option<&Key>,
+        mut f: impl FnMut(&Key) -> bool,
+    ) -> StorageResult<()> {
+        let (mut pno, _) = self.seek_leaf(lo)?;
+        loop {
+            // Pin the leaf across the batch copy; the pin also makes the
+            // pool's pinned-pages gauge observable during scans.
+            self.pool.pin(self.file, pno)?;
+            let (batch, next, done) = {
+                let res = self.pool.with_node(self.file, pno, |n| {
+                    let start = n.keys.partition_point(|k| k < lo);
+                    // An inverted range (`hi < lo`) clamps to empty
+                    // rather than slicing backwards.
+                    let end = match hi {
+                        Some(hi) => n.keys.partition_point(|k| k < hi).max(start),
+                        None => n.keys.len(),
+                    };
+                    // A leaf whose last key reaches `hi` completes the
+                    // range; an empty leaf never does.
+                    let done = match (hi, n.keys.last()) {
+                        (Some(hi), Some(last)) => last >= hi,
+                        _ => false,
+                    };
+                    (n.keys[start..end].to_vec(), n.next, done)
+                });
+                self.pool.unpin(self.file, pno);
+                res?
+            };
+            for key in &batch {
+                if !f(key) {
+                    return Ok(());
+                }
+            }
+            if done || next == NO_PAGE {
+                return Ok(());
+            }
+            pno = next;
+        }
+    }
+
+    /// Every key in ascending order (used by clone/debug paths).
+    pub fn keys(&self) -> StorageResult<Vec<Key>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        self.for_each_range(&[0u8; KEY_SIZE], None, |k| {
+            out.push(*k);
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Tree height in levels (1 = root is a leaf). Diagnostic.
+    pub fn height(&self) -> StorageResult<u32> {
+        let mut pno = ROOT_PAGE;
+        let mut h = 1;
+        loop {
+            let child = self.pool.with_node(self.file, pno, |n| {
+                if n.is_leaf {
+                    None
+                } else {
+                    Some(n.children[0])
+                }
+            })?;
+            match child {
+                Some(c) => {
+                    pno = c;
+                    h += 1;
+                }
+                None => return Ok(h),
+            }
+        }
+    }
+
+    /// Descend to the leaf that would hold `key`, returning its page and
+    /// the descent depth.
+    fn seek_leaf(&self, key: &Key) -> StorageResult<(u32, u32)> {
+        let mut pno = ROOT_PAGE;
+        let mut depth = 0;
+        loop {
+            let next = self.pool.with_node(self.file, pno, |n| {
+                if n.is_leaf {
+                    None
+                } else {
+                    Some(n.children[n.keys.partition_point(|k| k <= key)])
+                }
+            })?;
+            match next {
+                Some(child) => {
+                    pno = child;
+                    depth += 1;
+                }
+                None => return Ok((pno, depth)),
+            }
+        }
+    }
+
+    /// Split the full root in place: copy its halves into two fresh pages
+    /// and rewrite page 0 as a branch over them. This is the only
+    /// operation that changes the tree's height.
+    fn split_root(&mut self) -> StorageResult<()> {
+        recdb_fault::fail_point("storage::btree_split")?;
+        let root = self.pool.with_node(self.file, ROOT_PAGE, |n| n.clone())?;
+        let (left, right, sep) = split_node(root);
+        let left_pno = self.pool.allocate_page(self.file, FrameData::Node(left))?;
+        let right_pno = self.pool.allocate_page(self.file, FrameData::Node(right))?;
+        // Wire the leaf chain through the two copies.
+        self.pool.with_node_mut(self.file, left_pno, |n| {
+            if n.is_leaf {
+                n.next = right_pno;
+            }
+        })?;
+        self.pool.with_node_mut(self.file, ROOT_PAGE, |n| {
+            *n = Node::branch(vec![sep], vec![left_pno, right_pno]);
+        })?;
+        Ok(())
+    }
+
+    /// Split the full child at `parent.children[idx]`, inserting the new
+    /// separator and right sibling into the parent (which has room: the
+    /// caller split it preemptively on the way down).
+    fn split_child(&mut self, parent: u32, idx: usize) -> StorageResult<()> {
+        recdb_fault::fail_point("storage::btree_split")?;
+        let child_pno = self
+            .pool
+            .with_node(self.file, parent, |n| n.children[idx])?;
+        let child = self.pool.with_node(self.file, child_pno, |n| n.clone())?;
+        let (left, right, sep) = split_node(child);
+        let right_pno = self.pool.allocate_page(self.file, FrameData::Node(right))?;
+        self.pool.with_node_mut(self.file, child_pno, |n| {
+            let was_leaf = left.is_leaf;
+            *n = left;
+            if was_leaf {
+                n.next = right_pno;
+            }
+        })?;
+        self.pool.with_node_mut(self.file, parent, |n| {
+            n.keys.insert(idx, sep);
+            n.children.insert(idx + 1, right_pno);
+        })?;
+        Ok(())
+    }
+}
+
+/// Split one overfull node into `(left, right, separator)`. For leaves
+/// the separator is copied up (it stays in the right leaf); for branches
+/// the middle key moves up. The caller wires leaf `next` pointers.
+fn split_node(mut node: Node) -> (Node, Node, Key) {
+    let mid = node.keys.len() / 2;
+    if node.is_leaf {
+        let right_keys = node.keys.split_off(mid);
+        let sep = right_keys[0];
+        let right = Node {
+            is_leaf: true,
+            keys: right_keys,
+            children: Vec::new(),
+            next: node.next,
+        };
+        (node, right, sep)
+    } else {
+        let mut right_keys = node.keys.split_off(mid);
+        let sep = right_keys.remove(0);
+        let right_children = node.children.split_off(mid + 1);
+        let right = Node::branch(right_keys, right_children);
+        (node, right, sep)
+    }
+}
+
+impl Drop for BTree {
+    fn drop(&mut self) {
+        self.pool.remove_file(self.file);
+    }
+}
+
+impl Clone for BTree {
+    /// Deep-copy the tree into a fresh file in the same pool by bulk
+    /// inserting keys in ascending order (which keeps the copy's leaves
+    /// right-packed).
+    fn clone(&self) -> Self {
+        let mut copy = BTree::create(
+            Arc::clone(&self.pool),
+            &format!("clone-of-file-{}", self.file),
+            self.max_keys,
+        )
+        .expect("allocating a root leaf for a tree clone");
+        let copied: StorageResult<()> = self.for_each_range(&[0u8; KEY_SIZE], None, |k| {
+            copy.insert(*k)
+                .expect("re-inserting a key into a tree clone");
+            true
+        });
+        copied.expect("scanning a tree during clone");
+        copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StorageError;
+
+    fn key(n: u64) -> Key {
+        let mut k = [0u8; KEY_SIZE];
+        k[..8].copy_from_slice(&n.to_be_bytes());
+        k
+    }
+
+    fn small_tree(max_keys: usize) -> BTree {
+        BTree::create(Arc::new(BufferPool::unbounded()), "t", max_keys).unwrap()
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut t = small_tree(4);
+        for n in 0..100 {
+            assert!(t.insert(key(n)).unwrap());
+        }
+        assert_eq!(t.len(), 100);
+        assert!(!t.insert(key(50)).unwrap(), "duplicate insert must no-op");
+        assert_eq!(t.len(), 100);
+        for n in 0..100 {
+            assert!(t.contains(&key(n)).unwrap(), "missing key {n}");
+        }
+        assert!(!t.contains(&key(100)).unwrap());
+        assert!(t.remove(&key(30)).unwrap());
+        assert!(!t.remove(&key(30)).unwrap());
+        assert!(!t.contains(&key(30)).unwrap());
+        assert_eq!(t.len(), 99);
+    }
+
+    #[test]
+    fn keys_come_back_sorted_regardless_of_insert_order() {
+        let mut t = small_tree(4);
+        // Insert in a scrambled deterministic order.
+        for n in 0..500u64 {
+            t.insert(key((n * 331) % 500)).unwrap();
+        }
+        let keys = t.keys().unwrap();
+        assert_eq!(keys.len(), 500);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(t.height().unwrap() >= 3, "fan-out 4 over 500 keys is deep");
+    }
+
+    #[test]
+    fn range_scan_respects_bounds_and_early_stop() {
+        let mut t = small_tree(5);
+        for n in 0..200 {
+            t.insert(key(n)).unwrap();
+        }
+        let mut got = Vec::new();
+        t.for_each_range(&key(50), Some(&key(60)), |k| {
+            got.push(*k);
+            true
+        })
+        .unwrap();
+        assert_eq!(got, (50..60).map(key).collect::<Vec<_>>());
+
+        let mut count = 0;
+        t.for_each_range(&key(0), None, |_| {
+            count += 1;
+            count < 7
+        })
+        .unwrap();
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn scan_skips_emptied_leaves() {
+        let mut t = small_tree(4);
+        for n in 0..100 {
+            t.insert(key(n)).unwrap();
+        }
+        // Hollow out the middle: leaves there become empty but stay chained.
+        for n in 20..80 {
+            t.remove(&key(n)).unwrap();
+        }
+        let keys = t.keys().unwrap();
+        let expected: Vec<Key> = (0..20).chain(80..100).map(key).collect();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn clear_resets_to_empty_root() {
+        let mut t = small_tree(4);
+        for n in 0..300 {
+            t.insert(key(n)).unwrap();
+        }
+        assert!(t.node_pages() > 10);
+        t.clear().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.node_pages(), 1);
+        t.insert(key(7)).unwrap();
+        assert_eq!(t.keys().unwrap(), vec![key(7)]);
+    }
+
+    #[test]
+    fn clone_is_deep_and_equal() {
+        let mut t = small_tree(6);
+        for n in 0..150 {
+            t.insert(key(n * 3)).unwrap();
+        }
+        let mut c = t.clone();
+        assert_eq!(c.keys().unwrap(), t.keys().unwrap());
+        c.insert(key(1)).unwrap();
+        assert!(!t.contains(&key(1)).unwrap(), "clone shares state");
+    }
+
+    #[test]
+    fn works_under_a_tiny_pool() {
+        let pool = Arc::new(BufferPool::in_memory(4));
+        let mut t = BTree::create(Arc::clone(&pool), "t", 8).unwrap();
+        for n in 0..2000 {
+            t.insert(key((n * 7919) % 2000)).unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+        assert!(pool.evictions() > 0, "a 4-frame pool must evict");
+        let keys = t.keys().unwrap();
+        assert_eq!(keys.len(), 2000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(pool.pinned_pages(), 0, "scan leaked a pin");
+    }
+
+    #[test]
+    fn split_fail_point_leaves_tree_consistent() {
+        let _x = recdb_fault::exclusive();
+        let mut t = small_tree(4);
+        recdb_fault::arm_error("storage::btree_split", 3);
+        let mut inserted = Vec::new();
+        let mut failed = 0;
+        for n in 0..50 {
+            match t.insert(key(n)) {
+                Ok(true) => inserted.push(n),
+                Ok(false) => unreachable!("keys are distinct"),
+                Err(StorageError::FaultInjected(_)) => failed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        recdb_fault::clear();
+        assert_eq!(failed, 1, "exactly the armed split fails");
+        // Every acknowledged insert is readable; the failed one is absent.
+        let keys = t.keys().unwrap();
+        assert_eq!(keys.len(), inserted.len());
+        assert_eq!(t.len(), inserted.len() as u64);
+        for n in inserted {
+            assert!(t.contains(&key(n)).unwrap());
+        }
+    }
+}

@@ -7,6 +7,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::heap::{HeapTable, Rid};
 use crate::index::BTreeIndex;
 use crate::page::Page;
+use crate::pool::BufferPool;
 use crate::schema::Schema;
 use crate::stats::IoStats;
 use crate::tuple::Tuple;
@@ -22,11 +23,18 @@ pub struct Table {
 }
 
 impl Table {
-    /// A fresh table.
-    pub fn new(name: impl Into<String>, schema: Schema, stats: Arc<IoStats>) -> Self {
+    /// A fresh table whose heap pages through `pool`.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        stats: Arc<IoStats>,
+        pool: Arc<BufferPool>,
+    ) -> Self {
+        let name = name.into();
+        let heap = HeapTable::with_pool(schema, stats, pool, &name);
         Table {
-            name: name.into(),
-            heap: HeapTable::with_stats(schema, stats),
+            name,
+            heap,
             indexes: Vec::new(),
         }
     }
@@ -145,38 +153,50 @@ impl Table {
     }
 
     /// Drop all rows (heap and indexes).
-    pub fn truncate(&mut self) {
-        self.heap.truncate();
+    pub fn truncate(&mut self) -> StorageResult<()> {
+        self.heap.truncate()?;
         for idx in &mut self.indexes {
             idx.clear();
         }
+        Ok(())
     }
 
     /// Clone every heap page — the pre-image a transaction captures
     /// before its first scattered write to this table (DELETE/UPDATE).
-    pub fn snapshot_pages(&self) -> Vec<Page> {
-        self.heap.pages().to_vec()
+    pub fn snapshot_pages(&self) -> StorageResult<Vec<Page>> {
+        self.heap.pages_snapshot()
     }
 
     /// The heap extent an append-only pre-image needs: the page count and
     /// a copy of the current last page (see [`Table::rollback_tail`]).
-    pub fn snapshot_tail(&self) -> (usize, Option<Page>) {
-        let pages = self.heap.pages();
-        (pages.len(), pages.last().cloned())
+    pub fn snapshot_tail(&self) -> StorageResult<(usize, Option<Page>)> {
+        let count = self.heap.page_count();
+        let last = if count == 0 {
+            None
+        } else {
+            Some(self.heap.page_image(count as u32 - 1)?)
+        };
+        Ok((count, last))
     }
 
     /// Undo appends past a [`Table::snapshot_tail`] point and rebuild the
     /// secondary indexes from the restored heap.
-    pub fn rollback_tail(&mut self, page_count: usize, last_page: Option<Page>) {
-        self.heap.rollback_tail(page_count, last_page);
+    pub fn rollback_tail(
+        &mut self,
+        page_count: usize,
+        last_page: Option<Page>,
+    ) -> StorageResult<()> {
+        self.heap.rollback_tail(page_count, last_page)?;
         self.rebuild_indexes();
+        Ok(())
     }
 
     /// Restore a full [`Table::snapshot_pages`] pre-image and rebuild the
     /// secondary indexes from it.
-    pub fn rollback_pages(&mut self, pages: Vec<Page>) {
-        self.heap.rollback_pages(pages);
+    pub fn rollback_pages(&mut self, pages: Vec<Page>) -> StorageResult<()> {
+        self.heap.rollback_pages(pages)?;
         self.rebuild_indexes();
+        Ok(())
     }
 
     fn rebuild_indexes(&mut self) {
@@ -196,6 +216,7 @@ impl Table {
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
     stats: Arc<IoStats>,
+    pool: Arc<BufferPool>,
 }
 
 impl Default for Catalog {
@@ -205,12 +226,24 @@ impl Default for Catalog {
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty catalog over a private, unbounded buffer pool.
     pub fn new() -> Self {
+        Catalog::with_pool(Arc::new(BufferPool::unbounded()))
+    }
+
+    /// An empty catalog whose tables page through `pool` (the engine
+    /// passes its bounded, metrics-attached pool here).
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
         Catalog {
             tables: BTreeMap::new(),
             stats: Arc::new(IoStats::new()),
+            pool,
         }
+    }
+
+    /// The shared buffer pool every table in this catalog pages through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// The shared I/O counters charged by every table in this catalog.
@@ -225,7 +258,12 @@ impl Catalog {
         if self.tables.contains_key(&key) {
             return Err(StorageError::TableExists(name.to_owned()));
         }
-        let table = Table::new(key.clone(), schema, Arc::clone(&self.stats));
+        let table = Table::new(
+            key.clone(),
+            schema,
+            Arc::clone(&self.stats),
+            Arc::clone(&self.pool),
+        );
         Ok(self.tables.entry(key).or_insert(table))
     }
 
@@ -410,7 +448,7 @@ mod tests {
         let t = cat.create_table("r", ratings_schema()).unwrap();
         t.create_index("i", &["uid"]).unwrap();
         t.insert(row(1, 1, 1.0)).unwrap();
-        t.truncate();
+        t.truncate().unwrap();
         assert_eq!(t.tuple_count(), 0);
         assert!(t.index("i").unwrap().is_empty());
     }
@@ -423,10 +461,10 @@ mod tests {
         t.insert(row(1, 1, 1.0)).unwrap();
         t.heap_mut().take_dirty_pages(); // pretend a checkpoint ran
 
-        let (pages, last) = t.snapshot_tail();
+        let (pages, last) = t.snapshot_tail().unwrap();
         t.insert(row(2, 2, 2.0)).unwrap();
         t.insert(row(3, 3, 3.0)).unwrap();
-        t.rollback_tail(pages, last);
+        t.rollback_tail(pages, last).unwrap();
 
         assert_eq!(t.tuple_count(), 1);
         assert_eq!(t.index("i").unwrap().len(), 1);
@@ -448,10 +486,10 @@ mod tests {
         let rid1 = t.insert(row(1, 1, 1.0)).unwrap();
         t.insert(row(2, 2, 2.0)).unwrap();
 
-        let snapshot = t.snapshot_pages();
+        let snapshot = t.snapshot_pages().unwrap();
         t.delete(rid1).unwrap();
         assert_eq!(t.tuple_count(), 1);
-        t.rollback_pages(snapshot);
+        t.rollback_pages(snapshot).unwrap();
 
         assert_eq!(t.tuple_count(), 2);
         assert_eq!(t.get(rid1).unwrap(), row(1, 1, 1.0));

@@ -1,14 +1,22 @@
 //! Heap tables: page-based relations with block-at-a-time scans.
 //!
-//! A [`HeapTable`] owns a vector of [`Page`]s and a [`Schema`]. Inserts are
-//! type-checked against the schema (with implicit `Int → Float` widening,
-//! like PostgreSQL's numeric coercion) and packed into the last page with
-//! free space. Scans go page by page, charging one page read per block to
-//! the table's [`IoStats`] — the granularity the paper's block-nested-loop
-//! operators are defined over.
+//! A [`HeapTable`] owns a paged file inside a [`BufferPool`] and a
+//! [`Schema`]. Inserts are type-checked against the schema (with implicit
+//! `Int → Float` widening, like PostgreSQL's numeric coercion) and packed
+//! into the last page with free space. Scans go page by page, charging one
+//! page read per block to the table's [`IoStats`] — the granularity the
+//! paper's block-nested-loop operators are defined over.
+//!
+//! Pages are materialized in pool frames on demand: under a bounded pool a
+//! table much larger than RAM scans in bounded memory, with cold pages
+//! faulted in from the pool's backing store. The pool's backing store is
+//! scratch (recovery uses the checkpoint + WAL, never the spill files), so
+//! heap-level dirty tracking for the checkpointer (`take_dirty_pages`) is
+//! independent of frame-level dirty bits inside the pool.
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::Page;
+use crate::pool::{BufferPool, FileId, FileKind, FrameData};
 use crate::schema::Schema;
 use crate::stats::IoStats;
 use crate::tuple::Tuple;
@@ -32,11 +40,12 @@ impl Rid {
     }
 }
 
-/// A page-based heap relation.
+/// A page-based heap relation, paged through a [`BufferPool`].
 #[derive(Debug)]
 pub struct HeapTable {
     schema: Schema,
-    pages: Vec<Page>,
+    pool: Arc<BufferPool>,
+    file: FileId,
     live_tuples: u64,
     stats: Arc<IoStats>,
     /// Pages mutated since the last [`HeapTable::take_dirty_pages`] —
@@ -45,23 +54,37 @@ pub struct HeapTable {
 }
 
 impl HeapTable {
-    /// An empty heap with the given schema and fresh I/O counters.
+    /// An empty heap with the given schema, fresh I/O counters, and a
+    /// private unbounded pool (ad-hoc tables outside an engine).
     pub fn new(schema: Schema) -> Self {
-        HeapTable {
+        HeapTable::with_pool(
             schema,
-            pages: Vec::new(),
-            live_tuples: 0,
-            stats: Arc::new(IoStats::new()),
-            dirty: BTreeSet::new(),
-        }
+            Arc::new(IoStats::new()),
+            Arc::new(BufferPool::unbounded()),
+            "heap",
+        )
     }
 
     /// An empty heap that charges I/O to shared counters (so a whole
-    /// database can be accounted together).
+    /// database can be accounted together), with a private unbounded pool.
     pub fn with_stats(schema: Schema, stats: Arc<IoStats>) -> Self {
+        HeapTable::with_pool(schema, stats, Arc::new(BufferPool::unbounded()), "heap")
+    }
+
+    /// An empty heap paged through a shared buffer pool. `label` names
+    /// the heap's pool file in corruption errors (conventionally the
+    /// table name).
+    pub fn with_pool(
+        schema: Schema,
+        stats: Arc<IoStats>,
+        pool: Arc<BufferPool>,
+        label: &str,
+    ) -> Self {
+        let file = pool.create_file(FileKind::Heap, label);
         HeapTable {
             schema,
-            pages: Vec::new(),
+            pool,
+            file,
             live_tuples: 0,
             stats,
             dirty: BTreeSet::new(),
@@ -78,9 +101,14 @@ impl HeapTable {
         &self.stats
     }
 
+    /// The buffer pool this heap pages through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
     /// Number of pages (the paper's `||I||`).
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.pool.page_count(self.file) as usize
     }
 
     /// Number of live tuples.
@@ -124,19 +152,20 @@ impl HeapTable {
         recdb_fault::fail_point("storage::heap_append")?;
         let tuple = self.coerce(tuple)?;
         let size = tuple.encoded_size();
-        let need_new = match self.pages.last() {
-            Some(p) => !p.fits(size),
-            None => true,
+        let page_count = self.pool.page_count(self.file);
+        let need_new = page_count == 0
+            || !self
+                .pool
+                .with_page(self.file, page_count - 1, |p| p.fits(size))?;
+        let page_no = if need_new {
+            self.pool
+                .allocate_page(self.file, FrameData::Heap(Page::new()))?
+        } else {
+            page_count - 1
         };
-        if need_new {
-            self.pages.push(Page::new());
-        }
-        let page_no = (self.pages.len() - 1) as u32;
-        let page = self
-            .pages
-            .last_mut()
-            .ok_or_else(|| StorageError::Corrupt("heap has no pages after append".into()))?;
-        let slot = page.insert(&tuple)?;
+        let slot = self
+            .pool
+            .with_page_mut(self.file, page_no, |p| p.insert(&tuple))??;
         self.live_tuples += 1;
         self.dirty.insert(page_no);
         self.stats.record_page_writes(1);
@@ -154,35 +183,32 @@ impl HeapTable {
 
     /// Fetch one tuple by record id. Charges one page read.
     pub fn get(&self, rid: Rid) -> StorageResult<Tuple> {
-        let page = self
-            .pages
-            .get(rid.page as usize)
-            .ok_or(StorageError::InvalidRid {
-                page: rid.page,
-                slot: rid.slot,
-            })?;
-        self.stats.record_page_reads(1);
-        self.stats.record_tuple_reads(1);
-        page.get(rid.slot).map_err(|_| StorageError::InvalidRid {
+        let invalid = || StorageError::InvalidRid {
             page: rid.page,
             slot: rid.slot,
-        })
+        };
+        if rid.page >= self.pool.page_count(self.file) {
+            return Err(invalid());
+        }
+        self.stats.record_page_reads(1);
+        self.stats.record_tuple_reads(1);
+        self.pool
+            .with_page(self.file, rid.page, |p| p.get(rid.slot))?
+            .map_err(|_| invalid())
     }
 
     /// Delete one tuple by record id.
     pub fn delete(&mut self, rid: Rid) -> StorageResult<()> {
-        let page = self
-            .pages
-            .get_mut(rid.page as usize)
-            .ok_or(StorageError::InvalidRid {
-                page: rid.page,
-                slot: rid.slot,
-            })?;
-        page.delete(rid.slot)
-            .map_err(|_| StorageError::InvalidRid {
-                page: rid.page,
-                slot: rid.slot,
-            })?;
+        let invalid = || StorageError::InvalidRid {
+            page: rid.page,
+            slot: rid.slot,
+        };
+        if rid.page >= self.pool.page_count(self.file) {
+            return Err(invalid());
+        }
+        self.pool
+            .with_page_mut(self.file, rid.page, |p| p.delete(rid.slot))?
+            .map_err(|_| invalid())?;
         self.live_tuples -= 1;
         self.dirty.insert(rid.page);
         self.stats.record_page_writes(1);
@@ -191,57 +217,100 @@ impl HeapTable {
 
     /// Remove every tuple, keeping the schema. Used by OnTopDB when it
     /// reloads its predictions table.
-    pub fn truncate(&mut self) {
-        for pno in 0..self.pages.len() {
+    pub fn truncate(&mut self) -> StorageResult<()> {
+        for pno in 0..self.page_count() {
             self.dirty.insert(pno as u32);
         }
-        self.pages.clear();
+        self.pool.truncate_file(self.file, 0)?;
         self.live_tuples = 0;
+        Ok(())
     }
 
-    /// The raw pages, in page-number order (checkpoint writer).
-    pub fn pages(&self) -> &[Page] {
-        &self.pages
+    /// A copy of one page (checkpoint writer, transaction pre-images).
+    pub fn page_image(&self, page_no: u32) -> StorageResult<Page> {
+        self.pool.with_page(self.file, page_no, |p| p.clone())
+    }
+
+    /// One page encoded as a checksummed disk block stamped with `lsn`
+    /// (the checkpoint writer's fast path: no intermediate page clone).
+    pub fn encode_page_block(&self, page_no: u32, lsn: u64) -> StorageResult<Vec<u8>> {
+        self.pool
+            .with_page(self.file, page_no, |p| p.encode_block(lsn))
+    }
+
+    /// Copies of all pages in page-number order (transaction pre-images).
+    pub fn pages_snapshot(&self) -> StorageResult<Vec<Page>> {
+        (0..self.page_count() as u32)
+            .map(|pno| self.page_image(pno))
+            .collect()
     }
 
     /// Replace the heap contents with pages recovered from disk,
     /// recomputing the live-tuple count. The restored state counts as
     /// clean: it is exactly what the checkpoint holds.
-    pub fn restore_pages(&mut self, pages: Vec<Page>) {
+    pub fn restore_pages(&mut self, pages: Vec<Page>) -> StorageResult<()> {
+        self.pool.truncate_file(self.file, 0)?;
         self.live_tuples = pages.iter().map(|p| p.live_count() as u64).sum();
-        self.pages = pages;
+        for (pno, page) in pages.into_iter().enumerate() {
+            self.pool
+                .install_page(self.file, pno as u32, FrameData::Heap(page))?;
+        }
         self.dirty.clear();
+        Ok(())
     }
 
     /// Undo a transaction's appends: truncate back to `page_count` pages
     /// and restore the saved image of what was then the last page. Unlike
     /// [`HeapTable::restore_pages`] the result diverges from the last
     /// checkpoint image, so every affected page number is marked dirty.
-    pub fn rollback_tail(&mut self, page_count: usize, last_page: Option<Page>) {
-        let affected = self.pages.len().max(page_count);
-        self.pages.truncate(page_count);
+    pub fn rollback_tail(
+        &mut self,
+        page_count: usize,
+        last_page: Option<Page>,
+    ) -> StorageResult<()> {
+        let affected = self.page_count().max(page_count);
+        self.pool.truncate_file(self.file, page_count as u32)?;
         if let Some(page) = last_page {
             if page_count > 0 {
-                self.pages[page_count - 1] = page;
+                self.pool.install_page(
+                    self.file,
+                    (page_count - 1) as u32,
+                    FrameData::Heap(page),
+                )?;
             }
         }
-        self.live_tuples = self.pages.iter().map(|p| p.live_count() as u64).sum();
+        self.live_tuples = self.recount_live()?;
         for pno in page_count.saturating_sub(1)..affected {
             self.dirty.insert(pno as u32);
         }
+        Ok(())
     }
 
     /// Undo arbitrary mutations by restoring a full pre-transaction page
     /// snapshot. Every page number covered by either image is marked
     /// dirty (contrast [`HeapTable::restore_pages`], which installs a
     /// checkpoint image and counts as clean).
-    pub fn rollback_pages(&mut self, pages: Vec<Page>) {
-        let affected = self.pages.len().max(pages.len());
+    pub fn rollback_pages(&mut self, pages: Vec<Page>) -> StorageResult<()> {
+        let affected = self.page_count().max(pages.len());
+        self.pool.truncate_file(self.file, 0)?;
         self.live_tuples = pages.iter().map(|p| p.live_count() as u64).sum();
-        self.pages = pages;
+        for (pno, page) in pages.into_iter().enumerate() {
+            self.pool
+                .install_page(self.file, pno as u32, FrameData::Heap(page))?;
+        }
         for pno in 0..affected {
             self.dirty.insert(pno as u32);
         }
+        Ok(())
+    }
+
+    fn recount_live(&self) -> StorageResult<u64> {
+        (0..self.page_count() as u32)
+            .map(|pno| {
+                self.pool
+                    .with_page(self.file, pno, |p| p.live_count() as u64)
+            })
+            .sum()
     }
 
     /// Whether any page changed since the last checkpoint.
@@ -263,13 +332,24 @@ impl HeapTable {
     /// Read one page's live tuples by page number, or `None` past the end.
     /// Charges one page read. This is the cursor-style access path physical
     /// scan operators use (they cannot hold a borrowing iterator).
+    ///
+    /// Panics if the buffer pool cannot produce the page (a corrupt spill
+    /// block or an all-pinned pool): scan iterators have no error channel,
+    /// and both conditions are process-local invariant violations rather
+    /// than recoverable input errors.
     pub fn read_page(&self, page_no: u32) -> Option<Vec<(Rid, Tuple)>> {
-        let page = self.pages.get(page_no as usize)?;
+        if page_no >= self.pool.page_count(self.file) {
+            return None;
+        }
         self.stats.record_page_reads(1);
-        let tuples: Vec<(Rid, Tuple)> = page
-            .iter_live()
-            .map(|(slot, tuple)| (Rid::new(page_no, slot), tuple))
-            .collect();
+        let tuples: Vec<(Rid, Tuple)> = self
+            .pool
+            .with_page(self.file, page_no, |page| {
+                page.iter_live()
+                    .map(|(slot, tuple)| (Rid::new(page_no, slot), tuple))
+                    .collect()
+            })
+            .expect("buffer pool read failed during scan");
         self.stats.record_tuple_reads(tuples.len() as u64);
         Some(tuples)
     }
@@ -278,18 +358,21 @@ impl HeapTable {
     ///
     /// This is the access path the paper's Algorithm 1/2 pseudo-code uses
     /// ("load ... block by block in Memory"). Each yielded block charges one
-    /// page read when produced.
+    /// page read when produced, faulting the page into the pool if it was
+    /// evicted — only one block's tuples are materialized at a time.
     pub fn scan_pages(
         &self,
     ) -> impl Iterator<Item = Box<dyn Iterator<Item = (Rid, Tuple)> + '_>> + '_ {
-        self.pages.iter().enumerate().map(move |(pno, page)| {
-            self.stats.record_page_reads(1);
-            let iter = page.iter_live().map(move |(slot, tuple)| {
-                self.stats.record_tuple_reads(1);
-                (Rid::new(pno as u32, slot), tuple)
-            });
-            Box::new(iter) as Box<dyn Iterator<Item = (Rid, Tuple)> + '_>
+        (0..self.pool.page_count(self.file)).map(move |pno| {
+            let tuples = self.read_page(pno).unwrap_or_default();
+            Box::new(tuples.into_iter()) as Box<dyn Iterator<Item = (Rid, Tuple)> + '_>
         })
+    }
+}
+
+impl Drop for HeapTable {
+    fn drop(&mut self) {
+        self.pool.remove_file(self.file);
     }
 }
 
@@ -399,7 +482,7 @@ mod tests {
         for i in 0..10 {
             t.insert(row(i, i, 1.0)).unwrap();
         }
-        t.truncate();
+        t.truncate().unwrap();
         assert_eq!(t.tuple_count(), 0);
         assert_eq!(t.scan().count(), 0);
         assert_eq!(t.page_count(), 0);
@@ -417,5 +500,33 @@ mod tests {
         // All pages except possibly the last are full to within one tuple.
         let full = blocks[0];
         assert!(blocks[..blocks.len() - 1].iter().all(|&c| c == full));
+    }
+
+    #[test]
+    fn scans_are_identical_under_a_tiny_pool() {
+        // The eviction-pressure contract in miniature: a pool of 2 frames
+        // over a multi-page table returns exactly what an unbounded heap
+        // returns, and leaves nothing pinned.
+        let schema = Schema::new(vec![
+            Column::new("uid", DataType::Int),
+            Column::new("iid", DataType::Int),
+            Column::new("ratingval", DataType::Float),
+        ]);
+        let pool = Arc::new(BufferPool::in_memory(2));
+        let mut bounded =
+            HeapTable::with_pool(schema, Arc::new(IoStats::new()), Arc::clone(&pool), "r");
+        let mut unbounded = ratings();
+        for i in 0..2000 {
+            bounded.insert(row(i, i, (i % 7) as f64)).unwrap();
+            unbounded.insert(row(i, i, (i % 7) as f64)).unwrap();
+        }
+        assert!(bounded.page_count() > 4);
+        assert!(pool.evictions() > 0);
+        let a: Vec<(Rid, Tuple)> = bounded.scan().collect();
+        let b: Vec<(Rid, Tuple)> = unbounded.scan().collect();
+        assert_eq!(a, b);
+        assert_eq!(pool.pinned_pages(), 0);
+        // Point reads against cold pages also come back intact.
+        assert_eq!(bounded.get(a[0].0).unwrap(), b[0].1);
     }
 }

@@ -11,6 +11,11 @@
 //! * [`tuple::Tuple`] — a row of values,
 //! * [`page::Page`] — an 8 KiB slotted page holding binary-encoded tuples,
 //! * [`heap::HeapTable`] — a page-based heap with block-at-a-time scans,
+//! * [`pool::BufferPool`] — fixed-capacity frames with clock eviction;
+//!   every heap page and B+-tree node is resident in (or faulted into) a
+//!   pool frame, so data ≫ RAM workloads run in bounded memory,
+//! * [`btree::BTree`] — a paged B+-tree over pool frames (the structure
+//!   behind the engine's disk-resident RecScoreIndex),
 //! * [`index::BTreeIndex`] — an ordered secondary index (point + range),
 //! * [`catalog::Catalog`] — the table catalog,
 //! * [`stats::IoStats`] — page read/write counters used as the I/O cost
@@ -25,6 +30,7 @@
 // (`clippy.toml` exempts `#[cfg(test)]` code).
 #![warn(clippy::unwrap_used)]
 
+pub mod btree;
 pub mod catalog;
 pub mod checksum;
 pub mod codec;
@@ -33,11 +39,13 @@ pub mod heap;
 pub mod index;
 pub mod page;
 pub mod pagefile;
+pub mod pool;
 pub mod schema;
 pub mod stats;
 pub mod tuple;
 pub mod value;
 
+pub use btree::{BTree, DEFAULT_NODE_CAPACITY, KEY_SIZE};
 pub use catalog::{Catalog, Table};
 pub use checksum::crc32;
 pub use codec::Reader;
@@ -45,7 +53,8 @@ pub use error::{StorageError, StorageResult};
 pub use heap::{HeapTable, Rid};
 pub use index::BTreeIndex;
 pub use page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE};
-pub use pagefile::{read_snapshot, write_snapshot, RecoveryMode, Snapshot};
+pub use pagefile::{read_snapshot, read_snapshot_with, write_snapshot, RecoveryMode, Snapshot};
+pub use pool::{BufferPool, FileId, FileKind, FrameData};
 pub use schema::{Column, Schema};
 pub use stats::IoStats;
 pub use tuple::Tuple;

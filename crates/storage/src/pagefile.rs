@@ -22,11 +22,13 @@ use crate::checksum::crc32;
 use crate::codec::{self, Reader};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PAGE_SIZE};
+use crate::pool::BufferPool;
 use crate::schema::{Column, Schema};
 use crate::value::DataType;
 use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Manifest file name within a data directory.
 pub const MANIFEST_FILE: &str = "catalog.meta";
@@ -247,9 +249,13 @@ pub fn write_snapshot(
         }
         let mut file =
             File::create(&new_path).map_err(|e| StorageError::io("create table file", e))?;
-        for page in table.heap().pages() {
+        // Page at a time through the buffer pool: a checkpoint of a
+        // data-larger-than-pool table faults each page in, encodes it, and
+        // lets it age out again — bounded memory end to end.
+        for page_no in 0..table.heap().page_count() as u32 {
             recdb_fault::fail_point("storage::page_flush")?;
-            file.write_all(&page.encode_block(lsn))
+            let block = table.heap().encode_page_block(page_no, lsn)?;
+            file.write_all(&block)
                 .map_err(|e| StorageError::io("write page", e))?;
         }
         file.sync_all()
@@ -297,8 +303,21 @@ fn gc_stale_generations(dir: &Path, keep: u64) {
 }
 
 /// Read the newest published checkpoint back, or `Ok(None)` if the
-/// directory holds no manifest (fresh database).
+/// directory holds no manifest (fresh database). The restored catalog
+/// uses a private unbounded pool; engines pass their own bounded pool
+/// through [`read_snapshot_with`].
 pub fn read_snapshot(dir: &Path, mode: RecoveryMode) -> StorageResult<Option<Snapshot>> {
+    read_snapshot_with(dir, mode, Arc::new(BufferPool::unbounded()))
+}
+
+/// Like [`read_snapshot`], but the restored catalog pages through `pool`.
+/// Restored pages are written through to the pool's backing store, so a
+/// checkpoint larger than the pool recovers in bounded memory.
+pub fn read_snapshot_with(
+    dir: &Path,
+    mode: RecoveryMode,
+    pool: Arc<BufferPool>,
+) -> StorageResult<Option<Snapshot>> {
     let manifest_path = dir.join(MANIFEST_FILE);
     let bytes = match fs::read(&manifest_path) {
         Ok(b) => b,
@@ -306,14 +325,14 @@ pub fn read_snapshot(dir: &Path, mode: RecoveryMode) -> StorageResult<Option<Sna
         Err(e) => return Err(StorageError::io("read manifest", e)),
     };
     let manifest = decode_manifest(&bytes)?;
-    let mut catalog = Catalog::new();
+    let mut catalog = Catalog::with_pool(pool);
     let mut skipped = Vec::new();
     for mt in &manifest.tables {
         catalog.create_table(&mt.name, mt.schema.clone())?;
         let file_name = table_file_name(&mt.name, manifest.lsn);
         let pages = read_table_pages(&dir.join(&file_name), &file_name, mt, mode, &mut skipped)?;
         let table = catalog.table_mut(&mt.name)?;
-        table.heap_mut().restore_pages(pages);
+        table.heap_mut().restore_pages(pages)?;
         for (idx_name, ordinals) in &mt.indexes {
             let names: Vec<&str> = ordinals
                 .iter()
@@ -530,7 +549,13 @@ mod tests {
         let dir = temp_dir("salvage");
         let mut cat = seeded_catalog(1000);
         let total = cat.table("ratings").unwrap().tuple_count();
-        let page1_live = cat.table("ratings").unwrap().heap().pages()[1].live_count() as u64;
+        let page1_live = cat
+            .table("ratings")
+            .unwrap()
+            .heap()
+            .page_image(1)
+            .unwrap()
+            .live_count() as u64;
         write_snapshot(&dir, &mut cat, b"", 3).unwrap();
         let path = dir.join("ratings.3.tbl");
         let mut bytes = fs::read(&path).unwrap();

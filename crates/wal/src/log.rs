@@ -270,6 +270,21 @@ impl Wal {
         Ok(())
     }
 
+    /// Flush appended records to stable storage for the buffer pool's
+    /// log-before-page barrier. Unlike [`Wal::commit`] this does not
+    /// evaluate the `wal::fsync` fail point: the barrier runs on eviction
+    /// paths, and letting it consume injected-fault countdowns would make
+    /// the crash matrix depend on cache pressure.
+    pub fn sync(&mut self) -> WalResult<()> {
+        self.file.sync_all().map_err(|e| WalError::io("fsync", e))?;
+        self.synced_len = self.len;
+        self.synced_next_lsn = self.next_lsn;
+        if let Some(metrics) = &self.metrics {
+            metrics.counter("recdb_wal_fsyncs_total").inc();
+        }
+        Ok(())
+    }
+
     /// Drop every record with `lsn <= upto` (they are covered by a
     /// checkpoint) by rewriting the log with a new base and atomically
     /// renaming it into place.

@@ -282,6 +282,174 @@ fn seeded_crash_sweep_recovers_committed_prefix() {
 }
 
 // ---------------------------------------------------------------------
+// Crash matrix under buffer-pool pressure: storage::pool_evict and
+// storage::btree_split
+// ---------------------------------------------------------------------
+
+/// One step of the small-pool workload. Auto-maintenance is disabled in
+/// this matrix: it runs *after* a statement's commit fsync, so an
+/// injected pool fault there would crash a statement that is already
+/// durable — outside the acknowledged-prefix crash model. Index builds
+/// are driven by the explicit `Materialize` op instead.
+enum PoolOp {
+    Sql(String),
+    Checkpoint,
+    /// Materialize the recommender's RecScoreIndex (B+-tree inserts,
+    /// node splits, and heavy pool traffic). Runs only on the durable
+    /// engine: the index is derived state and never compared.
+    Materialize,
+}
+
+/// A workload sized against a 4-frame pool: a multi-page ratings table,
+/// a recommender whose materialized index spans dozens of node pages,
+/// checkpoints (which stream every heap page through the pool), and a
+/// full-table UPDATE scan.
+fn pool_ops() -> Vec<PoolOp> {
+    let mut ops = vec![PoolOp::Sql(
+        "CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)".into(),
+    )];
+    let mut chunk: Vec<String> = Vec::new();
+    for u in 0..12i64 {
+        for i in 0..110i64 {
+            if (u * 5 + i) % 4 == 0 {
+                continue; // held out: every user keeps unseen items
+            }
+            let val = f64::from(((u + i * 3) % 9 + 1) as i32) / 2.0;
+            chunk.push(format!("({u}, {i}, {val})"));
+            if chunk.len() == 90 {
+                ops.push(PoolOp::Sql(format!(
+                    "INSERT INTO ratings VALUES {}",
+                    chunk.join(", ")
+                )));
+                chunk.clear();
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        ops.push(PoolOp::Sql(format!(
+            "INSERT INTO ratings VALUES {}",
+            chunk.join(", ")
+        )));
+    }
+    ops.push(PoolOp::Sql(
+        "CREATE RECOMMENDER PoolRec ON ratings \
+         USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF"
+            .into(),
+    ));
+    ops.push(PoolOp::Materialize);
+    ops.push(PoolOp::Checkpoint);
+    ops.push(PoolOp::Sql(
+        "UPDATE ratings SET ratingval = 1.5 WHERE uid = 7".into(),
+    ));
+    ops.push(PoolOp::Sql("DELETE FROM ratings WHERE iid = 42".into()));
+    ops.push(PoolOp::Checkpoint);
+    ops
+}
+
+/// As [`crash_once`], but against a 4-frame engine, and with *panics*
+/// counted as crashes too: pool faults on scan paths surface as panics
+/// by design (scans have no error channel), and a mid-statement panic is
+/// exactly a crash in this model — the WAL never saw a commit marker for
+/// the statement, so recovery must exclude it.
+fn pool_crash_once(site: &'static str, nth: u64, mode: RecoveryMode, tag: &str) {
+    fault::clear();
+    let dir = temp_dir(tag);
+    let small_pool = |recovery| RecDbConfig {
+        data_dir: Some(dir.clone()),
+        recovery,
+        buffer_pool_pages: 4,
+        auto_maintenance: false,
+        ..RecDbConfig::default()
+    };
+    let mut shadow = RecDb::with_config(RecDbConfig {
+        auto_maintenance: false,
+        ..RecDbConfig::default()
+    });
+    let db =
+        RecDb::open_with_config(small_pool(RecoveryMode::Strict)).expect("open small-pool engine");
+
+    fault::arm_error(site, nth);
+    // Injected pool faults legitimately panic (see above); keep the
+    // expected unwinds out of the test output.
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for op in pool_ops() {
+        let survived = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &op {
+            PoolOp::Sql(sql) => db.execute(sql).is_ok(),
+            PoolOp::Checkpoint => db.checkpoint().is_ok(),
+            PoolOp::Materialize => db.materialize("PoolRec").is_ok(),
+        }))
+        .unwrap_or(false);
+        if survived {
+            if let PoolOp::Sql(sql) = &op {
+                shadow
+                    .execute(sql)
+                    .unwrap_or_else(|e| panic!("shadow rejected `{sql}`: {e}"));
+            }
+        } else {
+            break; // first failure (or panic) = the crash point
+        }
+    }
+    std::panic::set_hook(quiet);
+    fault::clear();
+    drop(db); // crash: nothing is flushed on drop
+
+    let mut recovered = RecDb::open_with_config(small_pool(mode))
+        .unwrap_or_else(|e| panic!("site {site} nth {nth} ({tag}): reopen failed: {e}"));
+    assert_eq!(
+        ratings_rows(&mut recovered),
+        ratings_rows(&mut shadow),
+        "site {site} nth {nth} ({tag}): recovered rows diverge from committed prefix"
+    );
+    assert_eq!(
+        recovered.recommender_names(),
+        shadow.recommender_names(),
+        "site {site} nth {nth} ({tag}): recommender presence diverges"
+    );
+    assert_eq!(
+        recovered.buffer_pool().pinned_pages(),
+        0,
+        "site {site} nth {nth} ({tag}): pages left pinned after recovery"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn crash_matrix_pool_evict() {
+    let _gate = fault::exclusive();
+    // Evictions number in the hundreds under a 4-frame pool; probe the
+    // early hits densely and the tail geometrically.
+    for nth in [1, 2, 3, 5, 9, 27, 81, 243] {
+        pool_crash_once("storage::pool_evict", nth, RecoveryMode::Strict, "evict");
+    }
+}
+
+#[test]
+fn crash_matrix_btree_split() {
+    let _gate = fault::exclusive();
+    // Splits happen only while materializing the score index.
+    for nth in 1..=4 {
+        pool_crash_once("storage::btree_split", nth, RecoveryMode::Strict, "split");
+    }
+}
+
+/// The seeded sweep over the pool-pressure sites, in both recovery
+/// modes (CI drives `RECDB_FAULT_SEED` as for the main matrix).
+#[test]
+fn seeded_pool_crash_sweep_recovers_in_both_modes() {
+    let seed: u64 = std::env::var("RECDB_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let _gate = fault::exclusive();
+    for site in ["storage::pool_evict", "storage::btree_split"] {
+        let nth = fault::schedule_nth(seed, site, 64);
+        pool_crash_once(site, nth, RecoveryMode::Strict, "seeded-strict");
+        pool_crash_once(site, nth, RecoveryMode::SalvageToLastGood, "seeded-salvage");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Checksums: corruption detection and salvage
 // ---------------------------------------------------------------------
 
